@@ -1,0 +1,46 @@
+// Command experiments regenerates the paper's tables and figures (and the
+// extension experiments) from DESIGN.md's index.
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments -list      # list experiment IDs
+//	experiments -run E3    # run one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	run := flag.String("run", "", "run a single experiment by ID (e.g. E3)")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %-45s %s\n", e.ID, e.Title, e.Paper)
+		}
+	case *run != "":
+		e, ok := experiments.ByID(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (try -list)\n", *run)
+			os.Exit(2)
+		}
+		fmt.Printf("=== %s — %s (%s) ===\n", e.ID, e.Title, e.Paper)
+		if err := e.Run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	default:
+		if err := experiments.RunAll(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

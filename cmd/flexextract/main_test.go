@@ -1,0 +1,136 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/flexoffer"
+	"repro/internal/timeseries"
+)
+
+// writeSyntheticCSV writes a peaky household week at 15-minute resolution.
+func writeSyntheticCSV(t *testing.T, path string, days int, res time.Duration) *timeseries.Series {
+	t.Helper()
+	perDay := int((24 * time.Hour) / res)
+	vals := make([]float64, days*perDay)
+	for i := range vals {
+		frac := float64(i%perDay) / float64(perDay) * 24
+		vals[i] = 0.2 + 0.6*math.Exp(-(frac-19)*(frac-19)/6)
+	}
+	s := timeseries.MustNew(time.Date(2012, 6, 4, 0, 0, 0, 0, time.UTC), res, vals)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := s.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRunConsumptionApproaches(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "house.csv")
+	input := writeSyntheticCSV(t, in, 7, 15*time.Minute)
+
+	for _, approach := range []string{"basic", "peak", "random"} {
+		offers := filepath.Join(dir, approach+"-offers.json")
+		modified := filepath.Join(dir, approach+"-modified.csv")
+		if err := run(in, "", approach, 0.05, 1, "c1", offers, modified, 22, 6, 0); err != nil {
+			t.Fatalf("%s: %v", approach, err)
+		}
+		of, err := os.Open(offers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, err := flexoffer.ReadJSON(of)
+		of.Close()
+		if err != nil {
+			t.Fatalf("%s offers: %v", approach, err)
+		}
+		if len(set) == 0 {
+			t.Fatalf("%s extracted nothing", approach)
+		}
+		for _, f := range set {
+			if f.ConsumerID != "c1" {
+				t.Errorf("%s: consumer = %q", approach, f.ConsumerID)
+			}
+		}
+		mf, err := os.Open(modified)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod, err := timeseries.ReadCSV(mf)
+		mf.Close()
+		if err != nil {
+			t.Fatalf("%s modified: %v", approach, err)
+		}
+		// Accounting survives the round trip through files.
+		if math.Abs(mod.Total()+set.TotalAvgEnergy()-input.Total()) > 1e-6 {
+			t.Errorf("%s accounting broken after round trip", approach)
+		}
+	}
+}
+
+func TestRunMultiTariff(t *testing.T) {
+	dir := t.TempDir()
+	ref := filepath.Join(dir, "flat.csv")
+	in := filepath.Join(dir, "multi.csv")
+	writeSyntheticCSV(t, ref, 7, 15*time.Minute)
+	writeSyntheticCSV(t, in, 7, 15*time.Minute)
+	offers := filepath.Join(dir, "offers.json")
+	modified := filepath.Join(dir, "modified.csv")
+	if err := run(in, ref, "multitariff", 0.05, 1, "", offers, modified, 22, 6, 0); err != nil {
+		t.Fatalf("multitariff: %v", err)
+	}
+	// Missing reference is an error.
+	if err := run(in, "", "multitariff", 0.05, 1, "", offers, modified, 22, 6, 0); err == nil {
+		t.Error("multitariff without -ref accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "house.csv")
+	writeSyntheticCSV(t, in, 2, 15*time.Minute)
+	offers := filepath.Join(dir, "o.json")
+	modified := filepath.Join(dir, "m.csv")
+	if err := run(in, "", "no-such-approach", 0.05, 1, "", offers, modified, 22, 6, 0); err == nil {
+		t.Error("unknown approach accepted")
+	}
+	if err := run(filepath.Join(dir, "missing.csv"), "", "peak", 0.05, 1, "", offers, modified, 22, 6, 0); err == nil {
+		t.Error("missing input accepted")
+	}
+}
+
+func TestRunResampleFlag(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "fine.csv")
+	writeSyntheticCSV(t, in, 2, 5*time.Minute)
+	offers := filepath.Join(dir, "o.json")
+	modified := filepath.Join(dir, "m.csv")
+	// Peak extraction requires 15-minute slices; resampling makes the
+	// 5-minute input usable.
+	if err := run(in, "", "peak", 0.05, 1, "", offers, modified, 22, 6, 0); err == nil {
+		t.Error("5-minute input accepted without resampling")
+	}
+	if err := run(in, "", "peak", 0.05, 1, "", offers, modified, 22, 6, 15*time.Minute); err != nil {
+		t.Errorf("resampled run: %v", err)
+	}
+	mf, err := os.Open(modified)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := timeseries.ReadCSV(mf)
+	mf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.Resolution() != 15*time.Minute {
+		t.Errorf("modified resolution = %v", mod.Resolution())
+	}
+}

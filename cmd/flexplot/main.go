@@ -1,0 +1,145 @@
+// Command flexplot renders a consumption CSV and optionally a flex-offer
+// JSON file as ASCII charts in the terminal — a quick look at what an
+// extraction produced, in the spirit of the paper's Figs. 4 and 5.
+//
+// Usage:
+//
+//	flexplot -in house.csv
+//	flexplot -in house.csv -offers offers.json -day 2012-06-04
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/flexoffer"
+	"repro/internal/timeseries"
+)
+
+func main() {
+	in := flag.String("in", "", "consumption CSV (required)")
+	offersPath := flag.String("offers", "", "flex-offers JSON to overlay")
+	day := flag.String("day", "", "plot a single day (YYYY-MM-DD); default: first day")
+	height := flag.Int("height", 10, "chart height in rows")
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "flexplot: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*in, *offersPath, *day, *height); err != nil {
+		fmt.Fprintf(os.Stderr, "flexplot: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, offersPath, day string, height int) error {
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	series, err := timeseries.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("read %s: %w", in, err)
+	}
+
+	var window *timeseries.Series
+	if day != "" {
+		d, err := time.Parse("2006-01-02", day)
+		if err != nil {
+			return fmt.Errorf("bad -day: %w", err)
+		}
+		window, err = series.Window(d, d.Add(24*time.Hour))
+		if err != nil {
+			return fmt.Errorf("day %s: %w", day, err)
+		}
+	} else {
+		days := series.Days()
+		if len(days) == 0 {
+			return fmt.Errorf("empty series")
+		}
+		window = days[0]
+	}
+
+	plot(window, height)
+
+	if offersPath != "" {
+		of, err := os.Open(offersPath)
+		if err != nil {
+			return err
+		}
+		offers, err := flexoffer.ReadJSON(of)
+		of.Close()
+		if err != nil {
+			return fmt.Errorf("read %s: %w", offersPath, err)
+		}
+		shown := 0
+		fmt.Println()
+		for _, fo := range offers {
+			if _, ok := window.IndexOf(fo.EarliestStart); !ok {
+				continue
+			}
+			overlay(window, fo)
+			shown++
+		}
+		fmt.Printf("\n%d of %d offers fall on the plotted day\n", shown, len(offers))
+	}
+	return nil
+}
+
+// plot renders the series as a column chart with a mean marker.
+func plot(s *timeseries.Series, height int) {
+	maxV := s.Max()
+	if maxV <= 0 || math.IsNaN(maxV) {
+		maxV = 1
+	}
+	mean := s.Mean()
+	fmt.Printf("%s .. %s  (%d x %v, total %.2f kWh, mean line '-')\n",
+		s.Start().Format("2006-01-02 15:04"), s.End().Format("15:04"),
+		s.Len(), s.Resolution(), s.Total())
+	meanRow := int(math.Round(mean / maxV * float64(height)))
+	for row := height; row >= 1; row-- {
+		var b strings.Builder
+		for i := 0; i < s.Len(); i++ {
+			l := int(math.Round(s.Value(i) / maxV * float64(height)))
+			switch {
+			case l >= row:
+				b.WriteByte('#')
+			case row == meanRow:
+				b.WriteByte('-')
+			default:
+				b.WriteByte(' ')
+			}
+		}
+		fmt.Printf("|%s|\n", b.String())
+	}
+	fmt.Printf("+%s+\n", strings.Repeat("-", s.Len()))
+}
+
+// overlay prints one offer's span beneath the chart.
+func overlay(axis *timeseries.Series, f *flexoffer.FlexOffer) {
+	start, _ := axis.IndexOf(f.EarliestStart)
+	line := []byte(strings.Repeat(" ", axis.Len()))
+	for i := range f.Profile {
+		if start+i < len(line) {
+			line[start+i] = '='
+		}
+	}
+	flexCols := int(f.TimeFlexibility() / axis.Resolution())
+	for i := 0; i < flexCols; i++ {
+		col := start + len(f.Profile) + i
+		if col >= len(line) {
+			break
+		}
+		if line[col] == ' ' {
+			line[col] = '.'
+		}
+	}
+	fmt.Printf("|%s| %s %.2f..%.2f kWh\n", string(line), f.ID, f.TotalMinEnergy(), f.TotalMaxEnergy())
+}

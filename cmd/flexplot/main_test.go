@@ -1,0 +1,81 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/flexoffer"
+	"repro/internal/timeseries"
+)
+
+func writeDayCSV(t *testing.T, path string) {
+	t.Helper()
+	vals := make([]float64, 96)
+	for i := range vals {
+		frac := float64(i) / 4
+		vals[i] = 0.2 + 0.7*math.Exp(-(frac-19)*(frac-19)/4)
+	}
+	s := timeseries.MustNew(time.Date(2012, 6, 4, 0, 0, 0, 0, time.UTC), 15*time.Minute, vals)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := s.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeOffersJSON(t *testing.T, path string) {
+	t.Helper()
+	set := flexoffer.Set{{
+		ID:            "o1",
+		EarliestStart: time.Date(2012, 6, 4, 18, 0, 0, 0, time.UTC),
+		LatestStart:   time.Date(2012, 6, 4, 21, 0, 0, 0, time.UTC),
+		Profile:       flexoffer.UniformProfile(4, 15*time.Minute, 0.2, 0.4),
+	}}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := set.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPlotsSeriesAndOffers(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "day.csv")
+	offers := filepath.Join(dir, "offers.json")
+	writeDayCSV(t, csv)
+	writeOffersJSON(t, offers)
+
+	if err := run(csv, "", "", 8); err != nil {
+		t.Fatalf("plot without offers: %v", err)
+	}
+	if err := run(csv, offers, "2012-06-04", 8); err != nil {
+		t.Fatalf("plot with offers: %v", err)
+	}
+}
+
+func TestRunErrorsPlot(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "day.csv")
+	writeDayCSV(t, csv)
+	if err := run(filepath.Join(dir, "nope.csv"), "", "", 8); err == nil {
+		t.Error("missing csv accepted")
+	}
+	if err := run(csv, "", "not-a-date", 8); err == nil {
+		t.Error("bad date accepted")
+	}
+	if err := run(csv, "", "2030-01-01", 8); err == nil {
+		t.Error("out-of-range day accepted")
+	}
+	if err := run(csv, filepath.Join(dir, "nope.json"), "", 8); err == nil {
+		t.Error("missing offers file accepted")
+	}
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/timeseries"
+)
+
+func TestRunWritesCSVsAndGroundTruth(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 3, 2, "15m", 1, "2012-06-04", 0); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csvs, jsons int
+	for _, e := range entries {
+		switch filepath.Ext(e.Name()) {
+		case ".csv":
+			csvs++
+			f, err := os.Open(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := timeseries.ReadCSV(f)
+			f.Close()
+			if err != nil {
+				t.Fatalf("%s: %v", e.Name(), err)
+			}
+			if s.Len() != 2*96 {
+				t.Errorf("%s: %d intervals, want %d", e.Name(), s.Len(), 2*96)
+			}
+		case ".json":
+			jsons++
+		}
+	}
+	if csvs != 3 || jsons != 1 {
+		t.Errorf("files: %d csv, %d json; want 3 and 1", csvs, jsons)
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, "ground_truth.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var truth []activationJSON
+	if err := json.Unmarshal(data, &truth); err != nil {
+		t.Fatalf("ground truth: %v", err)
+	}
+	if len(truth) == 0 {
+		t.Error("no ground-truth activations")
+	}
+	for _, a := range truth {
+		if a.Household == "" || a.Appliance == "" || a.EnergyKWh <= 0 {
+			t.Errorf("incomplete activation %+v", a)
+		}
+	}
+}
+
+func TestRunWithTariffShift(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 2, 7, "15m", 2, "2012-06-04", 0.9); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "ground_truth.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var truth []activationJSON
+	if err := json.Unmarshal(data, &truth); err != nil {
+		t.Fatal(err)
+	}
+	var shifted int
+	for _, a := range truth {
+		if a.Shifted {
+			shifted++
+		}
+	}
+	if shifted == 0 {
+		t.Error("tariff shift produced no shifted activations")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 1, 1, "not-a-duration", 1, "2012-06-04", 0); err == nil {
+		t.Error("bad resolution accepted")
+	}
+	if err := run(dir, 1, 1, "15m", 1, "not-a-date", 0); err == nil {
+		t.Error("bad start date accepted")
+	}
+	if err := run(dir, 1, 0, "15m", 1, "2012-06-04", 0); err == nil {
+		t.Error("zero days accepted")
+	}
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunSmallPipeline(t *testing.T) {
+	if err := run(8, 2, "peak", 0.05, 3, 1, 1.5); err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+}
+
+func TestRunUnknownApproach(t *testing.T) {
+	if err := run(4, 2, "nope", 0.05, 3, 1, 1.5); err == nil {
+		t.Error("unknown approach accepted")
+	}
+}

@@ -1,0 +1,43 @@
+// Command mirabeld serves the flex-offer collection API — the network face
+// of the MIRABEL data-management prototype the paper's extraction tools
+// feed ([3]: near real-time flex-offer collection). Offers are submitted,
+// accepted/rejected and assigned over HTTP; a background sweeper expires
+// offers whose lifecycle deadlines lapse.
+//
+// Usage:
+//
+//	mirabeld -addr :7654 -sweep 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/market"
+)
+
+func main() {
+	addr := flag.String("addr", ":7654", "listen address")
+	sweep := flag.Duration("sweep", 30*time.Second, "deadline sweep interval (0 disables)")
+	flag.Parse()
+
+	store := market.NewStore(nil)
+	if *sweep > 0 {
+		go func() {
+			ticker := time.NewTicker(*sweep)
+			defer ticker.Stop()
+			for range ticker.C {
+				if n := store.ExpireOverdue(); n > 0 {
+					log.Printf("mirabeld: expired %d overdue offers", n)
+				}
+			}
+		}()
+	}
+	fmt.Printf("mirabeld: listening on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, market.NewServer(store)); err != nil {
+		log.Fatalf("mirabeld: %v", err)
+	}
+}

@@ -1,0 +1,69 @@
+// Appliance-level extraction: simulate a household at 1-minute granularity
+// (the paper notes 15-minute data is not fine enough, §6), disaggregate the
+// total into appliance activations, mine usage frequencies, and extract
+// per-appliance flex-offers — then score everything against the simulator's
+// ground truth.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/appliance"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/household"
+)
+
+func main() {
+	reg := appliance.Default()
+	start := time.Date(2012, 6, 4, 0, 0, 0, 0, time.UTC)
+
+	cfg := household.Config{
+		ID: "example-home", Residents: 3,
+		Appliances: []string{
+			"washing machine Y", "dishwasher Z", "vacuum cleaning robot X", "refrigerator",
+		},
+		BaseLoadKW: 0.2, MorningPeak: 0.5, EveningPeak: 0.9, NoiseStd: 0.05,
+		Seed: 2024,
+	}
+	sim, err := household.Simulate(reg, cfg, start, 28, time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated %d days at 1-min resolution: %.1f kWh, %d appliance runs\n",
+		28, sim.Total.Total(), len(sim.Activations))
+	fmt.Printf("ground-truth flexible share: %.1f%%\n\n", sim.FlexibleShare()*100)
+
+	// Frequency-based extraction: Step 1 detects appliances + frequencies,
+	// Step 2 emits one offer per detected flexible usage.
+	ex := &core.FrequencyExtractor{Params: core.DefaultParams(), Registry: reg}
+	result, report, err := ex.ExtractWithReport(sim.Total)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("step 1 — appliance shortlist and usage frequencies:")
+	for _, f := range report.Frequencies {
+		fmt.Printf("  %-28s %.2f runs/day, %.2f kWh/run, usual start ~%02.0f:00\n",
+			f.Appliance, f.RunsPerDay, f.MeanEnergy, f.MeanStartHour)
+	}
+
+	fmt.Printf("\nstep 2 — %d flex-offers extracted; examples:\n", len(result.Offers))
+	for i, f := range result.Offers {
+		if i >= 3 {
+			fmt.Printf("  ... and %d more\n", len(result.Offers)-3)
+			break
+		}
+		fmt.Printf("  %s: %s at %s, %.2f kWh, shiftable by %v\n",
+			f.ID, f.Appliance, f.EarliestStart.Format("Mon 15:04"), f.TotalAvgEnergy(), f.TimeFlexibility())
+	}
+
+	// Score against ground truth — the comparison real data never allows.
+	stats := eval.MatchOffers(result.Offers, sim.Activations, 15*time.Minute)
+	fmt.Printf("\nagainst ground truth: precision %.2f, recall %.2f, F1 %.2f, mean energy error %.0f%%\n",
+		stats.Precision, stats.Recall, stats.F1, stats.MeanEnergyError*100)
+	fmt.Printf("energy accounting: input %.1f = modified %.1f + offers %.1f kWh\n",
+		sim.Total.Total(), result.Modified.Total(), result.Offers.TotalAvgEnergy())
+}

@@ -1,0 +1,122 @@
+// Market: the collection side of MIRABEL. A market server is started
+// in-process; extracted flex-offers are submitted over HTTP, the market
+// accepts them, a scheduler decides starts against wind production, and the
+// assignments are pushed back — the full request/offer/assign protocol the
+// flex-offer lifecycle timestamps exist for.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/appliance"
+	"repro/internal/core"
+	"repro/internal/household"
+	"repro/internal/market"
+	"repro/internal/res"
+	"repro/internal/sched"
+)
+
+func main() {
+	start := time.Date(2012, 6, 4, 0, 0, 0, 0, time.UTC)
+
+	// A controllable clock keeps the 2012 lifecycle deadlines satisfiable.
+	// The mutex covers the handoff between this goroutine (advancing time)
+	// and the HTTP server goroutines (reading it).
+	var mu sync.Mutex
+	now := start
+	setNow := func(t time.Time) {
+		mu.Lock()
+		now = t
+		mu.Unlock()
+	}
+	store := market.NewStore(func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	})
+
+	// Serve the market on an ephemeral local port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: market.NewServer(store)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	client := &market.Client{BaseURL: "http://" + ln.Addr().String()}
+	fmt.Printf("market serving at %s\n\n", client.BaseURL)
+
+	// 1. Extract offers from a simulated household and submit them.
+	reg := appliance.Default()
+	cfg := household.Config{
+		ID: "market-home", Residents: 3,
+		Appliances: []string{"washing machine Y", "dishwasher Z", "television", "refrigerator"},
+		BaseLoadKW: 0.25, MorningPeak: 0.8, EveningPeak: 1.2, NoiseStd: 0.1,
+		Seed: 77,
+	}
+	sim, err := household.Simulate(reg, cfg, start, 3, 15*time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := core.DefaultParams()
+	params.ConsumerID = cfg.ID
+	result, err := (&core.PeakExtractor{Params: params}).Extract(sim.Total)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range result.Offers {
+		// Submission happens half a day before each offer's window opens.
+		setNow(f.CreationTime)
+		if err := client.Submit(f); err != nil {
+			log.Fatalf("submit %s: %v", f.ID, err)
+		}
+	}
+	counts, err := client.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("1. submitted %d offers carrying %.2f kWh of flexibility\n",
+		counts.Offered, counts.TotalFlexibleEnergy)
+
+	// 2. The market accepts everything before the acceptance deadlines.
+	for _, f := range result.Offers {
+		setNow(f.AcceptanceTime.Add(-time.Minute))
+		if err := client.Accept(f.ID); err != nil {
+			log.Fatalf("accept %s: %v", f.ID, err)
+		}
+	}
+	fmt.Println("2. all offers accepted in time")
+
+	// 3. Schedule the accepted offers against wind and assign the results.
+	turbine := res.DefaultTurbine()
+	turbine.RatedPowerKW = 3
+	supply, err := res.Simulate(res.DefaultWindModel(), turbine, start, 3, 15*time.Minute, 77)
+	if err != nil {
+		log.Fatal(err)
+	}
+	accepted := store.AcceptedOffers()
+	schedule, err := (&sched.Scheduler{}).Schedule(accepted, result.Modified, supply)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, asg := range schedule.Assignments {
+		setNow(asg.Offer.AssignmentTime.Add(-time.Minute))
+		if err := client.Assign(asg.Offer.ID, asg.Start, asg.Energies); err != nil {
+			log.Fatalf("assign %s: %v", asg.Offer.ID, err)
+		}
+		fmt.Printf("3. %s assigned: start %s, %.2f kWh\n",
+			asg.Offer.ID, asg.Start.Format("Mon 15:04"), asg.TotalEnergy())
+	}
+
+	counts, err = client.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfinal market state: %d assigned, %d still pending, %d expired\n",
+		counts.Assigned, counts.Offered+counts.Accepted, counts.Expired)
+}

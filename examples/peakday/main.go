@@ -1,0 +1,53 @@
+// Peak day: the paper's Fig. 5 walkthrough on the reconstructed household
+// day — detect peaks against the daily average, filter them by the day's
+// flexible energy, select one by size-weighted probability, and extract the
+// day's flex-offer.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/paperdata"
+)
+
+func main() {
+	day := paperdata.Figure5Day()
+	fmt.Printf("household day: %.2f kWh over %d x 15-min intervals (paper: 39.02 kWh)\n",
+		day.Total(), day.Len())
+	fmt.Printf("daily average per interval: %.3f kWh (the figure's thick line)\n\n", day.Mean())
+
+	// Step 1: detect peaks above the daily average.
+	peaks := core.DetectPeaks(day)
+	fmt.Printf("detected %d peaks:\n", len(peaks))
+	for i, p := range peaks {
+		fmt.Printf("  peak %d: intervals %2d..%2d, size %.2f kWh\n", i+1, p.From, p.To, p.Size)
+	}
+
+	// Step 2: filter by the day's flexible part (5%).
+	flexEnergy := 0.05 * day.Total()
+	candidates := core.FilterPeaks(peaks, flexEnergy)
+	fmt.Printf("\nflexible part of the day: %.3f kWh → %d candidate peaks survive\n",
+		flexEnergy, len(candidates))
+
+	// Step 3: size-proportional selection probabilities.
+	for i, pr := range core.SelectionProbabilities(candidates) {
+		fmt.Printf("  candidate %d (size %.2f): P(select) = %.0f%%\n", i+1, candidates[i].Size, pr*100)
+	}
+
+	// Step 4: full extraction — one offer for the day.
+	params := core.DefaultParams()
+	result, err := (&core.PeakExtractor{Params: params}).Extract(day)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range result.Offers {
+		fmt.Printf("\nextracted %s:\n", f.ID)
+		fmt.Printf("  positioned at %s (on the selected peak)\n", f.EarliestStart.Format("15:04"))
+		fmt.Printf("  %d slices, %.3f kWh average energy, start window %v wide\n",
+			len(f.Profile), f.TotalAvgEnergy(), f.TimeFlexibility())
+	}
+	fmt.Printf("\nmodified series: %.2f kWh (flexible energy moved into the offer)\n",
+		result.Modified.Total())
+}

@@ -1,0 +1,67 @@
+// Quickstart: build a flex-offer by hand, validate and schedule it, then
+// extract flex-offers from a synthetic consumption day with the basic
+// approach — the smallest end-to-end tour of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/flexoffer"
+	"repro/internal/timeseries"
+)
+
+func main() {
+	// --- 1. A flex-offer by hand -----------------------------------------
+	// "Charge my e-bike for one hour, 1.8-2.2 kWh, any time tonight."
+	tonight := time.Date(2012, 6, 4, 21, 0, 0, 0, time.UTC)
+	offer := &flexoffer.FlexOffer{
+		ID:            "ebike-1",
+		ConsumerID:    "quickstart",
+		EarliestStart: tonight,
+		LatestStart:   tonight.Add(8 * time.Hour),
+		Profile:       flexoffer.UniformProfile(4, 15*time.Minute, 0.45, 0.55),
+	}
+	if err := offer.Validate(); err != nil {
+		log.Fatalf("invalid offer: %v", err)
+	}
+	fmt.Println("offer:", offer)
+	fmt.Printf("  time flexibility: %v, energy %.2f..%.2f kWh\n",
+		offer.TimeFlexibility(), offer.TotalMinEnergy(), offer.TotalMaxEnergy())
+
+	// Schedule it at 02:00 with average energies.
+	asg, err := offer.AssignDefault(tonight.Add(5 * time.Hour))
+	if err != nil {
+		log.Fatalf("assign: %v", err)
+	}
+	fmt.Printf("  scheduled at %s for %.2f kWh\n\n", asg.Start.Format("15:04"), asg.TotalEnergy())
+
+	// --- 2. Extract offers from a consumption series ----------------------
+	// A synthetic day: low base with an evening peak.
+	vals := make([]float64, 96)
+	for i := range vals {
+		vals[i] = 0.25
+		if i >= 72 && i < 84 { // 18:00-21:00 peak
+			vals[i] = 0.9
+		}
+	}
+	day, err := timeseries.New(time.Date(2012, 6, 4, 0, 0, 0, 0, time.UTC), 15*time.Minute, vals)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	params := core.DefaultParams() // 5% flexible share, 15-min slices
+	result, err := (&core.BasicExtractor{Params: params}).Extract(day)
+	if err != nil {
+		log.Fatalf("extract: %v", err)
+	}
+	fmt.Printf("basic extraction: %d offers from a %.1f kWh day\n", len(result.Offers), day.Total())
+	for _, f := range result.Offers {
+		fmt.Printf("  %s: start %s..%s, %.3f kWh avg\n",
+			f.ID, f.EarliestStart.Format("15:04"), f.LatestStart.Format("15:04"), f.TotalAvgEnergy())
+	}
+	fmt.Printf("energy accounting: %.3f (input) = %.3f (modified) + %.3f (offers)\n",
+		day.Total(), result.Modified.Total(), result.Offers.TotalAvgEnergy())
+}

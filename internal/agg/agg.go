@@ -1,0 +1,287 @@
+// Package agg aggregates and disaggregates flex-offers, reimplementing the
+// MIRABEL subsystem the paper builds on (reference [4], SSDBM 2012, and the
+// §6 remark that "individual flex-offers have to be aggregated from
+// thousands consumers before the actual scheduling"). Offers with similar
+// earliest start times and time flexibilities are grouped on a grid and
+// summed into one aggregated offer per group; scheduling decisions taken on
+// the aggregate disaggregate losslessly into per-member assignments.
+//
+// The aggregation is conservative: any feasible assignment of the
+// aggregated offer disaggregates into feasible assignments of every member,
+// and the per-slice energies of the members sum exactly to the aggregate's.
+package agg
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/flexoffer"
+)
+
+// Common errors.
+var (
+	ErrParams = errors.New("agg: invalid parameters")
+	ErrOffer  = errors.New("agg: unaggregatable offer")
+)
+
+// Params controls grouping.
+type Params struct {
+	// ESTWindow buckets offers by earliest start: offers whose earliest
+	// starts fall in the same window of this length may aggregate
+	// (default 2 h).
+	ESTWindow time.Duration
+	// MaxTimeFlexGap bounds the spread of time flexibilities within a
+	// group (default 1 h). The aggregate inherits the group's minimum
+	// flexibility, so a tight gap limits flexibility lost to aggregation.
+	MaxTimeFlexGap time.Duration
+	// MaxGroupSize caps members per aggregate; 0 means unlimited.
+	MaxGroupSize int
+}
+
+// DefaultParams returns the grouping defaults.
+func DefaultParams() Params {
+	return Params{ESTWindow: 2 * time.Hour, MaxTimeFlexGap: time.Hour}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.ESTWindow <= 0 {
+		return fmt.Errorf("%w: EST window %v", ErrParams, p.ESTWindow)
+	}
+	if p.MaxTimeFlexGap < 0 {
+		return fmt.Errorf("%w: time flex gap %v", ErrParams, p.MaxTimeFlexGap)
+	}
+	if p.MaxGroupSize < 0 {
+		return fmt.Errorf("%w: group size %d", ErrParams, p.MaxGroupSize)
+	}
+	return nil
+}
+
+// Aggregate is one aggregated offer with its members.
+type Aggregate struct {
+	// Offer is the aggregated flex-offer presented to the scheduler.
+	Offer *flexoffer.FlexOffer
+	// Members are the underlying offers.
+	Members flexoffer.Set
+	// offsets[i] is member i's profile offset from the aggregate start.
+	offsets []time.Duration
+}
+
+// AggregateSet groups and aggregates a set of offers. All offers must share
+// a single slice duration and have earliest starts aligned to it (offers
+// extracted from one series always do); offers violating this are returned
+// as singleton aggregates rather than dropped.
+func AggregateSet(set flexoffer.Set, p Params) ([]*Aggregate, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	if len(set) == 0 {
+		return nil, nil
+	}
+	slice := commonSliceDuration(set)
+
+	// Group key: EST bucket + time-flexibility bucket + slice-alignment
+	// phase. Offers in one group align on the slice grid.
+	type key struct {
+		est   int64
+		tf    int64
+		phase int64
+	}
+	groups := make(map[key]flexoffer.Set)
+	var order []key // deterministic iteration
+	for _, f := range set {
+		k := key{
+			est:   f.EarliestStart.UnixNano() / int64(p.ESTWindow),
+			phase: f.EarliestStart.UnixNano() % int64(slice),
+		}
+		if p.MaxTimeFlexGap > 0 {
+			k.tf = int64(f.TimeFlexibility() / p.MaxTimeFlexGap)
+		} else {
+			k.tf = int64(f.TimeFlexibility())
+		}
+		if uniformSlices(f, slice) != nil || f.TotalConstraint != nil {
+			// Non-conforming profiles are isolated; so are offers with a
+			// total-energy constraint, because the per-slice disaggregation
+			// rule cannot guarantee member total constraints.
+			k.phase = -1 - int64(len(order))
+		}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], f)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.est != b.est {
+			return a.est < b.est
+		}
+		if a.tf != b.tf {
+			return a.tf < b.tf
+		}
+		return a.phase < b.phase
+	})
+
+	var out []*Aggregate
+	seq := 0
+	for _, k := range order {
+		members := groups[k]
+		members.SortByEarliestStart()
+		for from := 0; from < len(members); {
+			to := len(members)
+			if p.MaxGroupSize > 0 && to-from > p.MaxGroupSize {
+				to = from + p.MaxGroupSize
+			}
+			seq++
+			a, err := aggregate(members[from:to], slice, fmt.Sprintf("agg-%04d", seq))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, a)
+			from = to
+		}
+	}
+	return out, nil
+}
+
+// commonSliceDuration picks the slice duration shared by the set (the first
+// offer's; others are validated against it during aggregation).
+func commonSliceDuration(set flexoffer.Set) time.Duration {
+	return set[0].Profile[0].Duration
+}
+
+// uniformSlices reports whether every slice of f has the given duration.
+func uniformSlices(f *flexoffer.FlexOffer, d time.Duration) error {
+	for i, s := range f.Profile {
+		if s.Duration != d {
+			return fmt.Errorf("%w: offer %s slice %d duration %v != %v", ErrOffer, f.ID, i, s.Duration, d)
+		}
+	}
+	return nil
+}
+
+// aggregate builds the aggregated offer for one group.
+func aggregate(members flexoffer.Set, slice time.Duration, id string) (*Aggregate, error) {
+	if len(members) == 1 {
+		// Singleton: the aggregate is the member itself (cloned, renamed).
+		c := members[0].Clone()
+		c.ID = id
+		return &Aggregate{Offer: c, Members: members, offsets: []time.Duration{0}}, nil
+	}
+	// Anchor at the earliest member start; every other member is offset by
+	// a whole number of slices (guaranteed by the grouping phase key).
+	anchor := members[0].EarliestStart
+	minTF := members[0].TimeFlexibility()
+	offsets := make([]time.Duration, len(members))
+	maxSlices := 0
+	for i, f := range members {
+		if err := uniformSlices(f, slice); err != nil {
+			return nil, err
+		}
+		off := f.EarliestStart.Sub(anchor)
+		if off%slice != 0 {
+			return nil, fmt.Errorf("%w: offer %s start not slice-aligned within group", ErrOffer, f.ID)
+		}
+		offsets[i] = off
+		if end := int(off/slice) + len(f.Profile); end > maxSlices {
+			maxSlices = end
+		}
+		if tf := f.TimeFlexibility(); tf < minTF {
+			minTF = tf
+		}
+	}
+
+	profile := make([]flexoffer.Slice, maxSlices)
+	for k := range profile {
+		profile[k].Duration = slice
+	}
+	for i, f := range members {
+		base := int(offsets[i] / slice)
+		for j, s := range f.Profile {
+			profile[base+j].MinEnergy += s.MinEnergy
+			profile[base+j].MaxEnergy += s.MaxEnergy
+		}
+	}
+
+	offer := &flexoffer.FlexOffer{
+		ID:            id,
+		EarliestStart: anchor,
+		LatestStart:   anchor.Add(minTF),
+		Profile:       profile,
+	}
+	if err := offer.Validate(); err != nil {
+		return nil, err
+	}
+	return &Aggregate{Offer: offer, Members: members, offsets: offsets}, nil
+}
+
+// Disaggregate distributes an assignment of the aggregated offer onto the
+// members: member i starts at the aggregate start plus its offset, and each
+// aggregate slice's energy is split so that every member stays within its
+// bounds (members get their minimum plus a share of the slack proportional
+// to their energy flexibility). The members' energies sum exactly to the
+// aggregate's per slice.
+func (a *Aggregate) Disaggregate(asg *flexoffer.Assignment) ([]*flexoffer.Assignment, error) {
+	if asg == nil || asg.Offer != a.Offer {
+		return nil, fmt.Errorf("%w: assignment does not belong to this aggregate", ErrOffer)
+	}
+	if err := asg.Validate(); err != nil {
+		return nil, err
+	}
+	slice := a.Offer.Profile[0].Duration
+	shift := asg.Start.Sub(a.Offer.EarliestStart)
+
+	// Per aggregate slice: the summed min and flexibility of the members
+	// covering it.
+	nAgg := len(a.Offer.Profile)
+	minSum := make([]float64, nAgg)
+	flexSum := make([]float64, nAgg)
+	for i, f := range a.Members {
+		base := int(a.offsets[i] / slice)
+		for j, s := range f.Profile {
+			minSum[base+j] += s.MinEnergy
+			flexSum[base+j] += s.EnergyFlexibility()
+		}
+	}
+
+	out := make([]*flexoffer.Assignment, len(a.Members))
+	for i, f := range a.Members {
+		base := int(a.offsets[i] / slice)
+		energies := make([]float64, len(f.Profile))
+		for j, s := range f.Profile {
+			k := base + j
+			slack := asg.Energies[k] - minSum[k]
+			if slack < 0 {
+				slack = 0
+			}
+			e := s.MinEnergy
+			if flexSum[k] > 0 {
+				e += slack * s.EnergyFlexibility() / flexSum[k]
+			}
+			energies[j] = e
+		}
+		// The aggregate starts at anchor+shift, so member i's profile
+		// begins at anchor+shift+offset_i = its own earliest start + shift,
+		// which is inside its window because shift <= the group's minimum
+		// time flexibility.
+		memberAsg, err := f.Assign(f.EarliestStart.Add(shift), energies)
+		if err != nil {
+			return nil, fmt.Errorf("disaggregate %s: %w", f.ID, err)
+		}
+		out[i] = memberAsg
+	}
+	return out, nil
+}
+
+// TotalMembers counts members across aggregates.
+func TotalMembers(aggs []*Aggregate) int {
+	var n int
+	for _, a := range aggs {
+		n += len(a.Members)
+	}
+	return n
+}

@@ -1,0 +1,318 @@
+package agg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/flexoffer"
+)
+
+var t0 = time.Date(2012, 6, 4, 0, 0, 0, 0, time.UTC)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+// offer builds a test offer with n 15-minute slices of [minE, maxE] each.
+func offer(id string, est time.Time, tf time.Duration, n int, minE, maxE float64) *flexoffer.FlexOffer {
+	return &flexoffer.FlexOffer{
+		ID:            id,
+		EarliestStart: est,
+		LatestStart:   est.Add(tf),
+		Profile:       flexoffer.UniformProfile(n, 15*time.Minute, minE, maxE),
+	}
+}
+
+func TestAggregateSimilarOffers(t *testing.T) {
+	set := flexoffer.Set{
+		offer("a", t0, 2*time.Hour, 4, 1, 2),
+		offer("b", t0.Add(15*time.Minute), 2*time.Hour+45*time.Minute, 4, 2, 3),
+		offer("c", t0.Add(30*time.Minute), 2*time.Hour+30*time.Minute, 2, 1, 1),
+	}
+	aggs, err := AggregateSet(set, DefaultParams())
+	if err != nil {
+		t.Fatalf("AggregateSet: %v", err)
+	}
+	if len(aggs) != 1 {
+		t.Fatalf("aggregates = %d, want 1", len(aggs))
+	}
+	a := aggs[0]
+	if len(a.Members) != 3 {
+		t.Fatalf("members = %d", len(a.Members))
+	}
+	// Aggregate energy bounds are the sums of the members'.
+	var wantMin, wantMax float64
+	for _, f := range set {
+		wantMin += f.TotalMinEnergy()
+		wantMax += f.TotalMaxEnergy()
+	}
+	if !almostEqual(a.Offer.TotalMinEnergy(), wantMin, 1e-9) {
+		t.Errorf("aggregate min = %v, want %v", a.Offer.TotalMinEnergy(), wantMin)
+	}
+	if !almostEqual(a.Offer.TotalMaxEnergy(), wantMax, 1e-9) {
+		t.Errorf("aggregate max = %v, want %v", a.Offer.TotalMaxEnergy(), wantMax)
+	}
+	// Conservative window: anchor at the earliest member, flexibility is
+	// the group's minimum (2h).
+	if !a.Offer.EarliestStart.Equal(t0) {
+		t.Errorf("aggregate EST = %v", a.Offer.EarliestStart)
+	}
+	if a.Offer.TimeFlexibility() != 2*time.Hour {
+		t.Errorf("aggregate TF = %v, want 2h", a.Offer.TimeFlexibility())
+	}
+	if err := a.Offer.Validate(); err != nil {
+		t.Errorf("aggregate invalid: %v", err)
+	}
+}
+
+func TestAggregateSeparatesDistantOffers(t *testing.T) {
+	set := flexoffer.Set{
+		offer("a", t0, 2*time.Hour, 4, 1, 2),
+		offer("b", t0.Add(6*time.Hour), 2*time.Hour, 4, 1, 2), // different EST bucket
+	}
+	aggs, err := AggregateSet(set, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aggs) != 2 {
+		t.Errorf("aggregates = %d, want 2", len(aggs))
+	}
+}
+
+func TestAggregateSeparatesDifferentFlexibilities(t *testing.T) {
+	set := flexoffer.Set{
+		offer("a", t0, 30*time.Minute, 4, 1, 2),
+		offer("b", t0, 8*time.Hour, 4, 1, 2), // very different TF bucket
+	}
+	aggs, err := AggregateSet(set, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aggs) != 2 {
+		t.Errorf("aggregates = %d, want 2", len(aggs))
+	}
+}
+
+func TestAggregateGroupSizeCap(t *testing.T) {
+	var set flexoffer.Set
+	for i := 0; i < 10; i++ {
+		set = append(set, offer(string(rune('a'+i)), t0, 2*time.Hour, 4, 1, 2))
+	}
+	p := DefaultParams()
+	p.MaxGroupSize = 3
+	aggs, err := AggregateSet(set, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aggs) != 4 { // 3+3+3+1
+		t.Errorf("aggregates = %d, want 4", len(aggs))
+	}
+	for _, a := range aggs {
+		if len(a.Members) > 3 {
+			t.Errorf("group of %d exceeds cap", len(a.Members))
+		}
+	}
+	if TotalMembers(aggs) != 10 {
+		t.Errorf("TotalMembers = %d", TotalMembers(aggs))
+	}
+}
+
+func TestAggregateSingletonClonesOffer(t *testing.T) {
+	orig := offer("solo", t0, time.Hour, 4, 1, 2)
+	aggs, err := AggregateSet(flexoffer.Set{orig}, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aggs) != 1 || len(aggs[0].Members) != 1 {
+		t.Fatalf("aggs = %+v", aggs)
+	}
+	aggs[0].Offer.Profile[0].MinEnergy = 999
+	if orig.Profile[0].MinEnergy == 999 {
+		t.Error("singleton aggregate shares profile with member")
+	}
+}
+
+func TestAggregateMisalignedOfferIsolated(t *testing.T) {
+	set := flexoffer.Set{
+		offer("a", t0, 2*time.Hour, 4, 1, 2),
+		offer("b", t0.Add(7*time.Minute), 2*time.Hour, 4, 1, 2), // off-grid EST
+	}
+	aggs, err := AggregateSet(set, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aggs) != 2 {
+		t.Errorf("aggregates = %d, want 2 (misaligned offer isolated)", len(aggs))
+	}
+}
+
+func TestAggregateEmptyAndInvalid(t *testing.T) {
+	aggs, err := AggregateSet(nil, DefaultParams())
+	if err != nil || aggs != nil {
+		t.Errorf("empty set: %v, %v", aggs, err)
+	}
+	bad := flexoffer.Set{{ID: "bad"}}
+	if _, err := AggregateSet(bad, DefaultParams()); err == nil {
+		t.Error("invalid offer accepted")
+	}
+	if _, err := AggregateSet(nil, Params{ESTWindow: -time.Hour}); !errors.Is(err, ErrParams) {
+		t.Errorf("bad params: %v", err)
+	}
+}
+
+func TestDisaggregateConservesEnergy(t *testing.T) {
+	set := flexoffer.Set{
+		offer("a", t0, 2*time.Hour, 4, 1, 2),
+		offer("b", t0.Add(15*time.Minute), 2*time.Hour+30*time.Minute, 4, 2, 3),
+	}
+	aggs, err := AggregateSet(set, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := aggs[0]
+	asg, err := a.Offer.AssignDefault(a.Offer.EarliestStart.Add(30 * time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	members, err := a.Disaggregate(asg)
+	if err != nil {
+		t.Fatalf("Disaggregate: %v", err)
+	}
+	if len(members) != 2 {
+		t.Fatalf("member assignments = %d", len(members))
+	}
+	// Every member assignment is feasible.
+	for _, m := range members {
+		if err := m.Validate(); err != nil {
+			t.Errorf("member assignment invalid: %v", err)
+		}
+	}
+	// Energy conservation: total member energy = aggregate energy.
+	var total float64
+	for _, m := range members {
+		total += m.TotalEnergy()
+	}
+	if !almostEqual(total, asg.TotalEnergy(), 1e-9) {
+		t.Errorf("member energy %v != aggregate %v", total, asg.TotalEnergy())
+	}
+	// Time consistency: each member starts at its own EST + shift.
+	for i, m := range members {
+		want := a.Members[i].EarliestStart.Add(30 * time.Minute)
+		if !m.Start.Equal(want) {
+			t.Errorf("member %d start = %v, want %v", i, m.Start, want)
+		}
+	}
+}
+
+func TestDisaggregateRejectsForeignAssignment(t *testing.T) {
+	aggs, err := AggregateSet(flexoffer.Set{offer("a", t0, time.Hour, 4, 1, 2)}, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := offer("x", t0, time.Hour, 4, 1, 2)
+	asg, _ := other.AssignDefault(t0)
+	if _, err := aggs[0].Disaggregate(asg); !errors.Is(err, ErrOffer) {
+		t.Errorf("foreign assignment: %v", err)
+	}
+	if _, err := aggs[0].Disaggregate(nil); !errors.Is(err, ErrOffer) {
+		t.Errorf("nil assignment: %v", err)
+	}
+}
+
+// Property: for random groups and random feasible aggregate assignments,
+// disaggregation always yields feasible member assignments whose per-slice
+// energies sum to the aggregate's.
+func TestDisaggregateProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nMembers := rng.Intn(5) + 2
+		var set flexoffer.Set
+		for i := 0; i < nMembers; i++ {
+			est := t0.Add(time.Duration(rng.Intn(8)) * 15 * time.Minute)
+			tf := time.Duration(rng.Intn(4)+4) * time.Hour // 4-7h, same TF bucket sizes
+			n := rng.Intn(6) + 1
+			minE := rng.Float64() * 2
+			maxE := minE + rng.Float64()*2
+			set = append(set, offer(string(rune('a'+i)), est, tf, n, minE, maxE))
+		}
+		p := Params{ESTWindow: 4 * time.Hour, MaxTimeFlexGap: 8 * time.Hour}
+		aggs, err := AggregateSet(set, p)
+		if err != nil {
+			return false
+		}
+		for _, a := range aggs {
+			// Random feasible assignment of the aggregate.
+			shift := time.Duration(rng.Int63n(int64(a.Offer.TimeFlexibility()) + 1))
+			energies := make([]float64, len(a.Offer.Profile))
+			for i, s := range a.Offer.Profile {
+				energies[i] = s.MinEnergy + rng.Float64()*(s.MaxEnergy-s.MinEnergy)
+			}
+			asg, err := a.Offer.Assign(a.Offer.EarliestStart.Add(shift), energies)
+			if err != nil {
+				return false
+			}
+			members, err := a.Disaggregate(asg)
+			if err != nil {
+				return false
+			}
+			var total float64
+			for _, m := range members {
+				if m.Validate() != nil {
+					return false
+				}
+				total += m.TotalEnergy()
+			}
+			if !almostEqual(total, asg.TotalEnergy(), 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Errorf("default params: %v", err)
+	}
+	bad := []Params{
+		{ESTWindow: 0},
+		{ESTWindow: time.Hour, MaxTimeFlexGap: -1},
+		{ESTWindow: time.Hour, MaxGroupSize: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); !errors.Is(err, ErrParams) {
+			t.Errorf("bad params %d: %v", i, err)
+		}
+	}
+}
+
+func TestAggregateIsolatesTotalConstraintOffers(t *testing.T) {
+	a := offer("a", t0, 2*time.Hour, 4, 1, 2)
+	b := offer("b", t0, 2*time.Hour, 4, 1, 2)
+	b.TotalConstraint = &flexoffer.EnergyConstraint{Min: 5, Max: 7}
+	aggs, err := AggregateSet(flexoffer.Set{a, b}, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aggs) != 2 {
+		t.Fatalf("aggregates = %d, want 2 (constrained offer isolated)", len(aggs))
+	}
+	// The constrained offer's singleton aggregate keeps the constraint.
+	var found bool
+	for _, ag := range aggs {
+		if len(ag.Members) == 1 && ag.Members[0].ID == "b" {
+			found = true
+			if ag.Offer.TotalConstraint == nil {
+				t.Error("singleton aggregate dropped the constraint")
+			}
+		}
+	}
+	if !found {
+		t.Error("constrained offer not isolated")
+	}
+}

@@ -1,0 +1,46 @@
+package agg_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/flexoffer"
+)
+
+// ExampleAggregateSet aggregates two similar offers and disaggregates a
+// schedule of the aggregate back onto them, conserving energy exactly.
+func ExampleAggregateSet() {
+	t0 := time.Date(2012, 6, 4, 18, 0, 0, 0, time.UTC)
+	offers := flexoffer.Set{
+		&flexoffer.FlexOffer{
+			ID: "house-1", EarliestStart: t0, LatestStart: t0.Add(2 * time.Hour),
+			Profile: flexoffer.UniformProfile(4, 15*time.Minute, 0.2, 0.4),
+		},
+		&flexoffer.FlexOffer{
+			ID: "house-2", EarliestStart: t0.Add(15 * time.Minute), LatestStart: t0.Add(2*time.Hour + 15*time.Minute),
+			Profile: flexoffer.UniformProfile(4, 15*time.Minute, 0.3, 0.6),
+		},
+	}
+	aggs, err := agg.AggregateSet(offers, agg.DefaultParams())
+	if err != nil {
+		fmt.Println("aggregate:", err)
+		return
+	}
+	a := aggs[0]
+	fmt.Printf("%d aggregate from %d members, energy %.1f..%.1f kWh\n",
+		len(aggs), len(a.Members), a.Offer.TotalMinEnergy(), a.Offer.TotalMaxEnergy())
+
+	// Schedule the aggregate one hour into its window and split it back.
+	asg, _ := a.Offer.AssignDefault(a.Offer.EarliestStart.Add(time.Hour))
+	members, _ := a.Disaggregate(asg)
+	var sum float64
+	for _, m := range members {
+		sum += m.TotalEnergy()
+	}
+	fmt.Printf("aggregate schedules %.1f kWh; members sum to %.1f kWh\n",
+		asg.TotalEnergy(), sum)
+	// Output:
+	// 1 aggregate from 2 members, energy 2.0..4.0 kWh
+	// aggregate schedules 3.0 kWh; members sum to 3.0 kWh
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/household"
+	"repro/internal/timeseries"
+)
+
+// fineSim simulates a household at 1-minute resolution, as the
+// appliance-level approaches require.
+func fineSim(t *testing.T, days int, seed int64) *household.Result {
+	t.Helper()
+	cfg := household.Config{
+		ID: "app-test", Residents: 2,
+		Appliances: []string{"washing machine Y", "dishwasher Z", "vacuum cleaning robot X", "refrigerator"},
+		BaseLoadKW: 0.2, MorningPeak: 0.5, EveningPeak: 0.8, NoiseStd: 0.05,
+		Seed: seed,
+	}
+	sim, err := household.Simulate(testReg, cfg, paperTime(), days, time.Minute)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	return sim
+}
+
+func TestFrequencyExtractorEndToEnd(t *testing.T) {
+	sim := fineSim(t, 14, 31)
+	e := &FrequencyExtractor{Params: DefaultParams(), Registry: testReg}
+	res, report, err := e.ExtractWithReport(sim.Total)
+	if err != nil {
+		t.Fatalf("ExtractWithReport: %v", err)
+	}
+	if len(res.Offers) == 0 {
+		t.Fatal("no offers extracted")
+	}
+	if err := res.Offers.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Shortlist must contain the frequent flexible appliances and no
+	// inflexible ones.
+	short := make(map[string]bool)
+	for _, name := range report.Shortlist {
+		short[name] = true
+		a, ok := testReg.Get(name)
+		if !ok || !a.Flexible {
+			t.Errorf("shortlist contains inflexible/unknown %q", name)
+		}
+	}
+	if !short["washing machine Y"] && !short["dishwasher Z"] && !short["vacuum cleaning robot X"] {
+		t.Errorf("shortlist misses all simulated flexible appliances: %v", report.Shortlist)
+	}
+	// Every offer names a shortlisted appliance and carries that
+	// appliance's time flexibility (e.g. the robot's 22 h).
+	for _, f := range res.Offers {
+		if !short[f.Appliance] {
+			t.Errorf("offer for non-shortlisted appliance %q", f.Appliance)
+		}
+		a, _ := testReg.Get(f.Appliance)
+		if f.TimeFlexibility() != a.TimeFlexibility {
+			t.Errorf("offer %s time flexibility %v, want appliance's %v",
+				f.ID, f.TimeFlexibility(), a.TimeFlexibility)
+		}
+	}
+	// Frequencies reported only for shortlisted appliances.
+	if len(report.Frequencies) != len(report.Shortlist) {
+		t.Errorf("frequencies %d != shortlist %d", len(report.Frequencies), len(report.Shortlist))
+	}
+}
+
+func TestFrequencyExtractorEnergyAccounting(t *testing.T) {
+	sim := fineSim(t, 14, 32)
+	e := &FrequencyExtractor{Params: DefaultParams(), Registry: testReg}
+	res, err := e.Extract(sim.Total)
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	got := res.Modified.Total() + res.Offers.TotalAvgEnergy()
+	if !almostEqual(got, sim.Total.Total(), 1e-6) {
+		t.Errorf("accounting: modified %v + offers %v != input %v",
+			res.Modified.Total(), res.Offers.TotalAvgEnergy(), sim.Total.Total())
+	}
+	if res.Modified.Min() < -1e-9 {
+		t.Errorf("modified went negative: %v", res.Modified.Min())
+	}
+}
+
+// TestFrequencyExtractorFrequenciesPlausible: the mined frequency of the
+// daily robot should be near 1 run/day.
+func TestFrequencyExtractorFrequenciesPlausible(t *testing.T) {
+	sim := fineSim(t, 28, 33)
+	e := &FrequencyExtractor{Params: DefaultParams(), Registry: testReg}
+	_, report, err := e.ExtractWithReport(sim.Total)
+	if err != nil {
+		t.Fatalf("ExtractWithReport: %v", err)
+	}
+	for _, f := range report.Frequencies {
+		if f.Appliance == "vacuum cleaning robot X" {
+			if f.RunsPerDay < 0.5 || f.RunsPerDay > 1.3 {
+				t.Errorf("robot frequency = %v runs/day, want ~1", f.RunsPerDay)
+			}
+			return
+		}
+	}
+	t.Error("robot not in frequency report")
+}
+
+func TestFrequencyExtractorErrors(t *testing.T) {
+	e := &FrequencyExtractor{Params: DefaultParams()}
+	if _, err := e.Extract(flatDay(1, 0.3)); !errors.Is(err, ErrParams) {
+		t.Errorf("nil registry: %v", err)
+	}
+	e2 := &FrequencyExtractor{Params: DefaultParams(), Registry: testReg}
+	empty := timeseries.MustNew(paperTime(), time.Minute, nil)
+	if _, err := e2.Extract(empty); !errors.Is(err, ErrInput) {
+		t.Errorf("empty input: %v", err)
+	}
+	// Resolution coarser than slice duration is rejected.
+	hourly := timeseries.MustNew(paperTime(), time.Hour, make([]float64, 48))
+	if _, err := e2.Extract(hourly); !errors.Is(err, ErrInput) {
+		t.Errorf("coarse input: %v", err)
+	}
+	bad := &FrequencyExtractor{Params: Params{}, Registry: testReg}
+	if _, err := bad.Extract(flatDay(1, 0.3)); !errors.Is(err, ErrParams) {
+		t.Errorf("zero params: %v", err)
+	}
+}
+
+func TestScheduleExtractorEndToEnd(t *testing.T) {
+	sim := fineSim(t, 28, 34)
+	e := &ScheduleExtractor{Params: DefaultParams(), Registry: testReg, MinSupport: 0.2}
+	res, report, err := e.ExtractWithReport(sim.Total)
+	if err != nil {
+		t.Fatalf("ExtractWithReport: %v", err)
+	}
+	if len(report.Schedule) == 0 {
+		t.Fatal("no schedule mined")
+	}
+	if err := res.Offers.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every offer conforms to a mined schedule cell.
+	cells := make(map[string]bool)
+	for _, s := range report.Schedule {
+		cells[scheduleKey(s.Appliance, s.DayType, s.Hour)] = true
+	}
+	for _, f := range res.Offers {
+		key := scheduleKey(f.Appliance, timeseries.DayTypeOf(f.EarliestStart), f.EarliestStart.UTC().Hour())
+		if !cells[key] {
+			t.Errorf("offer %s (%s at %v) does not match any schedule cell", f.ID, f.Appliance, f.EarliestStart)
+		}
+	}
+	// Accounting holds here too.
+	got := res.Modified.Total() + res.Offers.TotalAvgEnergy()
+	if !almostEqual(got, sim.Total.Total(), 1e-6) {
+		t.Error("schedule extractor accounting broken")
+	}
+}
+
+// TestScheduleSubsetOfFrequency: schedule-based extraction only emits
+// habitual usages, so it extracts at most as many offers as the
+// frequency-based one on the same input.
+func TestScheduleSubsetOfFrequency(t *testing.T) {
+	sim := fineSim(t, 28, 35)
+	fe := &FrequencyExtractor{Params: DefaultParams(), Registry: testReg}
+	se := &ScheduleExtractor{Params: DefaultParams(), Registry: testReg, MinSupport: 0.2}
+	fr, err := fe.Extract(sim.Total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := se.Extract(sim.Total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Offers) > len(fr.Offers) {
+		t.Errorf("schedule offers %d > frequency offers %d", len(sr.Offers), len(fr.Offers))
+	}
+}
+
+func TestScheduleExtractorHighSupportExtractsNothing(t *testing.T) {
+	sim := fineSim(t, 14, 36)
+	e := &ScheduleExtractor{Params: DefaultParams(), Registry: testReg, MinSupport: 0.99}
+	res, report, err := e.ExtractWithReport(sim.Total)
+	if err != nil {
+		t.Fatalf("ExtractWithReport: %v", err)
+	}
+	// Random start hours almost never hit 99% support for a single cell.
+	if len(report.Schedule) > 2 {
+		t.Errorf("schedule at 0.99 support = %d cells", len(report.Schedule))
+	}
+	if len(res.Offers) > len(report.Detections) {
+		t.Error("more offers than detections")
+	}
+}
+
+func TestApplianceExtractorNames(t *testing.T) {
+	if (&FrequencyExtractor{}).Name() != "frequency" {
+		t.Error("frequency name mismatch")
+	}
+	if (&ScheduleExtractor{}).Name() != "schedule" {
+		t.Error("schedule name mismatch")
+	}
+}
+
+// TestTransferredShortlist exercises the §4.1 reuse remark: a shortlist
+// derived from one household drives the extraction for a similar one.
+func TestTransferredShortlist(t *testing.T) {
+	donor := fineSim(t, 14, 41)
+	fe := &FrequencyExtractor{Params: DefaultParams(), Registry: testReg}
+	_, donorReport, err := fe.ExtractWithReport(donor.Total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(donorReport.Shortlist) == 0 {
+		t.Fatal("donor shortlist empty")
+	}
+
+	receiver := fineSim(t, 14, 42)
+	reuse := &FrequencyExtractor{
+		Params: DefaultParams(), Registry: testReg,
+		TransferredShortlist: append(donorReport.Shortlist, "no such appliance", "television"),
+	}
+	res, report, err := reuse.ExtractWithReport(receiver.Total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unknown and inflexible names dropped.
+	for _, name := range report.Shortlist {
+		a, ok := testReg.Get(name)
+		if !ok || !a.Flexible {
+			t.Errorf("transferred shortlist kept %q", name)
+		}
+	}
+	if len(res.Offers) == 0 {
+		t.Error("no offers via transferred shortlist")
+	}
+	for _, f := range res.Offers {
+		found := false
+		for _, name := range report.Shortlist {
+			if f.Appliance == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("offer for %q outside transferred shortlist", f.Appliance)
+		}
+	}
+	// Accounting still exact.
+	got := res.Modified.Total() + res.Offers.TotalAvgEnergy()
+	if !almostEqual(got, receiver.Total.Total(), 1e-6) {
+		t.Error("accounting broken with transferred shortlist")
+	}
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"repro/internal/flexoffer"
+	"repro/internal/timeseries"
+)
+
+// Peak is one candidate consumption peak found by the peak-based approach.
+type Peak struct {
+	// From and To are interval indexes [From, To) within the day series.
+	From, To int
+	// Size is the total energy of the peak's intervals, in kWh (the
+	// "peak size" annotation of Fig. 5).
+	Size float64
+}
+
+// PeakExtractor implements the peak-based approach (§3.2).
+//
+// Context assumptions: during consumption peaks more appliances contribute,
+// so there is more room for flexibility; and each consumer exhibits one
+// flexible appliance usage per day, so exactly one flex-offer per consumer
+// per day is extracted, positioned at a peak chosen with probability
+// proportional to its size.
+type PeakExtractor struct {
+	Params Params
+	// ThresholdQuantile overrides the peak threshold: 0 (default) uses
+	// the daily per-interval mean, as in the paper's Fig. 5; a value in
+	// (0, 1) uses that quantile of the day's values instead. The
+	// threshold ablation (experiment E14) compares the two definitions.
+	ThresholdQuantile float64
+}
+
+// Name implements Extractor.
+func (e *PeakExtractor) Name() string { return "peak" }
+
+// DetectPeaks finds the consumption peaks of a single day: maximal runs of
+// consecutive intervals whose energy exceeds the day's per-interval mean
+// (the "thick horizontal line" of Fig. 5).
+func DetectPeaks(day *timeseries.Series) []Peak {
+	return DetectPeaksAbove(day, day.Mean())
+}
+
+// DetectPeaksAbove is DetectPeaks with an explicit threshold.
+func DetectPeaksAbove(day *timeseries.Series, threshold float64) []Peak {
+	var peaks []Peak
+	inPeak := false
+	var cur Peak
+	for i := 0; i < day.Len(); i++ {
+		v := day.Value(i)
+		if v > threshold {
+			if !inPeak {
+				inPeak = true
+				cur = Peak{From: i}
+			}
+			cur.Size += v
+		} else if inPeak {
+			cur.To = i
+			peaks = append(peaks, cur)
+			inPeak = false
+		}
+	}
+	if inPeak {
+		cur.To = day.Len()
+		peaks = append(peaks, cur)
+	}
+	return peaks
+}
+
+// FilterPeaks discards peaks whose size is below the day's flexible energy
+// amount (the Fig. 5 filtering step: peaks smaller than the flexible part
+// of the day cannot host the day's flex-offer).
+func FilterPeaks(peaks []Peak, flexEnergy float64) []Peak {
+	var out []Peak
+	for _, pk := range peaks {
+		if pk.Size >= flexEnergy {
+			out = append(out, pk)
+		}
+	}
+	return out
+}
+
+// SelectionProbabilities reports each candidate peak's probability of being
+// selected, proportional to its size (Fig. 5: peak 6 — 29 %, peak 7 —
+// 71 %). An empty or zero-size candidate list yields nil.
+func SelectionProbabilities(peaks []Peak) []float64 {
+	var total float64
+	for _, pk := range peaks {
+		total += pk.Size
+	}
+	if total <= 0 || len(peaks) == 0 {
+		return nil
+	}
+	out := make([]float64, len(peaks))
+	for i, pk := range peaks {
+		out[i] = pk.Size / total
+	}
+	return out
+}
+
+// Extract implements Extractor: one offer per calendar day, positioned on a
+// size-weighted random peak.
+func (e *PeakExtractor) Extract(input *timeseries.Series) (*Result, error) {
+	p := e.Params
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkInput(input, p); err != nil {
+		return nil, err
+	}
+	modified := input.Clone()
+	b := newOfferBuilder(e.Name(), p)
+	var offers flexoffer.Set
+
+	for _, day := range input.Days() {
+		dayOffset, ok := input.IndexOf(day.Start())
+		if !ok {
+			continue
+		}
+		flexEnergy := p.FlexPercentage * day.Total()
+		if flexEnergy <= 0 {
+			continue
+		}
+		threshold := day.Mean()
+		if e.ThresholdQuantile > 0 && e.ThresholdQuantile < 1 {
+			threshold = day.Quantile(e.ThresholdQuantile)
+		}
+		candidates := FilterPeaks(DetectPeaksAbove(day, threshold), flexEnergy)
+		probs := SelectionProbabilities(candidates)
+		if probs == nil {
+			continue // no peak can host the day's flexibility
+		}
+		// Size-weighted random selection.
+		x := b.rng.Float64()
+		selected := len(candidates) - 1
+		for i, pr := range probs {
+			x -= pr
+			if x < 0 {
+				selected = i
+				break
+			}
+		}
+		pk := candidates[selected]
+
+		// Offer profile covers the peak, truncated to the configured
+		// profile length; energies follow the peak's own shape.
+		n := b.sliceCount()
+		if n > pk.To-pk.From {
+			n = pk.To - pk.From
+		}
+		start := dayOffset + pk.From
+		shape := windowEnergies(input, start, start+n)
+		var shapeSum float64
+		for _, v := range shape {
+			shapeSum += v
+		}
+		energies := make([]float64, n)
+		for i := range energies {
+			if shapeSum > 0 {
+				energies[i] = flexEnergy * shape[i] / shapeSum
+			} else {
+				energies[i] = flexEnergy / float64(n)
+			}
+		}
+		offer, err := b.build(input.TimeAt(start), energies, "")
+		if err != nil {
+			return nil, err
+		}
+		offers = append(offers, offer)
+		// Remove the flexible energy from the peak itself.
+		subtractProportional(modified, dayOffset+pk.From, dayOffset+pk.To, flexEnergy)
+	}
+	return &Result{Offers: offers, Modified: modified}, nil
+}
+
+// ensure interface conformance at compile time.
+var (
+	_ Extractor = (*BasicExtractor)(nil)
+	_ Extractor = (*PeakExtractor)(nil)
+)

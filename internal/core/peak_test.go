@@ -1,0 +1,255 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/paperdata"
+	"repro/internal/timeseries"
+)
+
+// TestFigure5Walkthrough reproduces the paper's Fig. 5 example end to end:
+// eight peaks detected with the printed sizes, six filtered away at a 5 %
+// flexible share (threshold 39.02 * 0.05 = 1.951 kWh), and the two
+// survivors weighted 29 % / 71 %.
+func TestFigure5Walkthrough(t *testing.T) {
+	day := paperdata.Figure5Day()
+	if !almostEqual(day.Total(), 39.02, 1e-9) {
+		t.Fatalf("day total = %v, want 39.02", day.Total())
+	}
+
+	peaks := DetectPeaks(day)
+	want := paperdata.Figure5Peaks()
+	if len(peaks) != len(want) {
+		t.Fatalf("peaks = %d, want %d: %+v", len(peaks), len(want), peaks)
+	}
+	for i, pk := range peaks {
+		if pk.From != want[i].StartInterval || pk.To-pk.From != want[i].Length {
+			t.Errorf("peak %d span [%d, %d), want start %d len %d",
+				i+1, pk.From, pk.To, want[i].StartInterval, want[i].Length)
+		}
+		if !almostEqual(pk.Size, want[i].Size, 1e-9) {
+			t.Errorf("peak %d size = %v, want %v", i+1, pk.Size, want[i].Size)
+		}
+	}
+
+	flexEnergy := 0.05 * day.Total()
+	if !almostEqual(flexEnergy, 1.951, 1e-9) {
+		t.Fatalf("flexible part = %v, want 1.951", flexEnergy)
+	}
+	candidates := FilterPeaks(peaks, flexEnergy)
+	if len(candidates) != 2 {
+		t.Fatalf("candidates = %d, want 2 (peaks 6 and 7): %+v", len(candidates), candidates)
+	}
+	if !almostEqual(candidates[0].Size, 2.22, 1e-9) || !almostEqual(candidates[1].Size, 5.47, 1e-9) {
+		t.Fatalf("candidate sizes = %v, %v", candidates[0].Size, candidates[1].Size)
+	}
+
+	probs := SelectionProbabilities(candidates)
+	if math.Abs(probs[0]-0.29) > 0.005 {
+		t.Errorf("peak 6 probability = %.4f, want ~0.29", probs[0])
+	}
+	if math.Abs(probs[1]-0.71) > 0.005 {
+		t.Errorf("peak 7 probability = %.4f, want ~0.71", probs[1])
+	}
+}
+
+func TestDetectPeaksEdgeCases(t *testing.T) {
+	// Constant series: nothing above the mean.
+	flat := flatDay(1, 0.3)
+	if peaks := DetectPeaks(flat); len(peaks) != 0 {
+		t.Errorf("peaks on constant day = %+v", peaks)
+	}
+	// Peak running to the end of the day is closed.
+	vals := make([]float64, 96)
+	for i := range vals {
+		vals[i] = 0.1
+	}
+	for i := 90; i < 96; i++ {
+		vals[i] = 1.0
+	}
+	day := timeseries.MustNew(t0, 15*time.Minute, vals)
+	peaks := DetectPeaks(day)
+	if len(peaks) != 1 || peaks[0].To != 96 {
+		t.Errorf("trailing peak = %+v", peaks)
+	}
+	if !almostEqual(peaks[0].Size, 6.0, 1e-9) {
+		t.Errorf("trailing peak size = %v", peaks[0].Size)
+	}
+}
+
+func TestFilterPeaksBoundary(t *testing.T) {
+	peaks := []Peak{{Size: 1.0}, {Size: 2.0}, {Size: 3.0}}
+	got := FilterPeaks(peaks, 2.0)
+	if len(got) != 2 || got[0].Size != 2.0 {
+		t.Errorf("FilterPeaks kept %+v (boundary peak must survive)", got)
+	}
+	if got := FilterPeaks(nil, 1); got != nil {
+		t.Errorf("FilterPeaks(nil) = %+v", got)
+	}
+}
+
+func TestSelectionProbabilitiesEdgeCases(t *testing.T) {
+	if got := SelectionProbabilities(nil); got != nil {
+		t.Errorf("probabilities of empty = %v", got)
+	}
+	if got := SelectionProbabilities([]Peak{{Size: 0}}); got != nil {
+		t.Errorf("probabilities of zero-size = %v", got)
+	}
+	probs := SelectionProbabilities([]Peak{{Size: 1}, {Size: 3}})
+	if !almostEqual(probs[0], 0.25, 1e-9) || !almostEqual(probs[1], 0.75, 1e-9) {
+		t.Errorf("probs = %v", probs)
+	}
+}
+
+func TestPeakExtractOnePerDay(t *testing.T) {
+	// Three days of the Fig. 5 profile.
+	day := paperdata.Figure5Day()
+	vals := append(append(day.Values(), day.Values()...), day.Values()...)
+	input := timeseries.MustNew(day.Start(), 15*time.Minute, vals)
+	e := &PeakExtractor{Params: DefaultParams()}
+	res, err := e.Extract(input)
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if len(res.Offers) != 3 {
+		t.Fatalf("offers = %d, want 3 (one per day)", len(res.Offers))
+	}
+	if err := res.Offers.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every offer must start on peak 6 or peak 7 (the only candidates).
+	for _, f := range res.Offers {
+		h := f.EarliestStart.UTC().Hour()
+		onPeak6 := h == 15 // interval 62 = 15:30
+		onPeak7 := h == 18 // interval 72 = 18:00
+		if !onPeak6 && !onPeak7 {
+			t.Errorf("offer starts at %v, not on a candidate peak", f.EarliestStart)
+		}
+	}
+	// Accounting.
+	got := res.Modified.Total() + res.Offers.TotalAvgEnergy()
+	if !almostEqual(got, input.Total(), 1e-6) {
+		t.Errorf("accounting: %v vs %v", got, input.Total())
+	}
+	if res.Modified.Min() < 0 {
+		t.Error("modified went negative")
+	}
+}
+
+// TestPeakSelectionFrequencies: over many seeds the selection matches the
+// 29/71 split within tolerance.
+func TestPeakSelectionFrequencies(t *testing.T) {
+	day := paperdata.Figure5Day()
+	var peak7 int
+	const trials = 400
+	for seed := int64(0); seed < trials; seed++ {
+		p := DefaultParams()
+		p.Seed = seed
+		e := &PeakExtractor{Params: p}
+		res, err := e.Extract(day)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Offers) != 1 {
+			t.Fatalf("offers = %d", len(res.Offers))
+		}
+		if res.Offers[0].EarliestStart.UTC().Hour() == 18 {
+			peak7++
+		}
+	}
+	frac := float64(peak7) / trials
+	if frac < 0.62 || frac > 0.80 {
+		t.Errorf("peak 7 selected %.1f%% of the time, want ~71%%", frac*100)
+	}
+}
+
+func TestPeakExtractNoCandidates(t *testing.T) {
+	// A day whose peaks are all smaller than the flexible part: no offer.
+	vals := make([]float64, 96)
+	for i := range vals {
+		vals[i] = 1.0
+	}
+	vals[10] = 1.05 // tiny bump, size 1.05 < 5% of ~96
+	input := timeseries.MustNew(t0, 15*time.Minute, vals)
+	e := &PeakExtractor{Params: DefaultParams()}
+	res, err := e.Extract(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Offers) != 0 {
+		t.Errorf("offers = %d, want 0", len(res.Offers))
+	}
+	// Modified equals input when nothing was extracted.
+	if !almostEqual(res.Modified.Total(), input.Total(), 1e-9) {
+		t.Error("modified changed without extraction")
+	}
+}
+
+func TestPeakExtractProfileWithinPeak(t *testing.T) {
+	day := paperdata.Figure5Day()
+	p := DefaultParams()
+	p.SliceJitter = 0
+	p.SlicesPerOffer = 20 // longer than peak 7's 8 intervals
+	e := &PeakExtractor{Params: p}
+	res, err := e.Extract(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Offers[0]
+	// Profile truncated to the peak length (4 or 8 intervals).
+	if len(f.Profile) != 4 && len(f.Profile) != 8 {
+		t.Errorf("profile slices = %d, want peak length", len(f.Profile))
+	}
+	if f.TotalAvgEnergy() < 1.9 || f.TotalAvgEnergy() > 2.0 {
+		t.Errorf("offer energy = %v, want 1.951", f.TotalAvgEnergy())
+	}
+}
+
+func TestPeakExtractErrors(t *testing.T) {
+	e := &PeakExtractor{Params: Params{}}
+	if _, err := e.Extract(paperdata.Figure5Day()); err == nil {
+		t.Error("zero params succeeded")
+	}
+	e2 := &PeakExtractor{Params: DefaultParams()}
+	hourly := timeseries.MustNew(t0, time.Hour, []float64{1})
+	if _, err := e2.Extract(hourly); err == nil {
+		t.Error("wrong resolution succeeded")
+	}
+}
+
+func TestPeakName(t *testing.T) {
+	if (&PeakExtractor{}).Name() != "peak" {
+		t.Error("name mismatch")
+	}
+}
+
+func TestPeakThresholdQuantile(t *testing.T) {
+	day := paperdata.Figure5Day()
+	// q90 threshold keeps fewer peaks than the mean threshold.
+	meanPeaks := DetectPeaksAbove(day, day.Mean())
+	q90Peaks := DetectPeaksAbove(day, day.Quantile(0.9))
+	if len(q90Peaks) >= len(meanPeaks) {
+		t.Errorf("q90 peaks %d >= mean peaks %d", len(q90Peaks), len(meanPeaks))
+	}
+	// The extractor option selects the quantile threshold.
+	p := DefaultParams()
+	e := &PeakExtractor{Params: p, ThresholdQuantile: 0.9}
+	res, err := e.Extract(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At q90 only the big evening peak survives the filter, so every
+	// extraction lands there.
+	for _, f := range res.Offers {
+		if f.EarliestStart.UTC().Hour() != 18 {
+			t.Errorf("q90 offer at %v, want 18:00", f.EarliestStart)
+		}
+	}
+	// An out-of-range quantile falls back to the mean rule.
+	e2 := &PeakExtractor{Params: p, ThresholdQuantile: 1.5}
+	if _, err := e2.Extract(day); err != nil {
+		t.Errorf("fallback extract: %v", err)
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/flexoffer"
+	"repro/internal/timeseries"
+)
+
+// ProductionExtractor implements the paper's §6 future-work direction:
+// extracting flex-offers from the *production* side. A RES producer with an
+// accurate local weather forecast can foresee, e.g., that "wind will be
+// sufficiently strong in two hours" and issue a production flex-offer whose
+// start may be scheduled within a small window ("either in 2 hours or 3
+// hours ahead").
+//
+// The extractor scans a production forecast for blocks whose output exceeds
+// a threshold, and emits one flex-offer per block. Production offers carry
+// negative energies (the flexoffer package's sign convention for supply);
+// the energy band width grows with the configured forecast uncertainty, and
+// the time flexibility reflects how far the block's start could slide.
+type ProductionExtractor struct {
+	Params Params
+	// ThresholdKWh is the minimum per-interval production for an interval
+	// to join a block. Zero selects 25 % of the series' peak output.
+	ThresholdKWh float64
+	// ForecastUncertainty is the relative uncertainty of the forecast
+	// (e.g. 0.15): per-slice bands become [-(1+u)·e, -(1-u)·e]. Zero
+	// selects 0.15.
+	ForecastUncertainty float64
+	// StartSlack is the time flexibility granted to each block (how far
+	// the producer can delay the committed start). Zero selects one hour.
+	StartSlack time.Duration
+	// MinBlockEnergy drops blocks carrying less total energy. Zero
+	// selects 1 kWh.
+	MinBlockEnergy float64
+}
+
+// Name implements Extractor.
+func (e *ProductionExtractor) Name() string { return "production" }
+
+// Extract scans the production forecast and returns production flex-offers
+// together with the modified series (the committed flexible production
+// removed — what remains is the firm, non-offered production).
+func (e *ProductionExtractor) Extract(forecast *timeseries.Series) (*Result, error) {
+	p := e.Params
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if forecast == nil || forecast.Len() == 0 {
+		return nil, fmt.Errorf("%w: empty series", ErrInput)
+	}
+	if forecast.Resolution() != p.SliceDuration {
+		return nil, fmt.Errorf("%w: resolution %v != slice duration %v",
+			ErrInput, forecast.Resolution(), p.SliceDuration)
+	}
+	threshold := e.ThresholdKWh
+	if threshold <= 0 {
+		threshold = 0.25 * forecast.Max()
+	}
+	uncertainty := e.ForecastUncertainty
+	if uncertainty <= 0 {
+		uncertainty = 0.15
+	}
+	if uncertainty >= 1 {
+		return nil, fmt.Errorf("%w: forecast uncertainty %v >= 1", ErrParams, uncertainty)
+	}
+	slack := e.StartSlack
+	if slack <= 0 {
+		slack = time.Hour
+	}
+	minEnergy := e.MinBlockEnergy
+	if minEnergy <= 0 {
+		minEnergy = 1
+	}
+
+	modified := forecast.Clone()
+	b := newOfferBuilder(e.Name(), p)
+	var offers flexoffer.Set
+
+	n := forecast.Len()
+	i := 0
+	for i < n {
+		if forecast.Value(i) < threshold {
+			i++
+			continue
+		}
+		j := i
+		var blockEnergy float64
+		for j < n && forecast.Value(j) >= threshold {
+			blockEnergy += forecast.Value(j)
+			j++
+		}
+		if blockEnergy >= minEnergy {
+			// Cap the profile length like the demand-side extractors.
+			m := j - i
+			if limit := b.sliceCount(); m > limit {
+				m = limit
+			}
+			profile := make([]flexoffer.Slice, m)
+			var offered float64
+			for k := 0; k < m; k++ {
+				v := forecast.Value(i + k)
+				profile[k] = flexoffer.Slice{
+					Duration:  p.SliceDuration,
+					MinEnergy: -v * (1 + uncertainty),
+					MaxEnergy: -v * (1 - uncertainty),
+				}
+				offered += v
+			}
+			b.seq++
+			offer := &flexoffer.FlexOffer{
+				ID:             fmt.Sprintf("%s-%04d", e.Name(), b.seq),
+				ConsumerID:     p.ConsumerID,
+				CreationTime:   forecast.TimeAt(i).Add(-p.CreationLead),
+				AcceptanceTime: forecast.TimeAt(i).Add(-p.AcceptanceLead),
+				AssignmentTime: forecast.TimeAt(i).Add(-p.AssignmentLead),
+				EarliestStart:  forecast.TimeAt(i),
+				LatestStart:    forecast.TimeAt(i).Add(slack),
+				Profile:        profile,
+			}
+			if err := offer.Validate(); err != nil {
+				return nil, err
+			}
+			offers = append(offers, offer)
+			for k := 0; k < m; k++ {
+				modified.SetValue(i+k, modified.Value(i+k)-forecast.Value(i+k))
+			}
+		}
+		i = j
+	}
+	return &Result{Offers: offers, Modified: modified}, nil
+}
+
+var _ Extractor = (*ProductionExtractor)(nil)

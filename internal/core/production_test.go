@@ -1,0 +1,154 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/res"
+	"repro/internal/timeseries"
+)
+
+// productionDay builds a forecast with two clear production blocks.
+func productionDay() *timeseries.Series {
+	vals := make([]float64, 96)
+	for i := 20; i < 32; i++ { // 05:00-08:00 block
+		vals[i] = 8
+	}
+	for i := 60; i < 76; i++ { // 15:00-19:00 block, stronger
+		vals[i] = 12
+	}
+	return timeseries.MustNew(t0, 15*time.Minute, vals)
+}
+
+func TestProductionExtractBlocks(t *testing.T) {
+	e := &ProductionExtractor{Params: DefaultParams(), ThresholdKWh: 4, StartSlack: time.Hour}
+	resOut, err := e.Extract(productionDay())
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if len(resOut.Offers) != 2 {
+		t.Fatalf("offers = %d, want 2", len(resOut.Offers))
+	}
+	if err := resOut.Offers.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	first := resOut.Offers[0]
+	if !first.EarliestStart.Equal(t0.Add(5 * time.Hour)) {
+		t.Errorf("first block start = %v", first.EarliestStart)
+	}
+	if first.TimeFlexibility() != time.Hour {
+		t.Errorf("time flexibility = %v", first.TimeFlexibility())
+	}
+	// Production offers carry negative energy.
+	if first.TotalAvgEnergy() >= 0 {
+		t.Errorf("production offer has non-negative energy %v", first.TotalAvgEnergy())
+	}
+	for _, s := range first.Profile {
+		if s.MinEnergy >= 0 || s.MaxEnergy > 0 || s.MinEnergy > s.MaxEnergy {
+			t.Errorf("bad production band %+v", s)
+		}
+	}
+}
+
+func TestProductionEnergyAccounting(t *testing.T) {
+	forecast := productionDay()
+	p := DefaultParams()
+	p.SliceJitter = 0
+	p.SlicesPerOffer = 16 // cover whole blocks
+	e := &ProductionExtractor{Params: p, ThresholdKWh: 4}
+	out, err := e.Extract(forecast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offered production (negated) plus remaining firm production equals
+	// the forecast.
+	offered := -out.Offers.TotalAvgEnergy()
+	if !almostEqual(out.Modified.Total()+offered, forecast.Total(), 1e-9) {
+		t.Errorf("accounting: modified %v + offered %v != forecast %v",
+			out.Modified.Total(), offered, forecast.Total())
+	}
+}
+
+func TestProductionUncertaintyWidensBands(t *testing.T) {
+	p := DefaultParams()
+	p.SliceJitter = 0
+	narrow := &ProductionExtractor{Params: p, ThresholdKWh: 4, ForecastUncertainty: 0.05}
+	wide := &ProductionExtractor{Params: p, ThresholdKWh: 4, ForecastUncertainty: 0.4}
+	rn, err := narrow.Extract(productionDay())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := wide.Extract(productionDay())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.Offers[0].EnergyFlexibility() <= rn.Offers[0].EnergyFlexibility() {
+		t.Errorf("wide uncertainty flexibility %v <= narrow %v",
+			rw.Offers[0].EnergyFlexibility(), rn.Offers[0].EnergyFlexibility())
+	}
+}
+
+func TestProductionDefaultsAndFilters(t *testing.T) {
+	// Default threshold is relative to the peak; the weak block vanishes
+	// when MinBlockEnergy is raised.
+	e := &ProductionExtractor{Params: DefaultParams(), ThresholdKWh: 4, MinBlockEnergy: 100}
+	out, err := e.Extract(productionDay())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Offers) != 2 {
+		// First block carries 96 kWh < 100, second 192 kWh > 100.
+		if len(out.Offers) != 1 {
+			t.Fatalf("offers = %d", len(out.Offers))
+		}
+	}
+}
+
+func TestProductionOnSimulatedWind(t *testing.T) {
+	supply, err := res.Simulate(res.DefaultWindModel(), res.DefaultTurbine(), t0, 3, 15*time.Minute, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &ProductionExtractor{Params: DefaultParams()}
+	out, err := e.Extract(supply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Offers) == 0 {
+		t.Fatal("no production offers from windy series")
+	}
+	if err := out.Offers.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	offered := -out.Offers.TotalAvgEnergy()
+	if !almostEqual(out.Modified.Total()+offered, supply.Total(), 1e-6) {
+		t.Error("accounting broken on simulated wind")
+	}
+}
+
+func TestProductionErrors(t *testing.T) {
+	e := &ProductionExtractor{Params: Params{}}
+	if _, err := e.Extract(productionDay()); !errors.Is(err, ErrParams) {
+		t.Errorf("zero params: %v", err)
+	}
+	e2 := &ProductionExtractor{Params: DefaultParams()}
+	empty := timeseries.MustNew(t0, 15*time.Minute, nil)
+	if _, err := e2.Extract(empty); !errors.Is(err, ErrInput) {
+		t.Errorf("empty: %v", err)
+	}
+	hourly := timeseries.MustNew(t0, time.Hour, []float64{1})
+	if _, err := e2.Extract(hourly); !errors.Is(err, ErrInput) {
+		t.Errorf("wrong resolution: %v", err)
+	}
+	bad := &ProductionExtractor{Params: DefaultParams(), ForecastUncertainty: 1.5}
+	if _, err := bad.Extract(productionDay()); !errors.Is(err, ErrParams) {
+		t.Errorf("uncertainty >= 1: %v", err)
+	}
+}
+
+func TestProductionName(t *testing.T) {
+	if (&ProductionExtractor{}).Name() != "production" {
+		t.Error("name mismatch")
+	}
+}

@@ -1,0 +1,251 @@
+// Package eval measures extraction quality along the two axes the paper
+// discusses: (1) realism statistics of the produced flex-offers relative to
+// the consumption they were extracted from — where in the day flexibility is
+// placed, how concentrated it is, how it correlates with consumption (§3.1
+// laments that such statistics cannot be compared against real flex-offers;
+// here they at least rank approaches against the random baseline) — and
+// (2) agreement with the simulator's ground-truth activations, which real
+// data never offers (precision/recall/F1 of placement and energy error).
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/flexoffer"
+	"repro/internal/household"
+	"repro/internal/timeseries"
+)
+
+// ErrInput is wrapped by input validation errors.
+var ErrInput = errors.New("eval: invalid input")
+
+// Realism summarises where an offer set places flexibility relative to the
+// consumption series it came from.
+type Realism struct {
+	// FlexibleShare is offered average energy over total consumption —
+	// comparable with the 0.1–6.5 % band of [7].
+	FlexibleShare float64
+	// OffersPerDay is the average number of offers per calendar day.
+	OffersPerDay float64
+	// PlacementEntropy is the normalised entropy of offered energy over
+	// the 24 hours of day: 1 = uniformly dispatched (the random
+	// baseline's signature), lower = concentrated.
+	PlacementEntropy float64
+	// ConsumptionCorrelation is the Pearson correlation between the
+	// hour-of-day profiles of offered energy and of consumption; high
+	// values mean flexibility sits where consumption (and thus plausible
+	// appliance usage) is.
+	ConsumptionCorrelation float64
+	// PeakShare is the fraction of offered energy placed in the top
+	// quartile consumption hours of the day.
+	PeakShare float64
+	// PlacementSparseness is the fraction of intervals carrying no offered
+	// energy — one of the §3.1 statistics ("correlation, sparseness,
+	// autocorrelation") real flex-offer data would be compared on.
+	PlacementSparseness float64
+	// PlacementAutocorrelation is the daily-lag autocorrelation of the
+	// offered-energy series; realistic extraction repeats daily patterns.
+	// NaN when the horizon is shorter than two days.
+	PlacementAutocorrelation float64
+}
+
+// Evaluate computes the realism statistics of offers extracted from input.
+func Evaluate(offers flexoffer.Set, input *timeseries.Series) (Realism, error) {
+	if input == nil || input.Len() == 0 {
+		return Realism{}, fmt.Errorf("%w: empty series", ErrInput)
+	}
+	days := float64(input.Len()) * input.Resolution().Hours() / 24
+	if days <= 0 {
+		return Realism{}, fmt.Errorf("%w: zero-length horizon", ErrInput)
+	}
+	r := Realism{OffersPerDay: float64(len(offers)) / days}
+	if total := input.Total(); total > 0 {
+		r.FlexibleShare = offers.TotalAvgEnergy() / total
+	}
+	if len(offers) == 0 {
+		return r, nil
+	}
+
+	placement, err := offers.PlacementSeries(input.Start(), input.Resolution(), input.Len())
+	if err != nil {
+		return Realism{}, err
+	}
+	offerHours := hourProfile(placement)
+	consHours := hourProfile(input)
+
+	r.PlacementEntropy = entropy24(offerHours)
+	r.ConsumptionCorrelation = pearson24(offerHours, consHours)
+	r.PeakShare = topQuartileShare(offerHours, consHours)
+	r.PlacementSparseness = placement.Sparseness(1e-9)
+	if perDay := placement.IntervalsPerDay(); perDay > 0 && placement.Len() >= 2*perDay {
+		r.PlacementAutocorrelation = placement.Autocorrelation(perDay)
+	} else {
+		r.PlacementAutocorrelation = math.NaN()
+	}
+	return r, nil
+}
+
+// hourProfile sums a series into 24 hour-of-day bins.
+func hourProfile(s *timeseries.Series) [24]float64 {
+	var bins [24]float64
+	for i := 0; i < s.Len(); i++ {
+		v := s.Value(i)
+		if math.IsNaN(v) {
+			continue
+		}
+		bins[s.TimeAt(i).UTC().Hour()] += v
+	}
+	return bins
+}
+
+// entropy24 is the normalised Shannon entropy of a 24-bin distribution.
+func entropy24(bins [24]float64) float64 {
+	var total float64
+	for _, v := range bins {
+		if v > 0 {
+			total += v
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	var h float64
+	for _, v := range bins {
+		if v <= 0 {
+			continue
+		}
+		p := v / total
+		h -= p * math.Log(p)
+	}
+	return h / math.Log(24)
+}
+
+// pearson24 is the correlation between two 24-bin profiles.
+func pearson24(a, b [24]float64) float64 {
+	var sa, sb, saa, sbb, sab float64
+	for i := 0; i < 24; i++ {
+		sa += a[i]
+		sb += b[i]
+		saa += a[i] * a[i]
+		sbb += b[i] * b[i]
+		sab += a[i] * b[i]
+	}
+	const n = 24.0
+	cov := sab/n - (sa/n)*(sb/n)
+	va := saa/n - (sa/n)*(sa/n)
+	vb := sbb/n - (sb/n)*(sb/n)
+	if va <= 0 || vb <= 0 {
+		return math.NaN()
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// topQuartileShare reports the share of `amount` mass that falls into the
+// six highest-`reference` hours.
+func topQuartileShare(amount, reference [24]float64) float64 {
+	type hv struct {
+		h int
+		v float64
+	}
+	order := make([]hv, 24)
+	for i := 0; i < 24; i++ {
+		order[i] = hv{i, reference[i]}
+	}
+	// Selection sort by reference descending (24 elements).
+	for i := 0; i < 24; i++ {
+		best := i
+		for j := i + 1; j < 24; j++ {
+			if order[j].v > order[best].v {
+				best = j
+			}
+		}
+		order[i], order[best] = order[best], order[i]
+	}
+	var top, total float64
+	for i, o := range order {
+		total += amount[o.h]
+		if i < 6 {
+			top += amount[o.h]
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	return top / total
+}
+
+// MatchStats scores extracted offers against ground-truth flexible
+// activations.
+type MatchStats struct {
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+	Precision      float64
+	Recall         float64
+	F1             float64
+	// MeanEnergyError is the mean relative energy error over matched
+	// pairs.
+	MeanEnergyError float64
+}
+
+// MatchOffers greedily matches offers to ground-truth flexible activations:
+// an offer matches an unused activation when their starts are within tol
+// and, if the offer names an appliance, the names agree. Offers are matched
+// in earliest-start order against the nearest eligible activation.
+func MatchOffers(offers flexoffer.Set, truth []household.Activation, tol time.Duration) MatchStats {
+	var flexTruth []household.Activation
+	for _, a := range truth {
+		if a.Flexible {
+			flexTruth = append(flexTruth, a)
+		}
+	}
+	used := make([]bool, len(flexTruth))
+	var stats MatchStats
+	var energyErrSum float64
+
+	sorted := append(flexoffer.Set(nil), offers...)
+	sorted.SortByEarliestStart()
+	for _, f := range sorted {
+		bestIdx := -1
+		var bestDelta time.Duration
+		for i, a := range flexTruth {
+			if used[i] {
+				continue
+			}
+			if f.Appliance != "" && f.Appliance != a.Appliance {
+				continue
+			}
+			delta := f.EarliestStart.Sub(a.Start)
+			if delta < 0 {
+				delta = -delta
+			}
+			if delta <= tol && (bestIdx < 0 || delta < bestDelta) {
+				bestIdx, bestDelta = i, delta
+			}
+		}
+		if bestIdx < 0 {
+			stats.FalsePositives++
+			continue
+		}
+		used[bestIdx] = true
+		stats.TruePositives++
+		if e := flexTruth[bestIdx].Energy; e > 0 {
+			energyErrSum += math.Abs(f.TotalAvgEnergy()-e) / e
+		}
+	}
+	for _, u := range used {
+		if !u {
+			stats.FalseNegatives++
+		}
+	}
+	if stats.TruePositives > 0 {
+		stats.Precision = float64(stats.TruePositives) / float64(stats.TruePositives+stats.FalsePositives)
+		stats.Recall = float64(stats.TruePositives) / float64(stats.TruePositives+stats.FalseNegatives)
+		stats.F1 = 2 * stats.Precision * stats.Recall / (stats.Precision + stats.Recall)
+		stats.MeanEnergyError = energyErrSum / float64(stats.TruePositives)
+	}
+	return stats
+}

@@ -1,0 +1,242 @@
+package eval
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/flexoffer"
+	"repro/internal/household"
+	"repro/internal/paperdata"
+	"repro/internal/timeseries"
+)
+
+var t0 = time.Date(2012, 6, 4, 0, 0, 0, 0, time.UTC)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func simpleOffer(id string, est time.Time, energy float64) *flexoffer.FlexOffer {
+	return &flexoffer.FlexOffer{
+		ID: id, EarliestStart: est, LatestStart: est.Add(2 * time.Hour),
+		Profile: flexoffer.UniformProfile(2, 15*time.Minute, energy/2, energy/2),
+	}
+}
+
+func TestEvaluateBasicNumbers(t *testing.T) {
+	day := paperdata.Figure5Day()
+	offers := flexoffer.Set{
+		simpleOffer("a", t0.Add(18*time.Hour), 1.951), // on the big evening peak
+	}
+	r, err := Evaluate(offers, day)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if !almostEqual(r.FlexibleShare, 1.951/39.02, 1e-9) {
+		t.Errorf("share = %v, want 0.05", r.FlexibleShare)
+	}
+	if !almostEqual(r.OffersPerDay, 1, 1e-9) {
+		t.Errorf("offers/day = %v", r.OffersPerDay)
+	}
+	// Single concentrated offer: very low entropy, all energy in peak
+	// hours.
+	if r.PlacementEntropy > 0.2 {
+		t.Errorf("entropy = %v, want near 0", r.PlacementEntropy)
+	}
+	if r.PeakShare < 0.99 {
+		t.Errorf("peak share = %v, want ~1", r.PeakShare)
+	}
+}
+
+func TestEvaluateEmptyOffers(t *testing.T) {
+	r, err := Evaluate(nil, paperdata.Figure5Day())
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if r.FlexibleShare != 0 || r.OffersPerDay != 0 || r.PlacementEntropy != 0 {
+		t.Errorf("empty offers realism = %+v", r)
+	}
+	if _, err := Evaluate(nil, timeseries.MustNew(t0, time.Minute, nil)); !errors.Is(err, ErrInput) {
+		t.Errorf("empty series: %v", err)
+	}
+}
+
+// TestPeakBeatsRandomRealism reproduces the paper's core claim (E10): the
+// peak-based approach places flexibility where consumption is, while the
+// random baseline disperses it uniformly.
+func TestPeakBeatsRandomRealism(t *testing.T) {
+	// 14 identical Fig. 5 days give the approaches room to differ.
+	day := paperdata.Figure5Day()
+	var vals []float64
+	for d := 0; d < 14; d++ {
+		vals = append(vals, day.Values()...)
+	}
+	input := timeseries.MustNew(day.Start(), 15*time.Minute, vals)
+
+	p := core.DefaultParams()
+	peakRes, err := (&core.PeakExtractor{Params: p}).Extract(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	randRes, err := (&core.RandomExtractor{Params: p}).Extract(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peakR, err := Evaluate(peakRes.Offers, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	randR, err := Evaluate(randRes.Offers, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peakR.PeakShare <= randR.PeakShare {
+		t.Errorf("peak share: peak-based %v <= random %v", peakR.PeakShare, randR.PeakShare)
+	}
+	if peakR.ConsumptionCorrelation <= randR.ConsumptionCorrelation {
+		t.Errorf("correlation: peak-based %v <= random %v", peakR.ConsumptionCorrelation, randR.ConsumptionCorrelation)
+	}
+	if peakR.PlacementEntropy >= randR.PlacementEntropy {
+		t.Errorf("entropy: peak-based %v >= random %v", peakR.PlacementEntropy, randR.PlacementEntropy)
+	}
+}
+
+func TestHourProfile(t *testing.T) {
+	// 8 intervals of 15 min starting at midnight: hours 0 and 1.
+	s := timeseries.MustNew(t0, 15*time.Minute, []float64{1, 1, 1, 1, 2, 2, 2, 2})
+	bins := hourProfile(s)
+	if bins[0] != 4 || bins[1] != 8 {
+		t.Errorf("bins = %v", bins[:3])
+	}
+}
+
+func TestEntropy24(t *testing.T) {
+	var uniform [24]float64
+	for i := range uniform {
+		uniform[i] = 1
+	}
+	if got := entropy24(uniform); !almostEqual(got, 1, 1e-9) {
+		t.Errorf("uniform entropy = %v", got)
+	}
+	var spike [24]float64
+	spike[7] = 5
+	if got := entropy24(spike); got != 0 {
+		t.Errorf("spike entropy = %v", got)
+	}
+	var zero [24]float64
+	if got := entropy24(zero); got != 0 {
+		t.Errorf("zero entropy = %v", got)
+	}
+}
+
+func TestTopQuartileShare(t *testing.T) {
+	var amount, ref [24]float64
+	for i := 0; i < 24; i++ {
+		ref[i] = float64(i) // top quartile = hours 18..23
+	}
+	amount[20] = 3
+	amount[2] = 1
+	if got := topQuartileShare(amount, ref); !almostEqual(got, 0.75, 1e-9) {
+		t.Errorf("share = %v, want 0.75", got)
+	}
+	var none [24]float64
+	if got := topQuartileShare(none, ref); got != 0 {
+		t.Errorf("zero amount share = %v", got)
+	}
+}
+
+func TestMatchOffersScoring(t *testing.T) {
+	truth := []household.Activation{
+		{Appliance: "washer", Start: t0.Add(10 * time.Hour), Energy: 2, Flexible: true},
+		{Appliance: "dishwasher", Start: t0.Add(19 * time.Hour), Energy: 1.5, Flexible: true},
+		{Appliance: "tv", Start: t0.Add(20 * time.Hour), Energy: 0.3, Flexible: false}, // ignored
+	}
+	offers := flexoffer.Set{
+		simpleOffer("hit", t0.Add(10*time.Hour+5*time.Minute), 2.2),
+		simpleOffer("miss", t0.Add(3*time.Hour), 1.0),
+	}
+	stats := MatchOffers(offers, truth, 15*time.Minute)
+	if stats.TruePositives != 1 || stats.FalsePositives != 1 || stats.FalseNegatives != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if !almostEqual(stats.Precision, 0.5, 1e-9) || !almostEqual(stats.Recall, 0.5, 1e-9) {
+		t.Errorf("precision/recall = %v/%v", stats.Precision, stats.Recall)
+	}
+	if !almostEqual(stats.F1, 0.5, 1e-9) {
+		t.Errorf("F1 = %v", stats.F1)
+	}
+	if !almostEqual(stats.MeanEnergyError, 0.1, 1e-9) { // |2.2-2|/2
+		t.Errorf("energy error = %v", stats.MeanEnergyError)
+	}
+}
+
+func TestMatchOffersApplianceNameConstraint(t *testing.T) {
+	truth := []household.Activation{
+		{Appliance: "washer", Start: t0, Energy: 2, Flexible: true},
+	}
+	named := simpleOffer("x", t0, 2)
+	named.Appliance = "dishwasher" // wrong appliance at the right time
+	stats := MatchOffers(flexoffer.Set{named}, truth, time.Hour)
+	if stats.TruePositives != 0 || stats.FalsePositives != 1 {
+		t.Errorf("wrong-appliance matched: %+v", stats)
+	}
+	named.Appliance = "washer"
+	stats = MatchOffers(flexoffer.Set{named}, truth, time.Hour)
+	if stats.TruePositives != 1 {
+		t.Errorf("right-appliance not matched: %+v", stats)
+	}
+}
+
+func TestMatchOffersOneToOne(t *testing.T) {
+	// Two offers near one activation: only one may match.
+	truth := []household.Activation{
+		{Appliance: "washer", Start: t0, Energy: 2, Flexible: true},
+	}
+	offers := flexoffer.Set{
+		simpleOffer("a", t0, 2),
+		simpleOffer("b", t0.Add(5*time.Minute), 2),
+	}
+	stats := MatchOffers(offers, truth, time.Hour)
+	if stats.TruePositives != 1 || stats.FalsePositives != 1 {
+		t.Errorf("double counting: %+v", stats)
+	}
+}
+
+func TestMatchOffersEmpty(t *testing.T) {
+	stats := MatchOffers(nil, nil, time.Hour)
+	if stats.TruePositives != 0 || stats.F1 != 0 {
+		t.Errorf("empty stats = %+v", stats)
+	}
+}
+
+func TestEvaluateSparsenessAndAutocorrelation(t *testing.T) {
+	// Two identical days, one concentrated offer per day at the same time:
+	// sparse placement with strong daily autocorrelation.
+	day := paperdata.Figure5Day()
+	vals := append(day.Values(), day.Values()...)
+	input := timeseries.MustNew(day.Start(), 15*time.Minute, vals)
+	offers := flexoffer.Set{
+		simpleOffer("d1", day.Start().Add(18*time.Hour), 2),
+		simpleOffer("d2", day.Start().Add(42*time.Hour), 2),
+	}
+	r, err := Evaluate(offers, input)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	// Each offer covers 2 of 96 daily intervals → sparseness ~ 188/192.
+	if r.PlacementSparseness < 0.9 {
+		t.Errorf("sparseness = %v, want > 0.9", r.PlacementSparseness)
+	}
+	if math.IsNaN(r.PlacementAutocorrelation) || r.PlacementAutocorrelation < 0.5 {
+		t.Errorf("daily autocorrelation = %v, want strong", r.PlacementAutocorrelation)
+	}
+	// A single-day horizon cannot estimate daily autocorrelation.
+	oneDay, err := Evaluate(flexoffer.Set{offers[0]}, day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(oneDay.PlacementAutocorrelation) {
+		t.Errorf("one-day autocorrelation = %v, want NaN", oneDay.PlacementAutocorrelation)
+	}
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/flexoffer"
+	"repro/internal/timeseries"
+)
+
+// asciiChart renders a series as a column chart with the given height, one
+// column per interval, plus an optional horizontal marker line (e.g. the
+// daily mean of Fig. 5). Values below zero render as empty columns.
+func asciiChart(w io.Writer, s *timeseries.Series, height int, marker float64, label string) {
+	n := s.Len()
+	if n == 0 || height < 1 {
+		return
+	}
+	maxV := s.Max()
+	if marker > maxV {
+		maxV = marker
+	}
+	if maxV <= 0 || math.IsNaN(maxV) {
+		maxV = 1
+	}
+	level := func(v float64) int {
+		if math.IsNaN(v) || v <= 0 {
+			return 0
+		}
+		return int(math.Round(v / maxV * float64(height)))
+	}
+	markerRow := level(marker)
+	fmt.Fprintf(w, "%s (max %.3f kWh/interval)\n", label, s.Max())
+	for row := height; row >= 1; row-- {
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			l := level(s.Value(i))
+			switch {
+			case l >= row:
+				b.WriteByte('#')
+			case marker > 0 && markerRow == row:
+				b.WriteByte('-')
+			default:
+				b.WriteByte(' ')
+			}
+		}
+		fmt.Fprintf(w, "|%s|\n", b.String())
+	}
+	fmt.Fprintf(w, "+%s+\n", strings.Repeat("-", n))
+}
+
+// asciiOffers renders a set of flex-offers over a time axis: for each offer
+// a band of '=' (minimum energy) and '+' (energy flexibility up to the
+// maximum) across its profile intervals, in the style of Fig. 4's
+// light/dark areas.
+func asciiOffers(w io.Writer, offers flexoffer.Set, axis *timeseries.Series) {
+	for _, f := range offers {
+		start, ok := axis.IndexOf(f.EarliestStart)
+		if !ok {
+			continue
+		}
+		line := []byte(strings.Repeat(" ", axis.Len()))
+		for i := range f.Profile {
+			col := start + i
+			if col >= len(line) {
+				break
+			}
+			line[col] = '='
+		}
+		// Mark the time-flexibility span after the profile with dots.
+		flexCols := int(f.TimeFlexibility() / axis.Resolution())
+		for i := 0; i < flexCols; i++ {
+			col := start + len(f.Profile) + i
+			if col >= len(line) {
+				break
+			}
+			if line[col] == ' ' {
+				line[col] = '.'
+			}
+		}
+		fmt.Fprintf(w, "|%s| %s: %.2f..%.2f kWh, start %s..%s\n",
+			string(line), f.ID, f.TotalMinEnergy(), f.TotalMaxEnergy(),
+			f.EarliestStart.Format("15:04"), f.LatestStart.Format("15:04"))
+	}
+}
+
+// table is a minimal fixed-width table writer for experiment reports.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(header ...string) *table { return &table{header: header} }
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) addf(format string, args ...any) {
+	t.add(strings.Split(fmt.Sprintf(format, args...), "|")...)
+}
+
+func (t *table) write(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+}

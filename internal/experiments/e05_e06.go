@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/household"
+	"repro/internal/tariff"
+)
+
+// expTariff is the time-of-use scheme used by E6 and the tariff-aware
+// simulations: low price from 22:00 to 06:00.
+var expTariff = tariff.TimeOfUse{HighPrice: 0.40, LowPrice: 0.15, LowStartHour: 22, LowEndHour: 6}
+
+// RunE5 checks the extracted flexible share against the 0.1–6.5 % band the
+// paper quotes from the MIRABEL trial specification [7]: the extraction
+// parameter sweeps the band and the measured share of every
+// consumption-level approach must track it.
+func RunE5(w io.Writer) error {
+	return runE5Sized(w, 30, 28)
+}
+
+// runE5Sized is the parameterised body (the benchmark uses a smaller size).
+func runE5Sized(w io.Writer, households, days int) error {
+	cfgs := household.Population(households, 1)
+	results, _, err := household.SimulatePopulation(defaultRegistry, cfgs, day0, days, 15*time.Minute)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "population: %d households x %d days at 15 min\n\n", households, days)
+
+	t := newTable("flex % param", "basic share", "peak share", "random share", "in 0.1-6.5% band")
+	for _, pct := range []float64{0.001, 0.01, 0.025, 0.05, 0.065} {
+		p := core.DefaultParams()
+		p.FlexPercentage = pct
+		var basicE, peakE, randE, totalE float64
+		for _, r := range results {
+			for name, e := range map[string]*float64{"basic": &basicE, "peak": &peakE, "random": &randE} {
+				var ex core.Extractor
+				switch name {
+				case "basic":
+					ex = &core.BasicExtractor{Params: p}
+				case "peak":
+					ex = &core.PeakExtractor{Params: p}
+				case "random":
+					ex = &core.RandomExtractor{Params: p}
+				}
+				res, err := ex.Extract(r.Total)
+				if err != nil {
+					return err
+				}
+				*e += res.Offers.TotalAvgEnergy()
+			}
+			totalE += r.Total.Total()
+		}
+		basicShare := basicE / totalE
+		peakShare := peakE / totalE
+		randShare := randE / totalE
+		inBand := basicShare >= 0.001-1e-9 && basicShare <= 0.065+1e-9
+		t.addf("%.1f%%|%.2f%%|%.2f%%|%.2f%%|%v",
+			pct*100, basicShare*100, peakShare*100, randShare*100, inBand)
+	}
+	t.write(w)
+	fmt.Fprintln(w, "\nnote: the peak approach extracts less than the parameter on days where no peak")
+	fmt.Fprintln(w, "can host the day's flexible energy (it then skips the day, per §3.2).")
+	return nil
+}
+
+// RunE6 evaluates the multi-tariff extraction the paper designed but could
+// not test for lack of paired one-tariff/multi-tariff series (§3.3). The
+// household simulator's tariff response supplies the pairs; the extracted
+// energy must grow with the consumers' shifting behaviour and sit in the
+// low-tariff window.
+func RunE6(w io.Writer) error {
+	return runE6Sized(w, 28)
+}
+
+func runE6Sized(w io.Writer, days int) error {
+	cfg := household.Config{
+		ID: "e6-household", Residents: 3,
+		Appliances: []string{"washing machine Y", "dishwasher Z", "tumble dryer", "television", "refrigerator"},
+		BaseLoadKW: 0.25, MorningPeak: 0.8, EveningPeak: 1.2, NoiseStd: 0.08,
+		Seed: 6,
+	}
+	fmt.Fprintf(w, "paired series: %d days flat billing, then %d days under %s\n\n", days, days, expTariff.Name())
+
+	t := newTable("shift prob", "offers", "extracted kWh", "share of multi-tariff", "offers in low window",
+		"ground-truth shifted kWh")
+	for _, prob := range []float64{0, 0.25, 0.5, 0.75, 0.9} {
+		flat, multi, err := household.SimulatePair(defaultRegistry, cfg, expTariff,
+			tariff.Response{ShiftProbability: prob}, day0, days, 15*time.Minute)
+		if err != nil {
+			return err
+		}
+		e := &core.MultiTariffExtractor{Params: core.DefaultParams(), Tariff: expTariff}
+		res, err := e.ExtractPair(flat.Total, multi.Total)
+		if err != nil {
+			return err
+		}
+		inLow := 0
+		for _, f := range res.Offers {
+			if expTariff.IsLow(f.EarliestStart) {
+				inLow++
+			}
+		}
+		var shiftedTruth float64
+		for _, a := range multi.Activations {
+			if a.Shifted {
+				shiftedTruth += a.Energy
+			}
+		}
+		lowPct := 0.0
+		if len(res.Offers) > 0 {
+			lowPct = float64(inLow) / float64(len(res.Offers)) * 100
+		}
+		t.addf("%.2f|%d|%.2f|%.2f%%|%.0f%%|%.2f",
+			prob, len(res.Offers), res.Offers.TotalAvgEnergy(),
+			res.Offers.TotalAvgEnergy()/multi.Total.Total()*100, lowPct, shiftedTruth)
+	}
+	t.write(w)
+	fmt.Fprintln(w, "\nexpected shape: extracted energy grows with shift probability; all offers start")
+	fmt.Fprintln(w, "inside the 22:00-06:00 low-tariff window, where delayed consumption surfaces.")
+	return nil
+}

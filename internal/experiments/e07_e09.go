@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/appliance"
+	"repro/internal/core"
+	"repro/internal/disagg"
+	"repro/internal/eval"
+	"repro/internal/household"
+)
+
+// RunE7 evaluates the frequency-based appliance-level extraction (designed
+// but unimplemented in the paper, §4.1) against the simulator's ground
+// truth: detection quality, estimated vs true usage frequencies, and
+// offer-level precision/recall.
+func RunE7(w io.Writer) error {
+	return runE7Sized(w, 28)
+}
+
+func runE7Sized(w io.Writer, days int) error {
+	sim, err := fineHousehold(days, 7)
+	if err != nil {
+		return err
+	}
+	e := &core.FrequencyExtractor{Params: core.DefaultParams(), Registry: defaultRegistry}
+	res, report, err := e.ExtractWithReport(sim.Total)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "input: %d days at 1-minute resolution; %d ground-truth activations\n\n",
+		days, len(sim.Activations))
+
+	// Step 1: shortlist and frequency table vs ground truth.
+	truthRuns := map[string]int{}
+	for _, a := range sim.Activations {
+		truthRuns[a.Appliance]++
+	}
+	t := newTable("appliance", "est runs/day", "true runs/day", "est mean kWh", "mean start hour")
+	for _, f := range report.Frequencies {
+		t.addf("%s|%.2f|%.2f|%.2f|%04.1f",
+			f.Appliance, f.RunsPerDay, float64(truthRuns[f.Appliance])/float64(days),
+			f.MeanEnergy, f.MeanStartHour)
+	}
+	t.write(w)
+
+	// Step 2: offer quality vs ground truth.
+	stats := eval.MatchOffers(res.Offers, sim.Activations, 15*time.Minute)
+	fmt.Fprintf(w, "\noffers: %d; precision %.2f, recall %.2f, F1 %.2f, mean energy error %.1f%%\n",
+		len(res.Offers), stats.Precision, stats.Recall, stats.F1, stats.MeanEnergyError*100)
+	fmt.Fprintf(w, "energy accounting: input %.2f = modified %.2f + offers %.2f kWh\n",
+		sim.Total.Total(), res.Modified.Total(), res.Offers.TotalAvgEnergy())
+	fmt.Fprintln(w, "\nexpected shape: appliance-level offers match ground truth far better than any")
+	fmt.Fprintln(w, "consumption-level approach can (they name the appliance and its true usage time).")
+	return nil
+}
+
+// RunE8 quantifies the paper's §6 blocker — "the granularity of the
+// available time series is not sufficient (only 15 min)" — by running the
+// disaggregator at 1/5/15/30-minute resolutions against ground truth.
+func RunE8(w io.Writer) error {
+	return runE8Sized(w, 14)
+}
+
+func runE8Sized(w io.Writer, days int) error {
+	sim, err := fineHousehold(days, 8)
+	if err != nil {
+		return err
+	}
+	var flexTruth []household.Activation
+	for _, a := range sim.Activations {
+		if a.Flexible {
+			flexTruth = append(flexTruth, a)
+		}
+	}
+	fmt.Fprintf(w, "household: %d days, %d flexible ground-truth runs\n\n", days, len(flexTruth))
+
+	t := newTable("resolution", "detections", "precision", "recall", "F1")
+	for _, res := range []time.Duration{time.Minute, 5 * time.Minute, 15 * time.Minute, 30 * time.Minute} {
+		total := resampleOrPanic(sim.Total, res)
+		out, err := disagg.Detect(total, defaultRegistry, disagg.Config{})
+		if err != nil {
+			return err
+		}
+		tp, fp := 0, 0
+		used := make([]bool, len(flexTruth))
+		for _, d := range out.Detections {
+			matched := false
+			for i, a := range flexTruth {
+				if used[i] || a.Appliance != d.Appliance {
+					continue
+				}
+				delta := d.Start.Sub(a.Start)
+				if delta < 0 {
+					delta = -delta
+				}
+				if delta <= res+10*time.Minute {
+					used[i] = true
+					matched = true
+					break
+				}
+			}
+			if matched {
+				tp++
+			} else {
+				fp++
+			}
+		}
+		precision, recall, f1 := prf(tp, fp, len(flexTruth)-tp)
+		t.addf("%s|%d|%.2f|%.2f|%.2f", res, len(out.Detections), precision, recall, f1)
+	}
+	t.write(w)
+	fmt.Fprintln(w, "\nexpected shape: F1 degrades as the resolution coarsens — the paper's stated")
+	fmt.Fprintln(w, "reason for leaving appliance-level extraction as future work at 15-min data.")
+	return nil
+}
+
+func prf(tp, fp, fn int) (precision, recall, f1 float64) {
+	if tp == 0 {
+		return 0, 0, 0
+	}
+	precision = float64(tp) / float64(tp+fp)
+	recall = float64(tp) / float64(tp+fn)
+	f1 = 2 * precision * recall / (precision + recall)
+	return
+}
+
+// RunE9 evaluates the schedule-based extraction (§4.2): the mined schedule
+// against the appliances' configured habits, and the extracted offers
+// against ground truth, side by side with the frequency-based approach.
+//
+// The §4.2 premise is that households have sharp habits ("the dishwasher is
+// more used during the weekends"), so E9 simulates a habitual household: the
+// same appliance models as Table 1 but with concentrated start-hour
+// propensities (robot in the 9-11 morning block, washer around 18:00,
+// dishwasher around 19:00).
+func RunE9(w io.Writer) error {
+	return runE9Sized(w, 84) // 12 weeks: schedules need repetition
+}
+
+// habitualRegistry clones the default registry with sharply concentrated
+// start-hour habits for the three flexible household appliances.
+func habitualRegistry() *appliance.Registry {
+	reg := appliance.NewRegistry()
+	for _, a := range defaultRegistry.All() {
+		c := *a
+		switch c.Name {
+		case "vacuum cleaning robot X":
+			// A 3-hour morning habit: sharp enough to mine, spread enough
+			// that the robot does not run at identical minutes every day
+			// (a strictly daily-periodic load would be absorbed into the
+			// median base-load estimate — a classic NILM blind spot).
+			c.HourWeights = [24]float64{}
+			c.HourWeights[9], c.HourWeights[10], c.HourWeights[11] = 1, 1, 1
+		case "washing machine Y":
+			c.HourWeights = [24]float64{}
+			c.HourWeights[18] = 3
+			c.HourWeights[19] = 1
+		case "dishwasher Z":
+			c.HourWeights = [24]float64{}
+			c.HourWeights[19] = 3
+			c.HourWeights[20] = 1
+		}
+		if err := reg.Add(&c); err != nil {
+			panic(err)
+		}
+	}
+	return reg
+}
+
+func runE9Sized(w io.Writer, days int) error {
+	reg := habitualRegistry()
+	cfg := household.Config{
+		ID: "e9-habitual", Residents: 3,
+		Appliances: []string{
+			"washing machine Y", "dishwasher Z", "vacuum cleaning robot X", "refrigerator",
+		},
+		BaseLoadKW: 0.2, MorningPeak: 0.5, EveningPeak: 0.9, NoiseStd: 0.05,
+		Seed: 9,
+	}
+	sim, err := household.Simulate(reg, cfg, day0, days, time.Minute)
+	if err != nil {
+		return err
+	}
+	p := core.DefaultParams()
+	se := &core.ScheduleExtractor{Params: p, Registry: reg, MinSupport: 0.2}
+	sres, sreport, err := se.ExtractWithReport(sim.Total)
+	if err != nil {
+		return err
+	}
+	fe := &core.FrequencyExtractor{Params: p, Registry: reg}
+	fres, err := fe.Extract(sim.Total)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "mined schedule (%d cells at support >= %.2f):\n", len(sreport.Schedule), se.MinSupport)
+	t := newTable("appliance", "day type", "hour", "probability", "mean kWh")
+	for _, s := range sreport.Schedule {
+		t.addf("%s|%s|%02d:00|%.2f|%.2f", s.Appliance, s.DayType, s.Hour, s.Probability, s.MeanEnergy)
+	}
+	t.write(w)
+
+	sstats := eval.MatchOffers(sres.Offers, sim.Activations, 15*time.Minute)
+	fstats := eval.MatchOffers(fres.Offers, sim.Activations, 15*time.Minute)
+	fmt.Fprintln(w)
+	ct := newTable("approach", "offers", "precision", "recall", "F1")
+	ct.addf("schedule-based|%d|%.2f|%.2f|%.2f", len(sres.Offers), sstats.Precision, sstats.Recall, sstats.F1)
+	ct.addf("frequency-based|%d|%.2f|%.2f|%.2f", len(fres.Offers), fstats.Precision, fstats.Recall, fstats.F1)
+	ct.write(w)
+	fmt.Fprintln(w, "\nexpected shape: schedule-based extracts a subset of the frequency-based offers")
+	fmt.Fprintln(w, "(habitual usages only) at equal or higher precision, trading recall for realism.")
+	return nil
+}

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/flexoffer"
+	"repro/internal/forecast"
+	"repro/internal/household"
+	"repro/internal/res"
+	"repro/internal/sched"
+	"repro/internal/timeseries"
+)
+
+// RunE13 is an extension experiment covering the paper's forecasting
+// dependency ([6]: MIRABEL relies on "reliable and near real-time
+// forecasting of energy production and consumption"): (a) the forecasting
+// substrate's accuracy on simulated consumption, and (b) how scheduling
+// quality degrades when the scheduler sees a *forecast* of wind production
+// instead of the actual one.
+func RunE13(w io.Writer) error {
+	return runE13Sized(w, 40, 21)
+}
+
+func runE13Sized(w io.Writer, households, days int) error {
+	cfgs := household.Population(households, 13)
+	results, popTotal, err := household.SimulatePopulation(defaultRegistry, cfgs, day0, days+7, 15*time.Minute)
+	if err != nil {
+		return err
+	}
+
+	// (a) Consumption forecasting: train on the first `days`, test on the
+	// final week.
+	split := days * 96
+	train, err := popTotal.Slice(0, split)
+	if err != nil {
+		return err
+	}
+	test, err := popTotal.Slice(split, popTotal.Len())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "(a) population consumption forecasting: train %d days, test 7 days\n\n", days)
+	ft := newTable("model", "MAE kWh", "RMSE kWh", "MAPE")
+	for _, m := range []forecast.Model{
+		&forecast.SeasonalNaive{Period: 96},
+		&forecast.SES{Alpha: 0.3},
+		&forecast.HoltWinters{Alpha: 0.25, Beta: 0.01, Gamma: 0.2, Period: 96, Damping: 0.9},
+	} {
+		metrics, err := forecast.Evaluate(m, train, test)
+		if err != nil {
+			return err
+		}
+		ft.addf("%s|%.2f|%.2f|%.1f%%", m.Name(), metrics.MAE, metrics.RMSE, metrics.MAPE)
+	}
+	ft.write(w)
+
+	// (b) Scheduling against forecast wind. Extract offers over the whole
+	// horizon, schedule using forecasts of varying error, evaluate against
+	// the actual production.
+	var offers flexoffer.Set
+	var inflexParts []*timeseries.Series
+	for i, r := range results {
+		p := core.DefaultParams()
+		p.Seed = int64(i)
+		out, err := (&core.PeakExtractor{Params: p}).Extract(r.Total)
+		if err != nil {
+			return err
+		}
+		offers = append(offers, out.Offers...)
+		inflexParts = append(inflexParts, out.Modified)
+	}
+	inflex, err := timeseries.Sum(inflexParts...)
+	if err != nil {
+		return err
+	}
+	aggs, err := agg.AggregateSet(offers, agg.DefaultParams())
+	if err != nil {
+		return err
+	}
+	var aggOffers flexoffer.Set
+	for _, a := range aggs {
+		aggOffers = append(aggOffers, a.Offer)
+	}
+	turbine := res.DefaultTurbine()
+	turbine.RatedPowerKW = popTotal.Mean() / 0.25 * 1.5
+	actual, err := res.Simulate(res.DefaultWindModel(), turbine, day0, days+7, 15*time.Minute, 13)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "\n(b) scheduling against forecast wind (%d aggregated offers)\n\n", len(aggOffers))
+	st := newTable("forecast error", "unmatched kWh (vs actual)", "degradation vs perfect")
+	var perfect float64
+	for _, errStd := range []float64{0, 0.1, 0.2, 0.4} {
+		seen := res.ForecastWithError(actual, errStd, 99)
+		schedule, err := (&sched.Scheduler{}).Schedule(aggOffers, inflex, seen)
+		if err != nil {
+			return err
+		}
+		m, err := sched.Imbalance(schedule.Demand, actual)
+		if err != nil {
+			return err
+		}
+		if errStd == 0 {
+			perfect = m.UnmatchedDemand
+		}
+		st.addf("%.0f%%|%.0f|%+.1f%%", errStd*100, m.UnmatchedDemand,
+			(m.UnmatchedDemand-perfect)/perfect*100)
+	}
+	st.write(w)
+	fmt.Fprintln(w, "\nexpected shape: the season-aware models (seasonal naive, damped Holt-Winters)")
+	fmt.Fprintln(w, "beat plain SES on the strongly daily-seasonal load; scheduling quality degrades")
+	fmt.Fprintln(w, "gracefully, not catastrophically, as wind-forecast error grows.")
+	return nil
+}
+
+// RunE14 is the design-decision ablation from DESIGN.md §5: how the peak
+// *threshold* definition (the paper's daily mean vs quantiles) changes what
+// the peak-based extractor sees and produces.
+func RunE14(w io.Writer) error {
+	return runE14Sized(w, 28)
+}
+
+func runE14Sized(w io.Writer, days int) error {
+	sim, err := fineHousehold(days, 14)
+	if err != nil {
+		return err
+	}
+	input := resampleOrPanic(sim.Total, 15*time.Minute)
+
+	fmt.Fprintf(w, "household: %d days at 15 min\n\n", days)
+	t := newTable("threshold", "avg peaks/day", "avg candidates/day", "offers", "corr. w/ consumption", "peak-hour share")
+	for _, tc := range []struct {
+		name     string
+		quantile float64
+	}{
+		{"daily mean (paper)", 0},
+		{"median (q50)", 0.50},
+		{"q75", 0.75},
+		{"q90", 0.90},
+	} {
+		p := core.DefaultParams()
+		ex := &core.PeakExtractor{Params: p, ThresholdQuantile: tc.quantile}
+		out, err := ex.Extract(input)
+		if err != nil {
+			return err
+		}
+		var peaks, candidates int
+		for _, day := range input.Days() {
+			threshold := day.Mean()
+			if tc.quantile > 0 {
+				threshold = day.Quantile(tc.quantile)
+			}
+			ps := core.DetectPeaksAbove(day, threshold)
+			peaks += len(ps)
+			candidates += len(core.FilterPeaks(ps, p.FlexPercentage*day.Total()))
+		}
+		r, err := eval.Evaluate(out.Offers, input)
+		if err != nil {
+			return err
+		}
+		t.addf("%s|%.1f|%.1f|%d|%.2f|%.2f",
+			tc.name, float64(peaks)/float64(days), float64(candidates)/float64(days),
+			len(out.Offers), r.ConsumptionCorrelation, r.PeakShare)
+	}
+	t.write(w)
+	fmt.Fprintln(w, "\nexpected shape: higher thresholds find fewer, sharper peaks; very high")
+	fmt.Fprintln(w, "thresholds leave days without a candidate able to host the flexible energy,")
+	fmt.Fprintln(w, "reducing the offer count. The paper's daily-mean rule is a balanced default.")
+	return nil
+}

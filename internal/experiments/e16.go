@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/disagg"
+	"repro/internal/household"
+)
+
+// RunE16 is the base-load estimator ablation for the disaggregation
+// substrate. Two regimes are compared: (a) a household whose appliance
+// start times vary day to day, and (b) a strictly habitual household where
+// the same appliance runs in the same narrow window every day. The
+// per-phase-median estimator shines in (a) but absorbs the daily-periodic
+// load in (b) — the block-quantile baseline does not.
+func RunE16(w io.Writer) error {
+	return runE16Sized(w, 14)
+}
+
+func runE16Sized(w io.Writer, days int) error {
+	type regime struct {
+		name string
+		sim  *household.Result
+	}
+	varied, err := fineHousehold(days, 16)
+	if err != nil {
+		return err
+	}
+	// A strictly habitual household: the robot runs in a fixed one-hour
+	// window every day, the washer in a fixed evening hour.
+	reg := habitualRegistry()
+	hab, err := household.Simulate(reg, household.Config{
+		ID: "e16-habitual", Residents: 3,
+		Appliances: []string{"washing machine Y", "vacuum cleaning robot X", "refrigerator"},
+		BaseLoadKW: 0.2, MorningPeak: 0.5, EveningPeak: 0.9, NoiseStd: 0.05,
+		Seed: 16,
+	}, day0, days, time.Minute)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "%d days at 1-minute resolution\n\n", days)
+	t := newTable("household", "base estimator", "detections", "precision", "recall", "F1")
+	for _, r := range []regime{{"varied habits", varied}, {"strict daily habits", hab}} {
+		var flexTruth []household.Activation
+		for _, a := range r.sim.Activations {
+			if a.Flexible {
+				flexTruth = append(flexTruth, a)
+			}
+		}
+		for _, est := range []struct {
+			name string
+			cfg  disagg.Config
+		}{
+			{"phase median", disagg.Config{Base: disagg.PhaseMedian}},
+			{"block quantile", disagg.Config{Base: disagg.BlockQuantile}},
+		} {
+			regUsed := defaultRegistry
+			if r.name == "strict daily habits" {
+				regUsed = reg
+			}
+			out, err := disagg.Detect(r.sim.Total, regUsed, est.cfg)
+			if err != nil {
+				return err
+			}
+			tp := 0
+			used := make([]bool, len(flexTruth))
+			for _, d := range out.Detections {
+				for i, a := range flexTruth {
+					if used[i] || a.Appliance != d.Appliance {
+						continue
+					}
+					delta := d.Start.Sub(a.Start)
+					if delta < 0 {
+						delta = -delta
+					}
+					if delta <= 11*time.Minute {
+						used[i] = true
+						tp++
+						break
+					}
+				}
+			}
+			precision, recall, f1 := prf(tp, len(out.Detections)-tp, len(flexTruth)-tp)
+			t.addf("%s|%s|%d|%.2f|%.2f|%.2f",
+				r.name, est.name, len(out.Detections), precision, recall, f1)
+		}
+	}
+	t.write(w)
+	fmt.Fprintln(w, "\nexpected shape: the block-quantile baseline matches or beats the phase median")
+	fmt.Fprintln(w, "in both regimes, with the largest gap on strict daily habits, where the phase")
+	fmt.Fprintln(w, "median absorbs the daily-periodic appliance into the base estimate. The phase")
+	fmt.Fprintln(w, "median remains the default for its fidelity to the base load's daily shape,")
+	fmt.Fprintln(w, "but this ablation shows the quantile baseline is the safer choice when")
+	fmt.Fprintln(w, "appliance schedules may be strongly periodic.")
+	return nil
+}

@@ -1,0 +1,191 @@
+package flexoffer
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// tecOffer builds a 4-slice offer, each slice 1..3 kWh, with a total
+// constraint of [5, 7] kWh (tighter than the slice sums 4..12).
+func tecOffer() *FlexOffer {
+	return &FlexOffer{
+		ID:              "tec",
+		EarliestStart:   t0,
+		LatestStart:     t0.Add(2 * time.Hour),
+		Profile:         UniformProfile(4, 15*time.Minute, 1, 3),
+		TotalConstraint: &EnergyConstraint{Min: 5, Max: 7},
+	}
+}
+
+func TestTotalConstraintValidate(t *testing.T) {
+	f := tecOffer()
+	if err := f.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	inverted := tecOffer()
+	inverted.TotalConstraint = &EnergyConstraint{Min: 7, Max: 5}
+	if err := inverted.Validate(); !errors.Is(err, ErrSliceBounds) {
+		t.Errorf("inverted constraint: %v", err)
+	}
+	// Constraint entirely below the slice minima (4) is unsatisfiable.
+	tooLow := tecOffer()
+	tooLow.TotalConstraint = &EnergyConstraint{Min: 1, Max: 3}
+	if err := tooLow.Validate(); !errors.Is(err, ErrSliceBounds) {
+		t.Errorf("too-low constraint: %v", err)
+	}
+	// Constraint entirely above the slice maxima (12) is unsatisfiable.
+	tooHigh := tecOffer()
+	tooHigh.TotalConstraint = &EnergyConstraint{Min: 20, Max: 30}
+	if err := tooHigh.Validate(); !errors.Is(err, ErrSliceBounds) {
+		t.Errorf("too-high constraint: %v", err)
+	}
+}
+
+func TestEffectiveTotalBounds(t *testing.T) {
+	f := tecOffer()
+	lo, hi := f.EffectiveTotalBounds()
+	if lo != 5 || hi != 7 {
+		t.Errorf("bounds = [%v, %v], want [5, 7]", lo, hi)
+	}
+	f.TotalConstraint = nil
+	lo, hi = f.EffectiveTotalBounds()
+	if lo != 4 || hi != 12 {
+		t.Errorf("unconstrained bounds = [%v, %v], want [4, 12]", lo, hi)
+	}
+	// A constraint looser than the slices changes nothing.
+	f.TotalConstraint = &EnergyConstraint{Min: 1, Max: 100}
+	lo, hi = f.EffectiveTotalBounds()
+	if lo != 4 || hi != 12 {
+		t.Errorf("loose-constraint bounds = [%v, %v]", lo, hi)
+	}
+}
+
+func TestAssignEnforcesTotalConstraint(t *testing.T) {
+	f := tecOffer()
+	// Per-slice feasible but total (4) below the constraint minimum (5).
+	if _, err := f.Assign(t0, []float64{1, 1, 1, 1}); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("under-total assign: %v", err)
+	}
+	// Total 12 above the constraint maximum.
+	if _, err := f.Assign(t0, []float64{3, 3, 3, 3}); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("over-total assign: %v", err)
+	}
+	// Total 6 inside.
+	if _, err := f.Assign(t0, []float64{1.5, 1.5, 1.5, 1.5}); err != nil {
+		t.Errorf("valid assign: %v", err)
+	}
+}
+
+func TestAssignDefaultFitsConstraint(t *testing.T) {
+	// Slice averages sum to 8 > constraint max 7: AssignDefault must fit.
+	f := tecOffer()
+	asg, err := f.AssignDefault(t0)
+	if err != nil {
+		t.Fatalf("AssignDefault: %v", err)
+	}
+	if total := asg.TotalEnergy(); total < 5-1e-9 || total > 7+1e-9 {
+		t.Errorf("fitted total = %v, want within [5, 7]", total)
+	}
+	// Without a constraint, the default stays at the averages.
+	plain := tecOffer()
+	plain.TotalConstraint = nil
+	asg, err = plain.AssignDefault(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(asg.TotalEnergy(), 8, 1e-9) {
+		t.Errorf("unconstrained default total = %v, want 8", asg.TotalEnergy())
+	}
+}
+
+func TestFitEnergies(t *testing.T) {
+	f := tecOffer()
+	// Proposal violating both slice bounds and total constraint.
+	fitted, err := f.FitEnergies([]float64{10, 0, 10, 0})
+	if err != nil {
+		t.Fatalf("FitEnergies: %v", err)
+	}
+	var total float64
+	for i, e := range fitted {
+		s := f.Profile[i]
+		if e < s.MinEnergy-1e-9 || e > s.MaxEnergy+1e-9 {
+			t.Errorf("fitted[%d] = %v outside [%v, %v]", i, e, s.MinEnergy, s.MaxEnergy)
+		}
+		total += e
+	}
+	if total < 5-1e-9 || total > 7+1e-9 {
+		t.Errorf("fitted total = %v", total)
+	}
+	// Wrong arity.
+	if _, err := f.FitEnergies([]float64{1}); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("arity: %v", err)
+	}
+	// Input untouched.
+	in := []float64{10, 0, 10, 0}
+	if _, err := f.FitEnergies(in); err != nil {
+		t.Fatal(err)
+	}
+	if in[0] != 10 {
+		t.Error("FitEnergies mutated input")
+	}
+}
+
+func TestCloneCopiesConstraint(t *testing.T) {
+	f := tecOffer()
+	c := f.Clone()
+	c.TotalConstraint.Max = 100
+	if f.TotalConstraint.Max == 100 {
+		t.Error("Clone shares the constraint")
+	}
+}
+
+// Property: FitEnergies always lands inside the slice bounds and the
+// effective total bounds, for random proposals and random constraints.
+func TestFitEnergiesProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(6) + 1
+		f := &FlexOffer{
+			ID:            "prop",
+			EarliestStart: t0,
+			LatestStart:   t0.Add(time.Hour),
+			Profile:       make([]Slice, n),
+		}
+		var sumMin, sumMax float64
+		for i := range f.Profile {
+			lo := rng.Float64() * 2
+			hi := lo + rng.Float64()*2
+			f.Profile[i] = Slice{Duration: 15 * time.Minute, MinEnergy: lo, MaxEnergy: hi}
+			sumMin += lo
+			sumMax += hi
+		}
+		// A random satisfiable constraint inside [sumMin, sumMax].
+		a := sumMin + rng.Float64()*(sumMax-sumMin)
+		b := sumMin + rng.Float64()*(sumMax-sumMin)
+		if a > b {
+			a, b = b, a
+		}
+		f.TotalConstraint = &EnergyConstraint{Min: a, Max: b}
+		if f.Validate() != nil {
+			return false
+		}
+		proposal := make([]float64, n)
+		for i := range proposal {
+			proposal[i] = rng.Float64()*6 - 1
+		}
+		fitted, err := f.FitEnergies(proposal)
+		if err != nil {
+			return false
+		}
+		if _, err := f.Assign(t0, fitted); err != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,58 @@
+package flexoffer_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/flexoffer"
+)
+
+// ExampleFlexOffer builds the paper's Fig. 1 offer — an electric vehicle
+// that needs 50 kWh over two hours, starting anywhere between 10 PM and
+// 5 AM — and derives its headline quantities.
+func ExampleFlexOffer() {
+	tenPM := time.Date(2012, 6, 4, 22, 0, 0, 0, time.UTC)
+	offer := &flexoffer.FlexOffer{
+		ID:            "ev-1",
+		EarliestStart: tenPM,
+		LatestStart:   tenPM.Add(7 * time.Hour), // 5 AM
+		Profile:       flexoffer.UniformProfile(8, 15*time.Minute, 5.625, 6.875),
+	}
+	if err := offer.Validate(); err != nil {
+		fmt.Println("invalid:", err)
+		return
+	}
+	fmt.Printf("duration        %v\n", offer.Duration())
+	fmt.Printf("time flexible   %v\n", offer.TimeFlexibility())
+	fmt.Printf("latest end      %s\n", offer.LatestEnd().Format("15:04"))
+	fmt.Printf("energy          %.0f (%.0f..%.0f) kWh\n",
+		offer.TotalAvgEnergy(), offer.TotalMinEnergy(), offer.TotalMaxEnergy())
+	// Output:
+	// duration        2h0m0s
+	// time flexible   7h0m0s
+	// latest end      07:00
+	// energy          50 (45..55) kWh
+}
+
+// ExampleFlexOffer_Assign schedules an offer at a concrete start time with
+// explicit per-slice energies and renders it as a time series.
+func ExampleFlexOffer_Assign() {
+	start := time.Date(2012, 6, 4, 21, 0, 0, 0, time.UTC)
+	offer := &flexoffer.FlexOffer{
+		ID:            "dishwasher",
+		EarliestStart: start,
+		LatestStart:   start.Add(4 * time.Hour),
+		Profile:       flexoffer.UniformProfile(4, 15*time.Minute, 0.3, 0.5),
+	}
+	asg, err := offer.Assign(start.Add(time.Hour), []float64{0.4, 0.5, 0.5, 0.3})
+	if err != nil {
+		fmt.Println("infeasible:", err)
+		return
+	}
+	fmt.Printf("start %s, total %.1f kWh\n", asg.Start.Format("15:04"), asg.TotalEnergy())
+	series, _ := asg.ToSeries(15 * time.Minute)
+	fmt.Printf("as series: %d intervals, %.1f kWh\n", series.Len(), series.Total())
+	// Output:
+	// start 22:00, total 1.7 kWh
+	// as series: 4 intervals, 1.7 kWh
+}

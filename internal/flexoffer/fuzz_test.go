@@ -1,0 +1,38 @@
+package flexoffer
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON checks the set decoder never panics, only yields validated
+// offers, and that accepted sets round-trip.
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`[]`)
+	f.Add(`[{"id":"a","earliest_start":"2012-06-04T22:00:00Z","latest_start":"2012-06-05T05:00:00Z","profile":[{"duration":900000000000,"min_energy_kwh":1,"max_energy_kwh":2}]}]`)
+	f.Add(`[{"id":"bad","profile":[]}]`)
+	f.Add(`{`)
+	f.Add(`[{"id":"x","profile":[{"duration":-1,"min_energy_kwh":2,"max_energy_kwh":1}]}]`)
+	f.Fuzz(func(t *testing.T, input string) {
+		set, err := ReadJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Everything accepted must validate and round-trip.
+		if err := set.Validate(); err != nil {
+			t.Fatalf("accepted set fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := set.WriteJSON(&buf); err != nil {
+			t.Fatalf("write after accept: %v", err)
+		}
+		back, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("re-read of own output: %v", err)
+		}
+		if len(back) != len(set) {
+			t.Fatalf("round trip changed size: %d vs %d", len(back), len(set))
+		}
+	})
+}

@@ -1,0 +1,285 @@
+// Package forecast provides the consumption/production forecasting substrate
+// of the MIRABEL stack (the paper's reference [6]: "reliable and near
+// real-time forecasting of energy production and consumption"). Three
+// classical models are implemented from scratch: seasonal naive, simple
+// exponential smoothing, and additive Holt–Winters with a daily season.
+package forecast
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/timeseries"
+)
+
+// Common errors.
+var (
+	ErrNotFitted = errors.New("forecast: model not fitted")
+	ErrTooShort  = errors.New("forecast: training series too short")
+	ErrParam     = errors.New("forecast: invalid parameter")
+)
+
+// Model is a univariate time series forecaster.
+type Model interface {
+	// Name identifies the model.
+	Name() string
+	// Fit trains the model on the series.
+	Fit(s *timeseries.Series) error
+	// Forecast predicts the next h intervals, returned as a series
+	// starting where the training series ended.
+	Forecast(h int) (*timeseries.Series, error)
+}
+
+// --- Seasonal naive --------------------------------------------------------
+
+// SeasonalNaive predicts the value observed one season earlier.
+type SeasonalNaive struct {
+	// Period is the season length in intervals.
+	Period int
+
+	lastSeason []float64
+	end        seriesMeta
+}
+
+type seriesMeta struct {
+	fitted bool
+	s      *timeseries.Series
+}
+
+// Name implements Model.
+func (m *SeasonalNaive) Name() string { return fmt.Sprintf("seasonal-naive(%d)", m.Period) }
+
+// Fit implements Model.
+func (m *SeasonalNaive) Fit(s *timeseries.Series) error {
+	if m.Period < 1 {
+		return fmt.Errorf("%w: period %d", ErrParam, m.Period)
+	}
+	if s.Len() < m.Period {
+		return fmt.Errorf("%w: need %d points, have %d", ErrTooShort, m.Period, s.Len())
+	}
+	vals := s.Values()
+	m.lastSeason = vals[len(vals)-m.Period:]
+	m.end = seriesMeta{fitted: true, s: s}
+	return nil
+}
+
+// Forecast implements Model.
+func (m *SeasonalNaive) Forecast(h int) (*timeseries.Series, error) {
+	if !m.end.fitted {
+		return nil, ErrNotFitted
+	}
+	if h < 1 {
+		return nil, fmt.Errorf("%w: horizon %d", ErrParam, h)
+	}
+	out := make([]float64, h)
+	for i := range out {
+		out[i] = m.lastSeason[i%m.Period]
+	}
+	return timeseries.New(m.end.s.End(), m.end.s.Resolution(), out)
+}
+
+// --- Simple exponential smoothing ------------------------------------------
+
+// SES is simple exponential smoothing with smoothing factor Alpha; its
+// forecast is flat at the final level.
+type SES struct {
+	// Alpha in (0, 1] is the smoothing factor.
+	Alpha float64
+
+	level float64
+	end   seriesMeta
+}
+
+// Name implements Model.
+func (m *SES) Name() string { return fmt.Sprintf("ses(%.2f)", m.Alpha) }
+
+// Fit implements Model.
+func (m *SES) Fit(s *timeseries.Series) error {
+	if m.Alpha <= 0 || m.Alpha > 1 {
+		return fmt.Errorf("%w: alpha %v", ErrParam, m.Alpha)
+	}
+	if s.Len() < 1 {
+		return fmt.Errorf("%w: empty series", ErrTooShort)
+	}
+	level := s.Value(0)
+	for i := 1; i < s.Len(); i++ {
+		level = m.Alpha*s.Value(i) + (1-m.Alpha)*level
+	}
+	m.level = level
+	m.end = seriesMeta{fitted: true, s: s}
+	return nil
+}
+
+// Forecast implements Model.
+func (m *SES) Forecast(h int) (*timeseries.Series, error) {
+	if !m.end.fitted {
+		return nil, ErrNotFitted
+	}
+	if h < 1 {
+		return nil, fmt.Errorf("%w: horizon %d", ErrParam, h)
+	}
+	out := make([]float64, h)
+	for i := range out {
+		out[i] = m.level
+	}
+	return timeseries.New(m.end.s.End(), m.end.s.Resolution(), out)
+}
+
+// --- Additive Holt–Winters --------------------------------------------------
+
+// HoltWinters is triple exponential smoothing with additive trend and
+// season, optionally with a damped trend for long horizons.
+type HoltWinters struct {
+	// Alpha, Beta, Gamma in (0, 1] smooth level, trend and season.
+	Alpha, Beta, Gamma float64
+	// Period is the season length in intervals.
+	Period int
+	// Damping in (0, 1] geometrically damps the trend over the forecast
+	// horizon (Gardner-McKenzie): step h extrapolates the trend by
+	// Damping + Damping² + … + Damping^h instead of h. Zero means 1
+	// (no damping). Damping < 1 prevents small trend estimates from
+	// drifting multi-day forecasts.
+	Damping float64
+
+	level, trend float64
+	season       []float64
+	end          seriesMeta
+}
+
+// Name implements Model.
+func (m *HoltWinters) Name() string {
+	return fmt.Sprintf("holt-winters(%.2f,%.2f,%.2f,%d)", m.Alpha, m.Beta, m.Gamma, m.Period)
+}
+
+// Fit implements Model.
+func (m *HoltWinters) Fit(s *timeseries.Series) error {
+	for _, p := range []float64{m.Alpha, m.Beta, m.Gamma} {
+		if p <= 0 || p > 1 {
+			return fmt.Errorf("%w: smoothing factor %v", ErrParam, p)
+		}
+	}
+	if m.Damping < 0 || m.Damping > 1 {
+		return fmt.Errorf("%w: damping %v outside [0, 1]", ErrParam, m.Damping)
+	}
+	if m.Period < 2 {
+		return fmt.Errorf("%w: period %d", ErrParam, m.Period)
+	}
+	if s.Len() < 2*m.Period {
+		return fmt.Errorf("%w: need %d points, have %d", ErrTooShort, 2*m.Period, s.Len())
+	}
+	vals := s.Values()
+	p := m.Period
+
+	// Initialise level/trend from the first two seasons, season from the
+	// first season's deviations.
+	var mean1, mean2 float64
+	for i := 0; i < p; i++ {
+		mean1 += vals[i]
+		mean2 += vals[p+i]
+	}
+	mean1 /= float64(p)
+	mean2 /= float64(p)
+	level := mean1
+	trend := (mean2 - mean1) / float64(p)
+	season := make([]float64, p)
+	for i := 0; i < p; i++ {
+		season[i] = vals[i] - mean1
+	}
+
+	for i := p; i < len(vals); i++ {
+		v := vals[i]
+		si := i % p
+		prevLevel := level
+		level = m.Alpha*(v-season[si]) + (1-m.Alpha)*(level+trend)
+		trend = m.Beta*(level-prevLevel) + (1-m.Beta)*trend
+		season[si] = m.Gamma*(v-level) + (1-m.Gamma)*season[si]
+	}
+	m.level, m.trend, m.season = level, trend, season
+	m.end = seriesMeta{fitted: true, s: s}
+	return nil
+}
+
+// Forecast implements Model.
+func (m *HoltWinters) Forecast(h int) (*timeseries.Series, error) {
+	if !m.end.fitted {
+		return nil, ErrNotFitted
+	}
+	if h < 1 {
+		return nil, fmt.Errorf("%w: horizon %d", ErrParam, h)
+	}
+	n := m.end.s.Len()
+	phi := m.Damping
+	if phi == 0 {
+		phi = 1
+	}
+	out := make([]float64, h)
+	trendSum := 0.0
+	phiPow := 1.0
+	for i := range out {
+		phiPow *= phi
+		trendSum += phiPow // Σ_{k=1..i+1} phi^k; equals i+1 when phi == 1
+		out[i] = m.level + trendSum*m.trend + m.season[(n+i)%m.Period]
+	}
+	return timeseries.New(m.end.s.End(), m.end.s.Resolution(), out)
+}
+
+// --- Accuracy metrics -------------------------------------------------------
+
+// Metrics summarises forecast accuracy.
+type Metrics struct {
+	MAE  float64
+	RMSE float64
+	// MAPE is in percent; intervals with actual == 0 are skipped.
+	MAPE float64
+}
+
+// Accuracy compares a forecast against actuals (aligned series).
+func Accuracy(actual, predicted *timeseries.Series) (Metrics, error) {
+	if actual.Len() != predicted.Len() || actual.Len() == 0 {
+		return Metrics{}, fmt.Errorf("%w: actual %d vs predicted %d points", ErrParam, actual.Len(), predicted.Len())
+	}
+	var sae, sse, sape float64
+	var n, nPct int
+	for i := 0; i < actual.Len(); i++ {
+		a, p := actual.Value(i), predicted.Value(i)
+		if math.IsNaN(a) || math.IsNaN(p) {
+			continue
+		}
+		d := p - a
+		sae += math.Abs(d)
+		sse += d * d
+		n++
+		if a != 0 {
+			sape += math.Abs(d / a)
+			nPct++
+		}
+	}
+	if n == 0 {
+		return Metrics{}, fmt.Errorf("%w: no comparable points", ErrParam)
+	}
+	m := Metrics{
+		MAE:  sae / float64(n),
+		RMSE: math.Sqrt(sse / float64(n)),
+	}
+	if nPct > 0 {
+		m.MAPE = 100 * sape / float64(nPct)
+	}
+	return m, nil
+}
+
+// Evaluate fits the model on train and scores it against test (which must
+// start where train ends).
+func Evaluate(m Model, train, test *timeseries.Series) (Metrics, error) {
+	if err := m.Fit(train); err != nil {
+		return Metrics{}, err
+	}
+	pred, err := m.Forecast(test.Len())
+	if err != nil {
+		return Metrics{}, err
+	}
+	if !pred.Start().Equal(test.Start()) {
+		return Metrics{}, fmt.Errorf("%w: test does not follow train", ErrParam)
+	}
+	return Accuracy(test, pred)
+}

@@ -1,0 +1,287 @@
+package forecast
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/timeseries"
+)
+
+var t0 = time.Date(2012, 6, 1, 0, 0, 0, 0, time.UTC)
+
+// seasonalSeries builds n points of a pure period-p pattern plus trend.
+func seasonalSeries(n, p int, slope float64) *timeseries.Series {
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 10 + slope*float64(i) + 3*math.Sin(2*math.Pi*float64(i)/float64(p))
+	}
+	return timeseries.MustNew(t0, time.Hour, vals)
+}
+
+func TestSeasonalNaivePerfectOnPeriodicData(t *testing.T) {
+	s := seasonalSeries(96, 24, 0)
+	m := &SeasonalNaive{Period: 24}
+	if err := m.Fit(s); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	fc, err := m.Forecast(24)
+	if err != nil {
+		t.Fatalf("Forecast: %v", err)
+	}
+	if !fc.Start().Equal(s.End()) {
+		t.Errorf("forecast start = %v, want %v", fc.Start(), s.End())
+	}
+	for i := 0; i < 24; i++ {
+		want := s.Value(72 + i)
+		if math.Abs(fc.Value(i)-want) > 1e-9 {
+			t.Fatalf("forecast[%d] = %v, want %v", i, fc.Value(i), want)
+		}
+	}
+	// Horizon beyond one season repeats the season.
+	fc2, _ := m.Forecast(48)
+	if math.Abs(fc2.Value(0)-fc2.Value(24)) > 1e-9 {
+		t.Error("seasonal naive does not repeat beyond one season")
+	}
+}
+
+func TestSeasonalNaiveErrors(t *testing.T) {
+	m := &SeasonalNaive{Period: 0}
+	if err := m.Fit(seasonalSeries(48, 24, 0)); !errors.Is(err, ErrParam) {
+		t.Errorf("period 0: %v", err)
+	}
+	m = &SeasonalNaive{Period: 100}
+	if err := m.Fit(seasonalSeries(48, 24, 0)); !errors.Is(err, ErrTooShort) {
+		t.Errorf("short series: %v", err)
+	}
+	m = &SeasonalNaive{Period: 24}
+	if _, err := m.Forecast(10); !errors.Is(err, ErrNotFitted) {
+		t.Errorf("unfitted forecast: %v", err)
+	}
+	if err := m.Fit(seasonalSeries(48, 24, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Forecast(0); !errors.Is(err, ErrParam) {
+		t.Errorf("zero horizon: %v", err)
+	}
+}
+
+func TestSESConvergesToConstant(t *testing.T) {
+	vals := make([]float64, 50)
+	for i := range vals {
+		vals[i] = 5
+	}
+	s := timeseries.MustNew(t0, time.Hour, vals)
+	m := &SES{Alpha: 0.3}
+	if err := m.Fit(s); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	fc, err := m.Forecast(5)
+	if err != nil {
+		t.Fatalf("Forecast: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if math.Abs(fc.Value(i)-5) > 1e-9 {
+			t.Fatalf("SES forecast[%d] = %v, want 5", i, fc.Value(i))
+		}
+	}
+}
+
+func TestSESTracksLevelShift(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		if i < 50 {
+			vals[i] = 1
+		} else {
+			vals[i] = 10
+		}
+	}
+	s := timeseries.MustNew(t0, time.Hour, vals)
+	m := &SES{Alpha: 0.5}
+	if err := m.Fit(s); err != nil {
+		t.Fatal(err)
+	}
+	fc, _ := m.Forecast(1)
+	if fc.Value(0) < 9 {
+		t.Errorf("SES after level shift = %v, want near 10", fc.Value(0))
+	}
+}
+
+func TestSESErrors(t *testing.T) {
+	for _, alpha := range []float64{0, -1, 1.5} {
+		m := &SES{Alpha: alpha}
+		if err := m.Fit(seasonalSeries(10, 5, 0)); !errors.Is(err, ErrParam) {
+			t.Errorf("alpha %v: %v", alpha, err)
+		}
+	}
+	m := &SES{Alpha: 0.5}
+	empty := timeseries.MustNew(t0, time.Hour, nil)
+	if err := m.Fit(empty); !errors.Is(err, ErrTooShort) {
+		t.Errorf("empty: %v", err)
+	}
+}
+
+func TestHoltWintersBeatsSESOnSeasonalTrend(t *testing.T) {
+	train := seasonalSeries(24*10, 24, 0.05)
+	testVals := make([]float64, 24)
+	n := train.Len()
+	for i := range testVals {
+		j := n + i
+		testVals[i] = 10 + 0.05*float64(j) + 3*math.Sin(2*math.Pi*float64(j)/24)
+	}
+	test := timeseries.MustNew(train.End(), time.Hour, testVals)
+
+	hw := &HoltWinters{Alpha: 0.3, Beta: 0.05, Gamma: 0.2, Period: 24}
+	hwMetrics, err := Evaluate(hw, train, test)
+	if err != nil {
+		t.Fatalf("Evaluate HW: %v", err)
+	}
+	ses := &SES{Alpha: 0.3}
+	sesMetrics, err := Evaluate(ses, train, test)
+	if err != nil {
+		t.Fatalf("Evaluate SES: %v", err)
+	}
+	if hwMetrics.RMSE >= sesMetrics.RMSE {
+		t.Errorf("HW RMSE %v not better than SES %v on seasonal data", hwMetrics.RMSE, sesMetrics.RMSE)
+	}
+	if hwMetrics.RMSE > 1.0 {
+		t.Errorf("HW RMSE %v too large on clean seasonal data", hwMetrics.RMSE)
+	}
+}
+
+func TestHoltWintersErrors(t *testing.T) {
+	s := seasonalSeries(96, 24, 0)
+	bad := []*HoltWinters{
+		{Alpha: 0, Beta: 0.1, Gamma: 0.1, Period: 24},
+		{Alpha: 0.1, Beta: 2, Gamma: 0.1, Period: 24},
+		{Alpha: 0.1, Beta: 0.1, Gamma: 0.1, Period: 1},
+	}
+	for i, m := range bad {
+		if err := m.Fit(s); !errors.Is(err, ErrParam) {
+			t.Errorf("bad model %d: %v", i, err)
+		}
+	}
+	m := &HoltWinters{Alpha: 0.1, Beta: 0.1, Gamma: 0.1, Period: 60}
+	if err := m.Fit(s); !errors.Is(err, ErrTooShort) {
+		t.Errorf("short: %v", err)
+	}
+	m2 := &HoltWinters{Alpha: 0.1, Beta: 0.1, Gamma: 0.1, Period: 24}
+	if _, err := m2.Forecast(5); !errors.Is(err, ErrNotFitted) {
+		t.Errorf("unfitted: %v", err)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	a := timeseries.MustNew(t0, time.Hour, []float64{2, 4, 0})
+	p := timeseries.MustNew(t0, time.Hour, []float64{3, 2, 1})
+	m, err := Accuracy(a, p)
+	if err != nil {
+		t.Fatalf("Accuracy: %v", err)
+	}
+	// errors: +1, -2, +1 → MAE 4/3; RMSE sqrt(6/3); MAPE over non-zero
+	// actuals: (0.5 + 0.5)/2 *100 = 50.
+	if math.Abs(m.MAE-4.0/3) > 1e-9 {
+		t.Errorf("MAE = %v", m.MAE)
+	}
+	if math.Abs(m.RMSE-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("RMSE = %v", m.RMSE)
+	}
+	if math.Abs(m.MAPE-50) > 1e-9 {
+		t.Errorf("MAPE = %v", m.MAPE)
+	}
+	short := timeseries.MustNew(t0, time.Hour, []float64{1})
+	if _, err := Accuracy(a, short); !errors.Is(err, ErrParam) {
+		t.Errorf("mismatched lengths: %v", err)
+	}
+}
+
+func TestAccuracySkipsNaN(t *testing.T) {
+	a := timeseries.MustNew(t0, time.Hour, []float64{math.NaN(), 2})
+	p := timeseries.MustNew(t0, time.Hour, []float64{5, 2})
+	m, err := Accuracy(a, p)
+	if err != nil {
+		t.Fatalf("Accuracy: %v", err)
+	}
+	if m.MAE != 0 {
+		t.Errorf("MAE = %v, want 0", m.MAE)
+	}
+	allNaN := timeseries.MustNew(t0, time.Hour, []float64{math.NaN()})
+	if _, err := Accuracy(allNaN, timeseries.MustNew(t0, time.Hour, []float64{1})); err == nil {
+		t.Error("all-NaN comparison succeeded")
+	}
+}
+
+func TestEvaluateChecksContinuity(t *testing.T) {
+	train := seasonalSeries(96, 24, 0)
+	// Test series starting at the wrong time.
+	wrong := timeseries.MustNew(t0.Add(1000*time.Hour), time.Hour, make([]float64, 24))
+	m := &SeasonalNaive{Period: 24}
+	if _, err := Evaluate(m, train, wrong); !errors.Is(err, ErrParam) {
+		t.Errorf("discontinuous test: %v", err)
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	models := []Model{
+		&SeasonalNaive{Period: 96},
+		&SES{Alpha: 0.5},
+		&HoltWinters{Alpha: 0.1, Beta: 0.1, Gamma: 0.1, Period: 96},
+	}
+	for _, m := range models {
+		if m.Name() == "" {
+			t.Errorf("%T has empty name", m)
+		}
+	}
+}
+
+func TestHoltWintersDampingBoundsDrift(t *testing.T) {
+	// Seasonal data with a deceptive local trend: damped forecasts must
+	// stay closer to the seasonal level over a long horizon.
+	vals := make([]float64, 24*10)
+	for i := range vals {
+		vals[i] = 10 + 3*math.Sin(2*math.Pi*float64(i)/24)
+	}
+	// Perturb the last two days upward to fake a trend.
+	for i := 24 * 8; i < len(vals); i++ {
+		vals[i] += 0.05 * float64(i-24*8)
+	}
+	s := timeseries.MustNew(t0, time.Hour, vals)
+
+	undamped := &HoltWinters{Alpha: 0.3, Beta: 0.2, Gamma: 0.2, Period: 24}
+	damped := &HoltWinters{Alpha: 0.3, Beta: 0.2, Gamma: 0.2, Period: 24, Damping: 0.8}
+	if err := undamped.Fit(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := damped.Fit(s); err != nil {
+		t.Fatal(err)
+	}
+	const h = 24 * 7
+	fu, err := undamped.Forecast(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := damped.Forecast(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the far end the undamped forecast has drifted further from the
+	// underlying level (10) than the damped one.
+	du := math.Abs(fu.Value(h-1) - 10)
+	dd := math.Abs(fd.Value(h-1) - 10)
+	if dd >= du {
+		t.Errorf("damped drift %v >= undamped drift %v", dd, du)
+	}
+}
+
+func TestHoltWintersDampingValidation(t *testing.T) {
+	s := seasonalSeries(96, 24, 0)
+	bad := &HoltWinters{Alpha: 0.3, Beta: 0.2, Gamma: 0.2, Period: 24, Damping: 1.5}
+	if err := bad.Fit(s); !errors.Is(err, ErrParam) {
+		t.Errorf("damping > 1: %v", err)
+	}
+	neg := &HoltWinters{Alpha: 0.3, Beta: 0.2, Gamma: 0.2, Period: 24, Damping: -0.1}
+	if err := neg.Fit(s); !errors.Is(err, ErrParam) {
+		t.Errorf("damping < 0: %v", err)
+	}
+}

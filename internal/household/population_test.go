@@ -1,0 +1,77 @@
+package household
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestArchetypesValid(t *testing.T) {
+	for _, cfg := range Archetypes() {
+		if cfg.ID == "" || cfg.BaseLoadKW <= 0 || len(cfg.Appliances) == 0 {
+			t.Errorf("archetype %+v incomplete", cfg)
+		}
+		for _, name := range cfg.Appliances {
+			if _, ok := reg.Get(name); !ok {
+				t.Errorf("archetype %s references unknown appliance %q", cfg.ID, name)
+			}
+		}
+	}
+}
+
+func TestPopulationDeterministicAndUnique(t *testing.T) {
+	a := Population(10, 7)
+	b := Population(10, 7)
+	ids := make(map[string]bool)
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Seed != b[i].Seed || a[i].BaseLoadKW != b[i].BaseLoadKW {
+			t.Fatal("Population not deterministic")
+		}
+		if ids[a[i].ID] {
+			t.Fatalf("duplicate household ID %s", a[i].ID)
+		}
+		ids[a[i].ID] = true
+	}
+	c := Population(10, 8)
+	if c[0].Seed == a[0].Seed {
+		t.Error("different population seeds produced identical household seeds")
+	}
+}
+
+func TestPopulationCyclesArchetypes(t *testing.T) {
+	n := len(Archetypes()) * 2
+	cfgs := Population(n, 1)
+	if len(cfgs) != n {
+		t.Fatalf("len = %d", len(cfgs))
+	}
+	if !strings.HasPrefix(cfgs[0].ID, "flat-single") {
+		t.Errorf("first household = %s", cfgs[0].ID)
+	}
+	if !strings.HasPrefix(cfgs[len(Archetypes())].ID, "flat-single") {
+		t.Errorf("cycle household = %s", cfgs[len(Archetypes())].ID)
+	}
+}
+
+func TestSimulatePopulationAggregates(t *testing.T) {
+	cfgs := Population(6, 3)
+	results, agg, err := SimulatePopulation(reg, cfgs, t0, 2, 15*time.Minute)
+	if err != nil {
+		t.Fatalf("SimulatePopulation: %v", err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("results = %d", len(results))
+	}
+	var sum float64
+	for _, r := range results {
+		sum += r.Total.Total()
+	}
+	if diff := sum - agg.Total(); diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("aggregate total %v != sum of households %v", agg.Total(), sum)
+	}
+}
+
+func TestSimulatePopulationEmpty(t *testing.T) {
+	if _, _, err := SimulatePopulation(reg, nil, t0, 1, 15*time.Minute); err == nil {
+		t.Error("empty population succeeded")
+	}
+}

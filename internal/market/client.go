@@ -1,0 +1,122 @@
+package market
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"repro/internal/flexoffer"
+)
+
+// Client talks to a market Server over HTTP.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:7654".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient when nil.
+	HTTPClient *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do performs a request and decodes the JSON response into out (when out is
+// non-nil). Non-2xx responses are turned into errors carrying the server's
+// message.
+func (c *Client) do(method, path string, body, out any) error {
+	var reader io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("market client: encode: %w", err)
+		}
+		reader = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, reader)
+	if err != nil {
+		return fmt.Errorf("market client: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("market client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		var eb errorBody
+		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
+			return fmt.Errorf("market client: %s: %s", resp.Status, eb.Error)
+		}
+		return fmt.Errorf("market client: %s", resp.Status)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("market client: decode: %w", err)
+		}
+	}
+	return nil
+}
+
+// Submit collects an offer.
+func (c *Client) Submit(f *flexoffer.FlexOffer) error {
+	return c.do(http.MethodPost, "/offers", f, nil)
+}
+
+// Accept accepts an offer.
+func (c *Client) Accept(id string) error {
+	return c.do(http.MethodPost, "/offers/"+url.PathEscape(id)+"/accept", nil, nil)
+}
+
+// Reject rejects an offer.
+func (c *Client) Reject(id string) error {
+	return c.do(http.MethodPost, "/offers/"+url.PathEscape(id)+"/reject", nil, nil)
+}
+
+// Assign fixes an accepted offer's schedule.
+func (c *Client) Assign(id string, start time.Time, energies []float64) error {
+	return c.do(http.MethodPost, "/offers/"+url.PathEscape(id)+"/assign",
+		assignRequest{Start: start, Energies: energies}, nil)
+}
+
+// Get fetches one record.
+func (c *Client) Get(id string) (Record, error) {
+	var rec Record
+	err := c.do(http.MethodGet, "/offers/"+url.PathEscape(id), nil, &rec)
+	return rec, err
+}
+
+// List fetches records, optionally filtered by state.
+func (c *Client) List(state string) ([]Record, error) {
+	path := "/offers"
+	if state != "" {
+		path += "?state=" + url.QueryEscape(state)
+	}
+	var recs []Record
+	err := c.do(http.MethodGet, path, nil, &recs)
+	return recs, err
+}
+
+// Stats fetches the store summary.
+func (c *Client) Stats() (Counts, error) {
+	var counts Counts
+	err := c.do(http.MethodGet, "/stats", nil, &counts)
+	return counts, err
+}
+
+// Expire triggers the overdue sweep.
+func (c *Client) Expire() (int, error) {
+	var out map[string]int
+	if err := c.do(http.MethodPost, "/expire", nil, &out); err != nil {
+		return 0, err
+	}
+	return out["expired"], nil
+}

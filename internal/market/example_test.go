@@ -1,0 +1,46 @@
+package market_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/flexoffer"
+	"repro/internal/market"
+)
+
+// ExampleStore walks the collection lifecycle: submit before the acceptance
+// deadline, accept, assign a concrete start, and read the summary.
+func ExampleStore() {
+	now := time.Date(2012, 6, 4, 8, 0, 0, 0, time.UTC)
+	store := market.NewStore(func() time.Time { return now })
+
+	offer := &flexoffer.FlexOffer{
+		ID:             "washer-tonight",
+		CreationTime:   now,
+		AcceptanceTime: now.Add(4 * time.Hour),
+		AssignmentTime: now.Add(8 * time.Hour),
+		EarliestStart:  now.Add(10 * time.Hour), // 18:00
+		LatestStart:    now.Add(14 * time.Hour), // 22:00
+		Profile:        flexoffer.UniformProfile(4, 15*time.Minute, 0.4, 0.6),
+	}
+	if err := store.Submit(offer); err != nil {
+		fmt.Println("submit:", err)
+		return
+	}
+	if err := store.Accept("washer-tonight"); err != nil {
+		fmt.Println("accept:", err)
+		return
+	}
+	asg, err := store.Assign("washer-tonight", offer.EarliestStart.Add(2*time.Hour),
+		[]float64{0.5, 0.5, 0.5, 0.5})
+	if err != nil {
+		fmt.Println("assign:", err)
+		return
+	}
+	fmt.Printf("assigned %s for %.1f kWh\n", asg.Start.Format("15:04"), asg.TotalEnergy())
+	counts := store.Stats()
+	fmt.Printf("assigned offers in store: %d\n", counts.Assigned)
+	// Output:
+	// assigned 20:00 for 2.0 kWh
+	// assigned offers in store: 1
+}

@@ -1,0 +1,167 @@
+package market
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/flexoffer"
+)
+
+// Server exposes a Store over HTTP with a small JSON API:
+//
+//	POST /offers                 submit a flex-offer (JSON body)
+//	GET  /offers                 list records; ?state=offered filters
+//	GET  /offers/{id}            one record
+//	POST /offers/{id}/accept     accept
+//	POST /offers/{id}/reject     reject
+//	POST /offers/{id}/assign     assign {"start": ..., "energies": [...]}
+//	POST /expire                 sweep overdue records
+//	GET  /stats                  store summary
+type Server struct {
+	store *Store
+	mux   *http.ServeMux
+}
+
+// NewServer wraps a store.
+func NewServer(store *Store) *Server {
+	s := &Server{store: store, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/offers", s.handleOffers)
+	s.mux.HandleFunc("/offers/", s.handleOffer)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/expire", s.handleExpire)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// assignRequest is the /assign body.
+type assignRequest struct {
+	Start    time.Time `json:"start"`
+	Energies []float64 `json:"energies"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrDuplicate), errors.Is(err, ErrTransition):
+		status = http.StatusConflict
+	case errors.Is(err, ErrDeadline):
+		status = http.StatusGone
+	case errors.Is(err, ErrBadRequest):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleOffers(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var f flexoffer.FlexOffer
+		if err := json.NewDecoder(r.Body).Decode(&f); err != nil {
+			writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+			return
+		}
+		if err := s.store.Submit(&f); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]string{"id": f.ID})
+	case http.MethodGet:
+		var states []State
+		if raw := r.URL.Query().Get("state"); raw != "" {
+			st, err := ParseState(raw)
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			states = append(states, st)
+		}
+		writeJSON(w, http.StatusOK, s.store.List(states...))
+	default:
+		w.WriteHeader(http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) handleOffer(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/offers/")
+	parts := strings.SplitN(rest, "/", 2)
+	id := parts[0]
+	if id == "" {
+		writeError(w, fmt.Errorf("%w: missing offer id", ErrBadRequest))
+		return
+	}
+	action := ""
+	if len(parts) == 2 {
+		action = parts[1]
+	}
+
+	switch {
+	case action == "" && r.Method == http.MethodGet:
+		rec, ok := s.store.Get(id)
+		if !ok {
+			writeError(w, fmt.Errorf("%w: %s", ErrNotFound, id))
+			return
+		}
+		writeJSON(w, http.StatusOK, rec)
+	case action == "accept" && r.Method == http.MethodPost:
+		if err := s.store.Accept(id); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"state": Accepted.String()})
+	case action == "reject" && r.Method == http.MethodPost:
+		if err := s.store.Reject(id); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"state": Rejected.String()})
+	case action == "assign" && r.Method == http.MethodPost:
+		var req assignRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+			return
+		}
+		asg, err := s.store.Assign(id, req.Start, req.Energies)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, asg)
+	default:
+		w.WriteHeader(http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.store.Stats())
+}
+
+func (s *Server) handleExpire(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"expired": s.store.ExpireOverdue()})
+}

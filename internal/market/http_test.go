@@ -1,0 +1,165 @@
+package market
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T) (*Client, *fakeClock, *Store) {
+	t.Helper()
+	clock := &fakeClock{now: t0}
+	store := NewStore(clock.Now)
+	ts := httptest.NewServer(NewServer(store))
+	t.Cleanup(ts.Close)
+	return &Client{BaseURL: ts.URL, HTTPClient: ts.Client()}, clock, store
+}
+
+func TestHTTPLifecycle(t *testing.T) {
+	client, _, _ := newTestServer(t)
+	f := testOffer("h1")
+	if err := client.Submit(f); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	rec, err := client.Get("h1")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if rec.State != Offered || rec.Offer.ID != "h1" {
+		t.Fatalf("record = %+v", rec)
+	}
+	if err := client.Accept("h1"); err != nil {
+		t.Fatalf("Accept: %v", err)
+	}
+	if err := client.Assign("h1", f.EarliestStart.Add(time.Hour), []float64{0.75, 0.75, 0.75, 0.75}); err != nil {
+		t.Fatalf("Assign: %v", err)
+	}
+	rec, err = client.Get("h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != Assigned || rec.Assignment == nil {
+		t.Fatalf("final record = %+v", rec)
+	}
+	if rec.Assignment.TotalEnergy() != 3 {
+		t.Errorf("assignment energy = %v", rec.Assignment.TotalEnergy())
+	}
+}
+
+func TestHTTPListAndStats(t *testing.T) {
+	client, _, _ := newTestServer(t)
+	for _, id := range []string{"a", "b", "c"} {
+		if err := client.Submit(testOffer(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := client.Reject("c"); err != nil {
+		t.Fatal(err)
+	}
+	all, err := client.List("")
+	if err != nil || len(all) != 3 {
+		t.Fatalf("List all = %d, %v", len(all), err)
+	}
+	offered, err := client.List("offered")
+	if err != nil || len(offered) != 2 {
+		t.Fatalf("List offered = %d, %v", len(offered), err)
+	}
+	counts, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts.Offered != 2 || counts.Rejected != 1 {
+		t.Errorf("stats = %+v", counts)
+	}
+	if _, err := client.List("bogus"); err == nil {
+		t.Error("bogus state filter accepted")
+	}
+}
+
+func TestHTTPExpire(t *testing.T) {
+	client, clock, _ := newTestServer(t)
+	if err := client.Submit(testOffer("e1")); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(3 * time.Hour)
+	n, err := client.Expire()
+	if err != nil {
+		t.Fatalf("Expire: %v", err)
+	}
+	if n != 1 {
+		t.Errorf("expired = %d", n)
+	}
+}
+
+func TestHTTPErrorMapping(t *testing.T) {
+	client, clock, _ := newTestServer(t)
+
+	// 404 for unknown offers.
+	if err := client.Accept("ghost"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("unknown accept: %v", err)
+	}
+	if _, err := client.Get("ghost"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("unknown get: %v", err)
+	}
+	// 409 for duplicates and bad transitions.
+	if err := client.Submit(testOffer("dup")); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Submit(testOffer("dup")); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Errorf("duplicate: %v", err)
+	}
+	if err := client.Assign("dup", t0, nil); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Errorf("assign before accept: %v", err)
+	}
+	// 410 for deadline violations.
+	clock.Advance(3 * time.Hour)
+	if err := client.Submit(testOffer("late")); err == nil || !strings.Contains(err.Error(), "410") {
+		t.Errorf("late submit: %v", err)
+	}
+	// 400 for malformed bodies.
+	resp, err := http.Post(client.BaseURL+"/offers", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed submit status = %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPMethodNotAllowed(t *testing.T) {
+	client, _, _ := newTestServer(t)
+	for _, tc := range []struct{ method, path string }{
+		{http.MethodDelete, "/offers"},
+		{http.MethodPut, "/offers/x/accept"},
+		{http.MethodPost, "/stats"},
+		{http.MethodGet, "/expire"},
+	} {
+		req, err := http.NewRequest(tc.method, client.BaseURL+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := client.HTTPClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s = %d, want 405", tc.method, tc.path, resp.StatusCode)
+		}
+	}
+}
+
+func TestHTTPMissingID(t *testing.T) {
+	client, _, _ := newTestServer(t)
+	resp, err := client.HTTPClient.Get(client.BaseURL + "/offers/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing id status = %d", resp.StatusCode)
+	}
+}

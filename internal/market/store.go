@@ -1,0 +1,290 @@
+// Package market implements the flex-offer collection infrastructure of the
+// MIRABEL prototype (the paper's reference [3]: "near real-time flex-offer
+// collection"). Offers move through the lifecycle their timestamps encode —
+// submitted while collection is open, accepted or rejected before their
+// acceptance deadline, assigned a concrete start before their assignment
+// deadline — and the store enforces every transition. A small HTTP API
+// (http.go) and client (client.go) expose the store over the network.
+package market
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/flexoffer"
+)
+
+// State is the lifecycle state of a collected offer.
+type State int
+
+const (
+	// Offered: collected, awaiting the market's accept/reject decision.
+	Offered State = iota
+	// Accepted: the market committed to schedule the offer.
+	Accepted
+	// Rejected: declined; terminal.
+	Rejected
+	// Assigned: a concrete start time and energies are fixed; terminal
+	// for the market's purposes.
+	Assigned
+	// Expired: a deadline lapsed before the required transition; terminal.
+	Expired
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Offered:
+		return "offered"
+	case Accepted:
+		return "accepted"
+	case Rejected:
+		return "rejected"
+	case Assigned:
+		return "assigned"
+	case Expired:
+		return "expired"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseState parses the textual state names used by the HTTP API.
+func ParseState(s string) (State, error) {
+	for st := Offered; st <= Expired; st++ {
+		if st.String() == s {
+			return st, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: unknown state %q", ErrBadRequest, s)
+}
+
+// Common errors.
+var (
+	ErrNotFound   = errors.New("market: offer not found")
+	ErrDuplicate  = errors.New("market: duplicate offer id")
+	ErrDeadline   = errors.New("market: lifecycle deadline passed")
+	ErrTransition = errors.New("market: invalid state transition")
+	ErrBadRequest = errors.New("market: bad request")
+)
+
+// Record is one collected offer with its lifecycle state.
+type Record struct {
+	Offer       *flexoffer.FlexOffer  `json:"offer"`
+	State       State                 `json:"state"`
+	SubmittedAt time.Time             `json:"submitted_at"`
+	DecidedAt   time.Time             `json:"decided_at,omitempty"`
+	Assignment  *flexoffer.Assignment `json:"assignment,omitempty"`
+}
+
+// Store is a concurrent-safe in-memory flex-offer store.
+type Store struct {
+	mu      sync.RWMutex
+	records map[string]*Record
+	order   []string // submission order, for deterministic listings
+	clock   func() time.Time
+}
+
+// NewStore builds a store. clock defaults to time.Now when nil; tests and
+// simulations inject their own.
+func NewStore(clock func() time.Time) *Store {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Store{records: make(map[string]*Record), clock: clock}
+}
+
+// Submit collects a new offer. The offer must validate, carry a unique ID,
+// and still be inside its acceptance window (when it declares one).
+func (s *Store) Submit(f *flexoffer.FlexOffer) error {
+	if f == nil {
+		return fmt.Errorf("%w: nil offer", ErrBadRequest)
+	}
+	if err := f.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if f.ID == "" {
+		return fmt.Errorf("%w: empty offer id", ErrBadRequest)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock()
+	if !f.AcceptanceTime.IsZero() && now.After(f.AcceptanceTime) {
+		return fmt.Errorf("%w: acceptance deadline %v already passed", ErrDeadline, f.AcceptanceTime)
+	}
+	if _, dup := s.records[f.ID]; dup {
+		return fmt.Errorf("%w: %s", ErrDuplicate, f.ID)
+	}
+	s.records[f.ID] = &Record{Offer: f.Clone(), State: Offered, SubmittedAt: now}
+	s.order = append(s.order, f.ID)
+	return nil
+}
+
+// Accept moves an offered flex-offer to Accepted, enforcing the acceptance
+// deadline.
+func (s *Store) Accept(id string) error {
+	return s.decide(id, Accepted)
+}
+
+// Reject moves an offered flex-offer to Rejected.
+func (s *Store) Reject(id string) error {
+	return s.decide(id, Rejected)
+}
+
+func (s *Store) decide(id string, to State) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.records[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if r.State != Offered {
+		return fmt.Errorf("%w: %s is %s, not offered", ErrTransition, id, r.State)
+	}
+	now := s.clock()
+	if to == Accepted && !r.Offer.AcceptanceTime.IsZero() && now.After(r.Offer.AcceptanceTime) {
+		r.State = Expired
+		r.DecidedAt = now
+		return fmt.Errorf("%w: acceptance deadline %v passed", ErrDeadline, r.Offer.AcceptanceTime)
+	}
+	r.State = to
+	r.DecidedAt = now
+	return nil
+}
+
+// Assign fixes the start time and per-slice energies of an accepted offer,
+// enforcing the assignment deadline and feasibility.
+func (s *Store) Assign(id string, start time.Time, energies []float64) (*flexoffer.Assignment, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.records[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if r.State != Accepted {
+		return nil, fmt.Errorf("%w: %s is %s, not accepted", ErrTransition, id, r.State)
+	}
+	now := s.clock()
+	if !r.Offer.AssignmentTime.IsZero() && now.After(r.Offer.AssignmentTime) {
+		r.State = Expired
+		r.DecidedAt = now
+		return nil, fmt.Errorf("%w: assignment deadline %v passed", ErrDeadline, r.Offer.AssignmentTime)
+	}
+	asg, err := r.Offer.Assign(start, energies)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	r.State = Assigned
+	r.DecidedAt = now
+	r.Assignment = asg
+	return asg, nil
+}
+
+// Get returns a copy of the record for id.
+func (s *Store) Get(id string) (Record, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.records[id]
+	if !ok {
+		return Record{}, false
+	}
+	return *r, true
+}
+
+// List returns copies of the records, in submission order, optionally
+// filtered to the given states.
+func (s *Store) List(states ...State) []Record {
+	want := make(map[State]bool, len(states))
+	for _, st := range states {
+		want[st] = true
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Record, 0, len(s.order))
+	for _, id := range s.order {
+		r := s.records[id]
+		if len(want) == 0 || want[r.State] {
+			out = append(out, *r)
+		}
+	}
+	return out
+}
+
+// ExpireOverdue sweeps the store: offered records past their acceptance
+// deadline and accepted records past their assignment deadline become
+// Expired. The number of expired records is returned.
+func (s *Store) ExpireOverdue() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock()
+	var n int
+	for _, r := range s.records {
+		switch r.State {
+		case Offered:
+			if !r.Offer.AcceptanceTime.IsZero() && now.After(r.Offer.AcceptanceTime) {
+				r.State = Expired
+				r.DecidedAt = now
+				n++
+			}
+		case Accepted:
+			if !r.Offer.AssignmentTime.IsZero() && now.After(r.Offer.AssignmentTime) {
+				r.State = Expired
+				r.DecidedAt = now
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Counts summarises the store by state.
+type Counts struct {
+	Offered  int `json:"offered"`
+	Accepted int `json:"accepted"`
+	Rejected int `json:"rejected"`
+	Assigned int `json:"assigned"`
+	Expired  int `json:"expired"`
+	// TotalFlexibleEnergy is the summed average energy of non-terminal
+	// (offered + accepted) offers, in kWh.
+	TotalFlexibleEnergy float64 `json:"total_flexible_energy_kwh"`
+}
+
+// Stats reports the store summary.
+func (s *Store) Stats() Counts {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var c Counts
+	for _, r := range s.records {
+		switch r.State {
+		case Offered:
+			c.Offered++
+			c.TotalFlexibleEnergy += r.Offer.TotalAvgEnergy()
+		case Accepted:
+			c.Accepted++
+			c.TotalFlexibleEnergy += r.Offer.TotalAvgEnergy()
+		case Rejected:
+			c.Rejected++
+		case Assigned:
+			c.Assigned++
+		case Expired:
+			c.Expired++
+		}
+	}
+	return c
+}
+
+// AcceptedOffers returns the accepted offers as a Set (for the scheduler),
+// sorted by earliest start.
+func (s *Store) AcceptedOffers() flexoffer.Set {
+	var set flexoffer.Set
+	for _, r := range s.List(Accepted) {
+		set = append(set, r.Offer)
+	}
+	sort.SliceStable(set, func(i, j int) bool {
+		return set[i].EarliestStart.Before(set[j].EarliestStart)
+	})
+	return set
+}

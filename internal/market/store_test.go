@@ -1,0 +1,323 @@
+package market
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/flexoffer"
+)
+
+var t0 = time.Date(2012, 6, 4, 0, 0, 0, 0, time.UTC)
+
+// fakeClock is a controllable clock for deadline tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// testOffer builds an offer whose acceptance deadline is t0+2h, assignment
+// deadline t0+4h, start window t0+6h..t0+10h.
+func testOffer(id string) *flexoffer.FlexOffer {
+	return &flexoffer.FlexOffer{
+		ID:             id,
+		ConsumerID:     "c1",
+		CreationTime:   t0,
+		AcceptanceTime: t0.Add(2 * time.Hour),
+		AssignmentTime: t0.Add(4 * time.Hour),
+		EarliestStart:  t0.Add(6 * time.Hour),
+		LatestStart:    t0.Add(10 * time.Hour),
+		Profile:        flexoffer.UniformProfile(4, 15*time.Minute, 0.5, 1.0),
+	}
+}
+
+func newTestStore() (*Store, *fakeClock) {
+	clock := &fakeClock{now: t0}
+	return NewStore(clock.Now), clock
+}
+
+func TestLifecycleHappyPath(t *testing.T) {
+	s, _ := newTestStore()
+	f := testOffer("a")
+	if err := s.Submit(f); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	rec, ok := s.Get("a")
+	if !ok || rec.State != Offered {
+		t.Fatalf("after submit: %+v, %v", rec, ok)
+	}
+	if err := s.Accept("a"); err != nil {
+		t.Fatalf("Accept: %v", err)
+	}
+	energies := []float64{0.75, 0.75, 0.75, 0.75}
+	asg, err := s.Assign("a", f.EarliestStart.Add(time.Hour), energies)
+	if err != nil {
+		t.Fatalf("Assign: %v", err)
+	}
+	if asg.TotalEnergy() != 3 {
+		t.Errorf("assignment energy = %v", asg.TotalEnergy())
+	}
+	rec, _ = s.Get("a")
+	if rec.State != Assigned || rec.Assignment == nil {
+		t.Errorf("final record: %+v", rec)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s, clock := newTestStore()
+	if err := s.Submit(nil); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("nil offer: %v", err)
+	}
+	bad := testOffer("")
+	if err := s.Submit(bad); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("empty id: %v", err)
+	}
+	invalid := testOffer("x")
+	invalid.Profile = nil
+	if err := s.Submit(invalid); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("invalid offer: %v", err)
+	}
+	ok := testOffer("a")
+	if err := s.Submit(ok); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := s.Submit(testOffer("a")); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate: %v", err)
+	}
+	// Past the acceptance deadline, new submissions are refused.
+	clock.Advance(3 * time.Hour)
+	if err := s.Submit(testOffer("late")); !errors.Is(err, ErrDeadline) {
+		t.Errorf("late submit: %v", err)
+	}
+}
+
+func TestSubmitClonesOffer(t *testing.T) {
+	s, _ := newTestStore()
+	f := testOffer("a")
+	if err := s.Submit(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Profile[0].MinEnergy = 999
+	rec, _ := s.Get("a")
+	if rec.Offer.Profile[0].MinEnergy == 999 {
+		t.Error("store shares memory with caller's offer")
+	}
+}
+
+func TestAcceptanceDeadline(t *testing.T) {
+	s, clock := newTestStore()
+	if err := s.Submit(testOffer("a")); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(3 * time.Hour) // past acceptance (t0+2h)
+	err := s.Accept("a")
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("late accept: %v", err)
+	}
+	// The record expired as a side effect.
+	rec, _ := s.Get("a")
+	if rec.State != Expired {
+		t.Errorf("state after late accept = %v", rec.State)
+	}
+}
+
+func TestAssignmentDeadline(t *testing.T) {
+	s, clock := newTestStore()
+	f := testOffer("a")
+	if err := s.Submit(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Accept("a"); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(5 * time.Hour) // past assignment (t0+4h)
+	if _, err := s.Assign("a", f.EarliestStart, []float64{0.75, 0.75, 0.75, 0.75}); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("late assign: %v", err)
+	}
+	rec, _ := s.Get("a")
+	if rec.State != Expired {
+		t.Errorf("state = %v", rec.State)
+	}
+}
+
+func TestInvalidTransitions(t *testing.T) {
+	s, _ := newTestStore()
+	f := testOffer("a")
+	if err := s.Submit(f); err != nil {
+		t.Fatal(err)
+	}
+	// Assign before accept.
+	if _, err := s.Assign("a", f.EarliestStart, []float64{0.75, 0.75, 0.75, 0.75}); !errors.Is(err, ErrTransition) {
+		t.Errorf("assign before accept: %v", err)
+	}
+	if err := s.Reject("a"); err != nil {
+		t.Fatal(err)
+	}
+	// Accept after reject.
+	if err := s.Accept("a"); !errors.Is(err, ErrTransition) {
+		t.Errorf("accept after reject: %v", err)
+	}
+	// Unknown IDs.
+	if err := s.Accept("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("accept unknown: %v", err)
+	}
+	if _, err := s.Assign("nope", f.EarliestStart, nil); !errors.Is(err, ErrNotFound) {
+		t.Errorf("assign unknown: %v", err)
+	}
+}
+
+func TestAssignInfeasible(t *testing.T) {
+	s, _ := newTestStore()
+	f := testOffer("a")
+	if err := s.Submit(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Accept("a"); err != nil {
+		t.Fatal(err)
+	}
+	// Start outside the window.
+	if _, err := s.Assign("a", t0, []float64{0.75, 0.75, 0.75, 0.75}); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("infeasible start: %v", err)
+	}
+	// The offer remains accepted after a failed assignment.
+	rec, _ := s.Get("a")
+	if rec.State != Accepted {
+		t.Errorf("state after failed assign = %v", rec.State)
+	}
+}
+
+func TestListAndStats(t *testing.T) {
+	s, _ := newTestStore()
+	for i := 0; i < 5; i++ {
+		if err := s.Submit(testOffer(fmt.Sprintf("o%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Accept("o0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Accept("o1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reject("o2"); err != nil {
+		t.Fatal(err)
+	}
+
+	all := s.List()
+	if len(all) != 5 || all[0].Offer.ID != "o0" {
+		t.Errorf("List() = %d records, first %s", len(all), all[0].Offer.ID)
+	}
+	accepted := s.List(Accepted)
+	if len(accepted) != 2 {
+		t.Errorf("accepted = %d", len(accepted))
+	}
+	counts := s.Stats()
+	if counts.Offered != 2 || counts.Accepted != 2 || counts.Rejected != 1 {
+		t.Errorf("stats = %+v", counts)
+	}
+	// 4 pending offers × 3 kWh average each.
+	if counts.TotalFlexibleEnergy != 12 {
+		t.Errorf("flexible energy = %v", counts.TotalFlexibleEnergy)
+	}
+	set := s.AcceptedOffers()
+	if len(set) != 2 {
+		t.Errorf("AcceptedOffers = %d", len(set))
+	}
+}
+
+func TestExpireOverdue(t *testing.T) {
+	s, clock := newTestStore()
+	if err := s.Submit(testOffer("pending")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(testOffer("accepted")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Accept("accepted"); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.ExpireOverdue(); n != 0 {
+		t.Errorf("premature expiry: %d", n)
+	}
+	clock.Advance(3 * time.Hour) // past acceptance, before assignment deadline
+	if n := s.ExpireOverdue(); n != 1 {
+		t.Errorf("expired = %d, want 1 (the offered one)", n)
+	}
+	clock.Advance(2 * time.Hour) // past assignment deadline
+	if n := s.ExpireOverdue(); n != 1 {
+		t.Errorf("expired = %d, want 1 (the accepted one)", n)
+	}
+	counts := s.Stats()
+	if counts.Expired != 2 {
+		t.Errorf("stats = %+v", counts)
+	}
+}
+
+func TestStoreConcurrentSubmitters(t *testing.T) {
+	s, _ := newTestStore()
+	var wg sync.WaitGroup
+	const n = 50
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := s.Submit(testOffer(fmt.Sprintf("c%03d", i))); err != nil {
+				t.Errorf("Submit %d: %v", i, err)
+			}
+			_ = s.Stats()
+			_, _ = s.Get(fmt.Sprintf("c%03d", i))
+		}(i)
+	}
+	wg.Wait()
+	if got := len(s.List()); got != n {
+		t.Errorf("records = %d, want %d", got, n)
+	}
+}
+
+func TestStateStringAndParse(t *testing.T) {
+	for st := Offered; st <= Expired; st++ {
+		parsed, err := ParseState(st.String())
+		if err != nil || parsed != st {
+			t.Errorf("round trip %v: %v, %v", st, parsed, err)
+		}
+	}
+	if State(99).String() != "unknown" {
+		t.Error("unknown state string")
+	}
+	if _, err := ParseState("bogus"); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("bogus state: %v", err)
+	}
+}
+
+func TestNewStoreDefaultClock(t *testing.T) {
+	s := NewStore(nil)
+	f := testOffer("now")
+	// Deadlines in 2012 are long past for the real clock.
+	if err := s.Submit(f); !errors.Is(err, ErrDeadline) {
+		t.Errorf("2012 deadline with real clock: %v", err)
+	}
+	// An offer without lifecycle stamps is always accepted.
+	free := &flexoffer.FlexOffer{
+		ID:            "free",
+		EarliestStart: time.Now().Add(time.Hour),
+		LatestStart:   time.Now().Add(2 * time.Hour),
+		Profile:       flexoffer.UniformProfile(2, 15*time.Minute, 1, 2),
+	}
+	if err := s.Submit(free); err != nil {
+		t.Errorf("stamp-free offer: %v", err)
+	}
+}

@@ -1,0 +1,73 @@
+package paperdata
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestFigure1OfferMatchesPaper(t *testing.T) {
+	f := Figure1Offer()
+	if err := f.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if f.EarliestStart.Hour() != 22 || f.LatestStart.Hour() != 5 {
+		t.Errorf("window = %v..%v", f.EarliestStart, f.LatestStart)
+	}
+	if f.Duration() != 2*time.Hour || f.TimeFlexibility() != 7*time.Hour {
+		t.Errorf("duration %v, flexibility %v", f.Duration(), f.TimeFlexibility())
+	}
+	if math.Abs(f.TotalAvgEnergy()-50) > 1e-9 {
+		t.Errorf("energy = %v, want 50", f.TotalAvgEnergy())
+	}
+}
+
+func TestFigure5DayMatchesPaper(t *testing.T) {
+	day := Figure5Day()
+	if day.Len() != 96 {
+		t.Fatalf("intervals = %d", day.Len())
+	}
+	if math.Abs(day.Total()-Figure5DayTotal) > 1e-9 {
+		t.Errorf("total = %v, want %v", day.Total(), Figure5DayTotal)
+	}
+	// Every annotated peak interval lies strictly above the mean; every
+	// base interval strictly below (the construction invariant the
+	// peak-detection walkthrough depends on).
+	mean := day.Mean()
+	inPeak := make([]bool, 96)
+	var sizes float64
+	for _, p := range Figure5Peaks() {
+		var size float64
+		for i := 0; i < p.Length; i++ {
+			idx := p.StartInterval + i
+			inPeak[idx] = true
+			size += day.Value(idx)
+		}
+		if math.Abs(size-p.Size) > 1e-9 {
+			t.Errorf("peak at %d: size %v, want %v", p.StartInterval, size, p.Size)
+		}
+		sizes += size
+	}
+	for i := 0; i < 96; i++ {
+		if inPeak[i] && day.Value(i) <= mean {
+			t.Errorf("peak interval %d not above mean", i)
+		}
+		if !inPeak[i] && day.Value(i) >= mean {
+			t.Errorf("base interval %d not below mean", i)
+		}
+	}
+	// The printed sizes sum to 12.95 kWh.
+	if math.Abs(sizes-12.95) > 1e-9 {
+		t.Errorf("peak sizes sum = %v, want 12.95", sizes)
+	}
+}
+
+func TestPeaksAreSeparated(t *testing.T) {
+	peaks := Figure5Peaks()
+	for i := 1; i < len(peaks); i++ {
+		prevEnd := peaks[i-1].StartInterval + peaks[i-1].Length
+		if peaks[i].StartInterval <= prevEnd {
+			t.Errorf("peaks %d and %d touch", i-1, i)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package patterns
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/timeseries"
+)
+
+// Motif is a repeated subsequence pattern found by SAX discretisation
+// (Lin et al., "Finding motifs in time series" — the paper's reference
+// [13]).
+type Motif struct {
+	// Word is the SAX word identifying the pattern.
+	Word string
+	// Length is the subsequence length in intervals.
+	Length int
+	// Occurrences lists the non-overlapping start indexes, ascending.
+	Occurrences []int
+}
+
+// Count reports the number of occurrences.
+func (m Motif) Count() int { return len(m.Occurrences) }
+
+// saxBreakpoints holds the standard Gaussian equiprobable breakpoints for
+// alphabet sizes 2–6.
+var saxBreakpoints = map[int][]float64{
+	2: {0},
+	3: {-0.43, 0.43},
+	4: {-0.67, 0, 0.67},
+	5: {-0.84, -0.25, 0.25, 0.84},
+	6: {-0.97, -0.43, 0, 0.43, 0.97},
+}
+
+// FindMotifs slides a window of the given length over the series,
+// discretises each window into a SAX word (PAA into wordLen segments,
+// z-normalised, mapped through Gaussian breakpoints with alphabetSize
+// letters) and reports words occurring at least minCount times at
+// non-overlapping positions, most frequent first.
+//
+// Near-constant windows (standard deviation below a small epsilon) are
+// skipped: they carry no shape information and would otherwise dominate the
+// output with trivial "flat" motifs.
+func FindMotifs(s *timeseries.Series, window, wordLen, alphabetSize, minCount int) ([]Motif, error) {
+	if s == nil || s.Len() == 0 {
+		return nil, fmt.Errorf("%w: empty series", ErrInput)
+	}
+	if window < 2 || window > s.Len() {
+		return nil, fmt.Errorf("%w: window %d for series of %d", ErrInput, window, s.Len())
+	}
+	if wordLen < 1 || wordLen > window {
+		return nil, fmt.Errorf("%w: word length %d for window %d", ErrInput, wordLen, window)
+	}
+	bps, ok := saxBreakpoints[alphabetSize]
+	if !ok {
+		return nil, fmt.Errorf("%w: alphabet size %d not in [2, 6]", ErrInput, alphabetSize)
+	}
+	if minCount < 2 {
+		return nil, fmt.Errorf("%w: min count %d < 2", ErrInput, minCount)
+	}
+
+	vals := s.Values()
+	occurrences := make(map[string][]int)
+	for start := 0; start+window <= len(vals); start++ {
+		word, ok := saxWord(vals[start:start+window], wordLen, bps)
+		if !ok {
+			continue
+		}
+		occ := occurrences[word]
+		// Keep occurrences non-overlapping (trivial matches of a motif
+		// with its own shifted self are excluded, per the motif
+		// literature).
+		if len(occ) > 0 && start < occ[len(occ)-1]+window {
+			continue
+		}
+		occurrences[word] = append(occ, start)
+	}
+
+	var out []Motif
+	for word, occ := range occurrences {
+		if len(occ) >= minCount {
+			out = append(out, Motif{Word: word, Length: window, Occurrences: occ})
+		}
+	}
+	// Most frequent first; ties by word for determinism.
+	sortMotifs(out)
+	return out, nil
+}
+
+func sortMotifs(ms []Motif) {
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && motifLess(ms[j], ms[j-1]); j-- {
+			ms[j], ms[j-1] = ms[j-1], ms[j]
+		}
+	}
+}
+
+func motifLess(a, b Motif) bool {
+	if a.Count() != b.Count() {
+		return a.Count() > b.Count()
+	}
+	return a.Word < b.Word
+}
+
+// saxWord converts one window into a SAX word. ok is false for
+// near-constant windows.
+func saxWord(window []float64, wordLen int, breakpoints []float64) (string, bool) {
+	// z-normalise.
+	var mean float64
+	for _, v := range window {
+		mean += v
+	}
+	mean /= float64(len(window))
+	var varSum float64
+	for _, v := range window {
+		d := v - mean
+		varSum += d * d
+	}
+	std := math.Sqrt(varSum / float64(len(window)))
+	if std < 1e-9 {
+		return "", false
+	}
+
+	// PAA: average the window into wordLen segments (fractional bounds).
+	var b strings.Builder
+	segLen := float64(len(window)) / float64(wordLen)
+	for seg := 0; seg < wordLen; seg++ {
+		lo := int(float64(seg) * segLen)
+		hi := int(float64(seg+1) * segLen)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > len(window) {
+			hi = len(window)
+		}
+		var avg float64
+		for i := lo; i < hi; i++ {
+			avg += window[i]
+		}
+		avg = (avg/float64(hi-lo) - mean) / std
+
+		letter := 0
+		for _, bp := range breakpoints {
+			if avg > bp {
+				letter++
+			}
+		}
+		b.WriteByte(byte('a' + letter))
+	}
+	return b.String(), true
+}

@@ -1,0 +1,188 @@
+package patterns
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/timeseries"
+)
+
+var t0 = time.Date(2012, 6, 1, 0, 0, 0, 0, time.UTC)
+
+// bumpySeries embeds the same triangular bump at the given offsets on a
+// noisy-free flat background.
+func bumpySeries(n int, offsets []int) *timeseries.Series {
+	vals := make([]float64, n)
+	bump := []float64{0.1, 0.5, 1.0, 0.5, 0.1}
+	for _, off := range offsets {
+		for i, b := range bump {
+			if off+i < n {
+				vals[off+i] += b
+			}
+		}
+	}
+	return timeseries.MustNew(t0, 15*time.Minute, vals)
+}
+
+func TestFindMotifsRepeatedBump(t *testing.T) {
+	s := bumpySeries(200, []int{10, 60, 110, 160})
+	motifs, err := FindMotifs(s, 5, 5, 3, 3)
+	if err != nil {
+		t.Fatalf("FindMotifs: %v", err)
+	}
+	if len(motifs) == 0 {
+		t.Fatal("no motifs found")
+	}
+	top := motifs[0]
+	if top.Count() < 4 {
+		t.Errorf("top motif count = %d, want >= 4", top.Count())
+	}
+	// Each embedded bump should be within one window length of an
+	// occurrence of the top motif (the SAX word may lock onto the bump's
+	// leading edge rather than its centre).
+	for _, off := range []int{10, 60, 110, 160} {
+		ok := false
+		for _, occ := range top.Occurrences {
+			if occ >= off-top.Length && occ <= off+top.Length {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("offset %d not near any occurrence %v", off, top.Occurrences)
+		}
+	}
+}
+
+func TestFindMotifsNonOverlapping(t *testing.T) {
+	s := bumpySeries(100, []int{10, 50})
+	motifs, err := FindMotifs(s, 5, 5, 3, 2)
+	if err != nil {
+		t.Fatalf("FindMotifs: %v", err)
+	}
+	for _, m := range motifs {
+		for i := 1; i < len(m.Occurrences); i++ {
+			if m.Occurrences[i] < m.Occurrences[i-1]+m.Length {
+				t.Fatalf("overlapping occurrences in %v", m.Occurrences)
+			}
+		}
+	}
+}
+
+func TestFindMotifsSkipsFlatWindows(t *testing.T) {
+	flat := timeseries.MustNew(t0, 15*time.Minute, make([]float64, 100))
+	motifs, err := FindMotifs(flat, 5, 5, 3, 2)
+	if err != nil {
+		t.Fatalf("FindMotifs: %v", err)
+	}
+	if len(motifs) != 0 {
+		t.Errorf("flat series produced motifs: %+v", motifs)
+	}
+}
+
+func TestFindMotifsErrors(t *testing.T) {
+	s := bumpySeries(50, []int{10})
+	cases := []struct {
+		name                                    string
+		window, wordLen, alphabetSize, minCount int
+	}{
+		{"window too small", 1, 1, 3, 2},
+		{"window too large", 100, 5, 3, 2},
+		{"word longer than window", 5, 10, 3, 2},
+		{"alphabet too small", 5, 5, 1, 2},
+		{"alphabet too large", 5, 5, 7, 2},
+		{"min count too small", 5, 5, 3, 1},
+	}
+	for _, tc := range cases {
+		if _, err := FindMotifs(s, tc.window, tc.wordLen, tc.alphabetSize, tc.minCount); !errors.Is(err, ErrInput) {
+			t.Errorf("%s: err = %v, want ErrInput", tc.name, err)
+		}
+	}
+	empty := timeseries.MustNew(t0, time.Minute, nil)
+	if _, err := FindMotifs(empty, 5, 5, 3, 2); !errors.Is(err, ErrInput) {
+		t.Errorf("empty series: %v", err)
+	}
+}
+
+func TestSaxWord(t *testing.T) {
+	bps := saxBreakpoints[3]
+	// Rising ramp → letters ascend.
+	word, ok := saxWord([]float64{0, 1, 2, 3, 4, 5}, 3, bps)
+	if !ok {
+		t.Fatal("ramp rejected")
+	}
+	if word != "abc" {
+		t.Errorf("ramp word = %q, want abc", word)
+	}
+	// Constant window rejected.
+	if _, ok := saxWord([]float64{2, 2, 2, 2}, 2, bps); ok {
+		t.Error("constant window accepted")
+	}
+	// Same shape at different scales gives the same word (z-normalised).
+	w1, _ := saxWord([]float64{0, 1, 0, -1, 0, 1}, 3, bps)
+	w2, _ := saxWord([]float64{0, 100, 0, -100, 0, 100}, 3, bps)
+	if w1 != w2 {
+		t.Errorf("scale changed word: %q vs %q", w1, w2)
+	}
+}
+
+func TestSaxWordFractionalSegments(t *testing.T) {
+	// Window of 7 into word of 3: segments must cover everything without
+	// panicking.
+	word, ok := saxWord([]float64{1, 2, 3, 4, 5, 6, 7}, 3, saxBreakpoints[4])
+	if !ok || len(word) != 3 {
+		t.Errorf("word = %q, ok = %v", word, ok)
+	}
+}
+
+func TestMotifOrderingDeterministic(t *testing.T) {
+	s := bumpySeries(300, []int{10, 60, 110, 160, 210, 260})
+	a, err := FindMotifs(s, 5, 5, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FindMotifs(s, 5, 5, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("motif count differs between runs")
+	}
+	for i := range a {
+		if a[i].Word != b[i].Word || a[i].Count() != b[i].Count() {
+			t.Fatal("motif order not deterministic")
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].Count() > a[i-1].Count() {
+			t.Fatal("motifs not sorted by count")
+		}
+	}
+}
+
+// TestMotifsOnDailyPattern: a repeating daily profile yields a motif whose
+// occurrences are ~one day apart.
+func TestMotifsOnDailyPattern(t *testing.T) {
+	const perDay = 96
+	days := 5
+	vals := make([]float64, perDay*days)
+	for d := 0; d < days; d++ {
+		for i := 0; i < perDay; i++ {
+			vals[d*perDay+i] = math.Sin(2*math.Pi*float64(i)/perDay) + 1
+		}
+	}
+	s := timeseries.MustNew(t0, 15*time.Minute, vals)
+	motifs, err := FindMotifs(s, perDay, 8, 4, 3)
+	if err != nil {
+		t.Fatalf("FindMotifs: %v", err)
+	}
+	if len(motifs) == 0 {
+		t.Fatal("no daily motif found")
+	}
+	top := motifs[0]
+	if top.Count() < days-1 {
+		t.Errorf("daily motif count = %d, want >= %d", top.Count(), days-1)
+	}
+}

@@ -1,0 +1,173 @@
+package patterns
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/timeseries"
+)
+
+// 2012-06-04 is a Monday.
+var monday = time.Date(2012, 6, 4, 0, 0, 0, 0, time.UTC)
+
+// weekOfEvents builds events over `weeks` weeks: a daily robot run at 10:00
+// and a weekend-only dishwasher run at 19:00 on Saturdays and Sundays.
+func weekOfEvents(weeks int) []Event {
+	var events []Event
+	for w := 0; w < weeks; w++ {
+		weekStart := monday.AddDate(0, 0, 7*w)
+		for d := 0; d < 7; d++ {
+			day := weekStart.AddDate(0, 0, d)
+			events = append(events, Event{
+				Appliance: "robot", Start: day.Add(10 * time.Hour), Energy: 0.7,
+			})
+			if timeseries.DayTypeOf(day) == timeseries.Weekend {
+				events = append(events, Event{
+					Appliance: "dishwasher", Start: day.Add(19 * time.Hour), Energy: 1.5,
+				})
+			}
+		}
+	}
+	return events
+}
+
+func TestFrequencies(t *testing.T) {
+	weeks := 4
+	events := weekOfEvents(weeks)
+	from := monday
+	to := monday.AddDate(0, 0, 7*weeks)
+	fs, err := Frequencies(events, from, to)
+	if err != nil {
+		t.Fatalf("Frequencies: %v", err)
+	}
+	if len(fs) != 2 {
+		t.Fatalf("appliances = %d, want 2", len(fs))
+	}
+	// Sorted by name: dishwasher, robot.
+	dish, robot := fs[0], fs[1]
+	if dish.Appliance != "dishwasher" || robot.Appliance != "robot" {
+		t.Fatalf("order = %s, %s", fs[0].Appliance, fs[1].Appliance)
+	}
+	if math.Abs(robot.RunsPerDay-1) > 1e-9 {
+		t.Errorf("robot rate = %v, want 1/day", robot.RunsPerDay)
+	}
+	if math.Abs(robot.RunsPerWorkday-1) > 1e-9 || math.Abs(robot.RunsPerWeekendDay-1) > 1e-9 {
+		t.Errorf("robot split = %v / %v", robot.RunsPerWorkday, robot.RunsPerWeekendDay)
+	}
+	// Dishwasher: weekend only → 2 runs/week over 7 days.
+	if math.Abs(dish.RunsPerDay-2.0/7) > 1e-9 {
+		t.Errorf("dishwasher rate = %v, want 2/7", dish.RunsPerDay)
+	}
+	if dish.RunsPerWorkday != 0 || math.Abs(dish.RunsPerWeekendDay-1) > 1e-9 {
+		t.Errorf("dishwasher split = %v / %v", dish.RunsPerWorkday, dish.RunsPerWeekendDay)
+	}
+	if math.Abs(dish.MeanEnergy-1.5) > 1e-9 {
+		t.Errorf("dishwasher energy = %v", dish.MeanEnergy)
+	}
+	if math.Abs(robot.MeanStartHour-10) > 0.01 {
+		t.Errorf("robot mean start hour = %v, want 10", robot.MeanStartHour)
+	}
+}
+
+func TestFrequenciesCircularMeanHour(t *testing.T) {
+	// Runs at 23:00 and 01:00 → circular mean 0:00, not 12:00.
+	events := []Event{
+		{Appliance: "ev", Start: monday.Add(23 * time.Hour), Energy: 40},
+		{Appliance: "ev", Start: monday.Add(25 * time.Hour), Energy: 40},
+	}
+	fs, err := Frequencies(events, monday, monday.AddDate(0, 0, 2))
+	if err != nil {
+		t.Fatalf("Frequencies: %v", err)
+	}
+	h := fs[0].MeanStartHour
+	if h > 1 && h < 23 {
+		t.Errorf("circular mean hour = %v, want near 0", h)
+	}
+}
+
+func TestFrequenciesWindowFiltering(t *testing.T) {
+	events := weekOfEvents(2)
+	// Only the first week is inside the window.
+	fs, err := Frequencies(events, monday, monday.AddDate(0, 0, 7))
+	if err != nil {
+		t.Fatalf("Frequencies: %v", err)
+	}
+	for _, f := range fs {
+		if f.Appliance == "robot" && f.Count != 7 {
+			t.Errorf("robot count = %d, want 7", f.Count)
+		}
+	}
+	if _, err := Frequencies(events, monday, monday); !errors.Is(err, ErrInput) {
+		t.Errorf("empty window err = %v", err)
+	}
+}
+
+func TestMineSchedule(t *testing.T) {
+	weeks := 4
+	events := weekOfEvents(weeks)
+	entries, err := MineSchedule(events, monday, monday.AddDate(0, 0, 7*weeks), 0.5)
+	if err != nil {
+		t.Fatalf("MineSchedule: %v", err)
+	}
+	// Expected: robot at 10:00 on both day types, dishwasher at 19:00 on
+	// weekends only.
+	var robotWork, robotWeekend, dishWeekend, dishWork bool
+	for _, e := range entries {
+		switch {
+		case e.Appliance == "robot" && e.Hour == 10 && e.DayType == timeseries.Workday:
+			robotWork = true
+			if math.Abs(e.Probability-1) > 1e-9 {
+				t.Errorf("robot workday probability = %v", e.Probability)
+			}
+		case e.Appliance == "robot" && e.Hour == 10 && e.DayType == timeseries.Weekend:
+			robotWeekend = true
+		case e.Appliance == "dishwasher" && e.Hour == 19 && e.DayType == timeseries.Weekend:
+			dishWeekend = true
+			if math.Abs(e.MeanEnergy-1.5) > 1e-9 {
+				t.Errorf("dishwasher energy = %v", e.MeanEnergy)
+			}
+		case e.Appliance == "dishwasher" && e.DayType == timeseries.Workday:
+			dishWork = true
+		}
+	}
+	if !robotWork || !robotWeekend || !dishWeekend {
+		t.Errorf("missing expected entries: %+v", entries)
+	}
+	if dishWork {
+		t.Error("dishwasher scheduled on workdays")
+	}
+}
+
+func TestMineScheduleSupportThreshold(t *testing.T) {
+	// One-off event over 4 weeks of workdays: support 1/20 < 0.5.
+	events := []Event{{Appliance: "oven", Start: monday.Add(12 * time.Hour), Energy: 1}}
+	entries, err := MineSchedule(events, monday, monday.AddDate(0, 0, 28), 0.5)
+	if err != nil {
+		t.Fatalf("MineSchedule: %v", err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("low-support entry survived: %+v", entries)
+	}
+}
+
+func TestMineScheduleErrors(t *testing.T) {
+	events := weekOfEvents(1)
+	if _, err := MineSchedule(events, monday, monday.AddDate(0, 0, 7), 0); !errors.Is(err, ErrInput) {
+		t.Errorf("support 0: %v", err)
+	}
+	if _, err := MineSchedule(events, monday, monday.AddDate(0, 0, 7), 1.5); !errors.Is(err, ErrInput) {
+		t.Errorf("support > 1: %v", err)
+	}
+	if _, err := MineSchedule(events, monday, monday, 0.5); !errors.Is(err, ErrInput) {
+		t.Errorf("empty window: %v", err)
+	}
+}
+
+func TestCountDayTypes(t *testing.T) {
+	w, we := countDayTypes(monday, monday.AddDate(0, 0, 7))
+	if w != 5 || we != 2 {
+		t.Errorf("day types = %d/%d, want 5/2", w, we)
+	}
+}

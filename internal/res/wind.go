@@ -1,0 +1,141 @@
+// Package res simulates renewable energy source (RES) production. MIRABEL
+// schedules flexible demand against surplus RES production; since real wind
+// farm telemetry is unavailable, a standard AR(1) wind-speed process driven
+// through a turbine power curve stands in. The paper's framing (§1, §6):
+// RES production "solely depends on the weather conditions, thus it can
+// only be predicted, but not planned".
+package res
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/timeseries"
+)
+
+// ErrModel is wrapped by configuration errors.
+var ErrModel = errors.New("res: invalid model")
+
+// Turbine describes a wind turbine (or a farm of identical turbines) via
+// its power curve parameters.
+type Turbine struct {
+	// CutInSpeed is the wind speed (m/s) below which no power is produced.
+	CutInSpeed float64
+	// RatedSpeed is the speed at which rated power is reached.
+	RatedSpeed float64
+	// CutOutSpeed is the speed above which the turbine shuts down.
+	CutOutSpeed float64
+	// RatedPowerKW is the rated output of the whole farm in kW.
+	RatedPowerKW float64
+}
+
+// DefaultTurbine returns a small community wind farm sized to a few hundred
+// households.
+func DefaultTurbine() Turbine {
+	return Turbine{CutInSpeed: 3, RatedSpeed: 12, CutOutSpeed: 25, RatedPowerKW: 500}
+}
+
+// Power reports the farm output in kW at the given wind speed, using the
+// standard cubic ramp between cut-in and rated speed.
+func (t Turbine) Power(speed float64) float64 {
+	switch {
+	case speed < t.CutInSpeed || speed >= t.CutOutSpeed:
+		return 0
+	case speed >= t.RatedSpeed:
+		return t.RatedPowerKW
+	default:
+		num := math.Pow(speed, 3) - math.Pow(t.CutInSpeed, 3)
+		den := math.Pow(t.RatedSpeed, 3) - math.Pow(t.CutInSpeed, 3)
+		return t.RatedPowerKW * num / den
+	}
+}
+
+// WindModel is an AR(1) wind speed process with a diurnal component.
+type WindModel struct {
+	// MeanSpeed is the long-run average wind speed in m/s.
+	MeanSpeed float64
+	// Persistence in [0, 1) is the AR(1) coefficient per step.
+	Persistence float64
+	// Volatility is the standard deviation of the AR innovation (m/s).
+	Volatility float64
+	// DiurnalAmplitude modulates speed over the day (m/s, peak near 14:00).
+	DiurnalAmplitude float64
+}
+
+// DefaultWindModel returns plausible onshore parameters.
+func DefaultWindModel() WindModel {
+	return WindModel{MeanSpeed: 7.5, Persistence: 0.97, Volatility: 0.6, DiurnalAmplitude: 1.0}
+}
+
+// Validate checks the model parameters.
+func (m WindModel) Validate() error {
+	if m.MeanSpeed < 0 || m.Volatility < 0 || m.DiurnalAmplitude < 0 {
+		return fmt.Errorf("%w: negative parameter", ErrModel)
+	}
+	if m.Persistence < 0 || m.Persistence >= 1 {
+		return fmt.Errorf("%w: persistence %v outside [0, 1)", ErrModel, m.Persistence)
+	}
+	return nil
+}
+
+// Simulate produces a production energy series (kWh per interval) over
+// days, starting at midnight of start's day.
+func Simulate(model WindModel, turbine Turbine, start time.Time, days int, resolution time.Duration, seed int64) (*timeseries.Series, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if days <= 0 {
+		return nil, fmt.Errorf("%w: days %d", ErrModel, days)
+	}
+	if resolution <= 0 || (24*time.Hour)%resolution != 0 {
+		return nil, fmt.Errorf("%w: resolution %v must divide 24h", ErrModel, resolution)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := days * int(24*time.Hour/resolution)
+	day0 := timeseries.TruncateDay(start)
+	hours := resolution.Hours()
+
+	vals := make([]float64, n)
+	speed := model.MeanSpeed
+	for i := 0; i < n; i++ {
+		// AR(1) around the mean.
+		speed = model.MeanSpeed + model.Persistence*(speed-model.MeanSpeed) + model.Volatility*rng.NormFloat64()
+		if speed < 0 {
+			speed = 0
+		}
+		// Diurnal bump peaking mid-afternoon.
+		hourOfDay := float64(i%(n/days)) * hours
+		diurnal := model.DiurnalAmplitude * math.Sin(2*math.Pi*(hourOfDay-8)/24)
+		effective := speed + diurnal
+		if effective < 0 {
+			effective = 0
+		}
+		vals[i] = turbine.Power(effective) * hours // kW * h = kWh
+	}
+	return timeseries.New(day0, resolution, vals)
+}
+
+// ForecastWithError returns a perturbed copy of a production series,
+// emulating forecast error that grows with lead time: interval i gets
+// multiplicative noise with standard deviation errStd*sqrt(1+i/horizon).
+// The result is clamped to be non-negative.
+func ForecastWithError(actual *timeseries.Series, errStd float64, seed int64) *timeseries.Series {
+	rng := rand.New(rand.NewSource(seed))
+	out := actual.Clone()
+	n := out.Len()
+	if n == 0 {
+		return out
+	}
+	for i := 0; i < n; i++ {
+		growth := math.Sqrt(1 + float64(i)/float64(n))
+		noise := 1 + errStd*growth*rng.NormFloat64()
+		if noise < 0 {
+			noise = 0
+		}
+		out.SetValue(i, out.Value(i)*noise)
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package res
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2012, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func TestPowerCurve(t *testing.T) {
+	tb := DefaultTurbine()
+	tests := []struct {
+		speed float64
+		want  float64
+	}{
+		{0, 0},
+		{2.9, 0},  // below cut-in
+		{12, 500}, // rated
+		{20, 500}, // above rated, below cut-out
+		{25, 0},   // cut-out
+		{30, 0},   // above cut-out
+	}
+	for _, tc := range tests {
+		if got := tb.Power(tc.speed); got != tc.want {
+			t.Errorf("Power(%v) = %v, want %v", tc.speed, got, tc.want)
+		}
+	}
+	// Ramp region is monotone and between 0 and rated.
+	prev := 0.0
+	for s := 3.0; s < 12; s += 0.5 {
+		p := tb.Power(s)
+		if p < prev || p < 0 || p > tb.RatedPowerKW {
+			t.Fatalf("ramp not monotone at %v: %v after %v", s, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	bad := []WindModel{
+		{MeanSpeed: -1, Persistence: 0.9},
+		{MeanSpeed: 7, Persistence: 1.0},
+		{MeanSpeed: 7, Persistence: -0.1},
+		{MeanSpeed: 7, Persistence: 0.9, Volatility: -1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); !errors.Is(err, ErrModel) {
+			t.Errorf("model %d: err = %v, want ErrModel", i, err)
+		}
+	}
+	if err := DefaultWindModel().Validate(); err != nil {
+		t.Errorf("default model invalid: %v", err)
+	}
+}
+
+func TestSimulateShapeAndDeterminism(t *testing.T) {
+	s, err := Simulate(DefaultWindModel(), DefaultTurbine(), t0.Add(5*time.Hour), 3, 15*time.Minute, 1)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if s.Len() != 3*96 {
+		t.Errorf("len = %d, want %d", s.Len(), 3*96)
+	}
+	if !s.Start().Equal(t0) {
+		t.Errorf("start = %v, want midnight", s.Start())
+	}
+	if s.Total() <= 0 {
+		t.Error("no production at default parameters")
+	}
+	// Energy per interval bounded by rated power.
+	maxPer := DefaultTurbine().RatedPowerKW * 0.25
+	for i := 0; i < s.Len(); i++ {
+		if s.Value(i) < 0 || s.Value(i) > maxPer+1e-9 {
+			t.Fatalf("interval %d energy %v outside [0, %v]", i, s.Value(i), maxPer)
+		}
+	}
+	s2, err := Simulate(DefaultWindModel(), DefaultTurbine(), t0, 3, 15*time.Minute, 1)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if s.Total() != s2.Total() {
+		t.Error("same seed differs")
+	}
+	s3, _ := Simulate(DefaultWindModel(), DefaultTurbine(), t0, 3, 15*time.Minute, 2)
+	if s.Total() == s3.Total() {
+		t.Error("different seeds identical")
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	if _, err := Simulate(DefaultWindModel(), DefaultTurbine(), t0, 0, 15*time.Minute, 1); err == nil {
+		t.Error("zero days succeeded")
+	}
+	if _, err := Simulate(DefaultWindModel(), DefaultTurbine(), t0, 1, 7*time.Hour, 1); err == nil {
+		t.Error("non-dividing resolution succeeded")
+	}
+	if _, err := Simulate(WindModel{Persistence: 2}, DefaultTurbine(), t0, 1, 15*time.Minute, 1); err == nil {
+		t.Error("invalid model succeeded")
+	}
+}
+
+func TestForecastWithError(t *testing.T) {
+	actual, err := Simulate(DefaultWindModel(), DefaultTurbine(), t0, 2, 15*time.Minute, 3)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	fc := ForecastWithError(actual, 0.1, 4)
+	if fc.Len() != actual.Len() {
+		t.Fatal("forecast length mismatch")
+	}
+	var diffs int
+	for i := 0; i < fc.Len(); i++ {
+		if fc.Value(i) < 0 {
+			t.Fatalf("negative forecast at %d", i)
+		}
+		if fc.Value(i) != actual.Value(i) {
+			diffs++
+		}
+	}
+	if diffs == 0 {
+		t.Error("forecast identical to actual")
+	}
+	// Zero error: identity.
+	same := ForecastWithError(actual, 0, 4)
+	for i := 0; i < same.Len(); i++ {
+		if same.Value(i) != actual.Value(i) {
+			t.Fatal("zero-error forecast differs")
+		}
+	}
+}

@@ -1,0 +1,284 @@
+// Package sched schedules flex-offers against renewable production,
+// reimplementing the MIRABEL scheduling subsystem the paper builds on
+// (reference [5]: "Using aggregation to improve the scheduling of flexible
+// energy offers"). Given the inflexible demand (the extraction's modified
+// series), a supply series (RES production) and a set of (typically
+// aggregated) flex-offers, the scheduler assigns each offer a start time
+// within its window and per-slice energies within its bounds so that the
+// flexible demand tracks the surplus supply — "the washing machine can be
+// turned on when the wind blows".
+//
+// The algorithm is greedy insertion ordered by offer energy, followed by
+// configurable re-insertion passes (local search), which mirrors the
+// heuristic style of the original BIOMA 2012 scheduler.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/flexoffer"
+	"repro/internal/timeseries"
+)
+
+// Common errors.
+var (
+	ErrInput = errors.New("sched: invalid input")
+)
+
+// Scheduler configures the heuristic.
+type Scheduler struct {
+	// Passes is the number of re-insertion refinement passes after the
+	// initial greedy placement (default 2).
+	Passes int
+}
+
+// Result is a complete schedule.
+type Result struct {
+	// Assignments holds one feasible assignment per scheduled offer,
+	// in input order.
+	Assignments []*flexoffer.Assignment
+	// Demand is the total scheduled demand: inflexible plus assigned
+	// flexible energy.
+	Demand *timeseries.Series
+	// Skipped lists offers that could not be placed inside the horizon.
+	Skipped flexoffer.Set
+}
+
+// Metrics quantifies how well demand tracks supply.
+type Metrics struct {
+	// UnmatchedDemand is Σ max(0, demand−supply): energy that had to come
+	// from non-RES sources, in kWh.
+	UnmatchedDemand float64
+	// UnusedSupply is Σ max(0, supply−demand): spilled RES energy, in kWh.
+	UnusedSupply float64
+	// RMSE is the root-mean-square interval imbalance.
+	RMSE float64
+}
+
+// Imbalance computes the metrics for a demand/supply pair (aligned series).
+func Imbalance(demand, supply *timeseries.Series) (Metrics, error) {
+	if demand.Len() != supply.Len() || !demand.Start().Equal(supply.Start()) || demand.Resolution() != supply.Resolution() {
+		return Metrics{}, fmt.Errorf("%w: demand and supply misaligned", ErrInput)
+	}
+	var m Metrics
+	var sq float64
+	for i := 0; i < demand.Len(); i++ {
+		d := demand.Value(i) - supply.Value(i)
+		if d > 0 {
+			m.UnmatchedDemand += d
+		} else {
+			m.UnusedSupply += -d
+		}
+		sq += d * d
+	}
+	m.RMSE = math.Sqrt(sq / float64(demand.Len()))
+	return m, nil
+}
+
+// Schedule places the offers. inflexible is the base demand that cannot
+// move (e.g. the extraction's modified series); supply is the RES
+// production over the same horizon at the same resolution. Offers whose
+// slices are not exactly one interval long, or whose window lies outside
+// the horizon, are reported in Skipped rather than failing the whole
+// schedule.
+func (s *Scheduler) Schedule(offers flexoffer.Set, inflexible, supply *timeseries.Series) (*Result, error) {
+	if inflexible == nil || supply == nil || inflexible.Len() == 0 {
+		return nil, fmt.Errorf("%w: empty series", ErrInput)
+	}
+	if inflexible.Len() != supply.Len() || !inflexible.Start().Equal(supply.Start()) || inflexible.Resolution() != supply.Resolution() {
+		return nil, fmt.Errorf("%w: inflexible and supply misaligned", ErrInput)
+	}
+	if err := offers.Validate(); err != nil {
+		return nil, err
+	}
+	passes := s.Passes
+	if passes <= 0 {
+		passes = 2
+	}
+	res := inflexible.Resolution()
+	n := inflexible.Len()
+
+	// remaining[i] = surplus supply after inflexible demand and placed
+	// offers; may be negative.
+	remaining := make([]float64, n)
+	for i := 0; i < n; i++ {
+		remaining[i] = supply.Value(i) - inflexible.Value(i)
+	}
+
+	type placed struct {
+		offer    *flexoffer.FlexOffer
+		startIdx int
+		energies []float64
+	}
+
+	// Partition offers into schedulable and skipped.
+	var work []*placed
+	var skipped flexoffer.Set
+	for _, f := range offers {
+		if !schedulable(f, inflexible) {
+			skipped = append(skipped, f)
+			continue
+		}
+		work = append(work, &placed{offer: f})
+	}
+	// Largest offers first: they are hardest to place.
+	sort.SliceStable(work, func(i, j int) bool {
+		return work[i].offer.TotalAvgEnergy() > work[j].offer.TotalAvgEnergy()
+	})
+
+	// bestPlacement evaluates every feasible start and picks the one that
+	// serves the most demand from surplus supply with the least overshoot.
+	bestPlacement := func(f *flexoffer.FlexOffer) (int, []float64) {
+		first, _ := inflexible.IndexOf(f.EarliestStart)
+		steps := int(f.TimeFlexibility()/res) + 1
+		nSlices := len(f.Profile)
+		bestGain := math.Inf(-1)
+		bestStart := -1
+		var bestEnergies []float64
+		for k := 0; k < steps; k++ {
+			start := first + k
+			if start+nSlices > n {
+				break
+			}
+			energies := make([]float64, nSlices)
+			for j, sl := range f.Profile {
+				r := remaining[start+j]
+				energies[j] = math.Max(sl.MinEnergy, math.Min(sl.MaxEnergy, r))
+			}
+			// Offers carrying a total-energy constraint need their
+			// energies redistributed into the admissible total range.
+			if f.TotalConstraint != nil {
+				fitted, err := f.FitEnergies(energies)
+				if err != nil {
+					continue
+				}
+				energies = fitted
+			}
+			gain := 0.0
+			for j, e := range energies {
+				r := remaining[start+j]
+				served := math.Min(e, math.Max(r, 0))
+				overshoot := e - served
+				gain += served - overshoot
+			}
+			if gain > bestGain {
+				bestGain, bestStart, bestEnergies = gain, start, energies
+			}
+		}
+		return bestStart, bestEnergies
+	}
+
+	apply := func(p *placed, sign float64) {
+		for j, e := range p.energies {
+			remaining[p.startIdx+j] -= sign * e
+		}
+	}
+
+	// Initial greedy placement.
+	for _, p := range work {
+		start, energies := bestPlacement(p.offer)
+		if start < 0 {
+			// Window starts inside the horizon but the profile spills
+			// past its end for every feasible start.
+			skipped = append(skipped, p.offer)
+			p.startIdx = -1
+			continue
+		}
+		p.startIdx, p.energies = start, energies
+		apply(p, 1)
+	}
+
+	// Re-insertion passes: remove and re-place each offer greedily.
+	for pass := 0; pass < passes; pass++ {
+		for _, p := range work {
+			if p.startIdx < 0 {
+				continue
+			}
+			apply(p, -1)
+			start, energies := bestPlacement(p.offer)
+			p.startIdx, p.energies = start, energies
+			apply(p, 1)
+		}
+	}
+
+	// Materialise assignments and the demand series.
+	demand := inflexible.Clone()
+	var assignments []*flexoffer.Assignment
+	for _, p := range work {
+		if p.startIdx < 0 {
+			continue
+		}
+		asg, err := p.offer.Assign(inflexible.TimeAt(p.startIdx), p.energies)
+		if err != nil {
+			return nil, fmt.Errorf("sched: internal placement infeasible for %s: %w", p.offer.ID, err)
+		}
+		assignments = append(assignments, asg)
+		if _, err := asg.AddToSeries(demand); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Assignments: assignments, Demand: demand, Skipped: skipped}, nil
+}
+
+// schedulable reports whether the offer can be scheduled on the horizon
+// grid: slice duration equals the resolution, the earliest start lies on
+// the grid inside the horizon, and at least one start fits the profile.
+func schedulable(f *flexoffer.FlexOffer, horizon *timeseries.Series) bool {
+	res := horizon.Resolution()
+	for _, sl := range f.Profile {
+		if sl.Duration != res {
+			return false
+		}
+	}
+	idx, ok := horizon.IndexOf(f.EarliestStart)
+	if !ok {
+		return false
+	}
+	if !horizon.TimeAt(idx).Equal(f.EarliestStart) {
+		return false // off-grid start
+	}
+	// Later starts reach further right, so if the earliest start does not
+	// fit the profile inside the horizon, nothing does.
+	return idx+len(f.Profile) <= horizon.Len()
+}
+
+// ScheduleAtEarliest is the no-optimisation baseline: every offer starts at
+// its earliest start with average energies — i.e. flexibility is ignored.
+// Comparing its imbalance with Schedule's quantifies the value of
+// flexibility (experiment E12).
+func ScheduleAtEarliest(offers flexoffer.Set, inflexible *timeseries.Series) (*Result, error) {
+	if inflexible == nil || inflexible.Len() == 0 {
+		return nil, fmt.Errorf("%w: empty series", ErrInput)
+	}
+	if err := offers.Validate(); err != nil {
+		return nil, err
+	}
+	demand := inflexible.Clone()
+	var assignments []*flexoffer.Assignment
+	var skipped flexoffer.Set
+	for _, f := range offers {
+		asg, err := f.AssignDefault(f.EarliestStart)
+		if err != nil {
+			skipped = append(skipped, f)
+			continue
+		}
+		if _, err := asg.AddToSeries(demand); err != nil {
+			return nil, err
+		}
+		assignments = append(assignments, asg)
+	}
+	return &Result{Assignments: assignments, Demand: demand, Skipped: skipped}, nil
+}
+
+// Horizon builds an aligned zero series matching s — a convenience for
+// constructing supply/demand pairs in tests and experiments.
+func Horizon(s *timeseries.Series) *timeseries.Series {
+	z, err := timeseries.Zeros(s.Start(), s.Resolution(), s.Len())
+	if err != nil {
+		panic(err) // cannot happen: s is a valid series
+	}
+	return z
+}

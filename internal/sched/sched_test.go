@@ -1,0 +1,306 @@
+package sched
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/flexoffer"
+	"repro/internal/timeseries"
+)
+
+var t0 = time.Date(2012, 6, 4, 0, 0, 0, 0, time.UTC)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func offer(id string, est time.Time, tf time.Duration, n int, minE, maxE float64) *flexoffer.FlexOffer {
+	return &flexoffer.FlexOffer{
+		ID:            id,
+		EarliestStart: est,
+		LatestStart:   est.Add(tf),
+		Profile:       flexoffer.UniformProfile(n, 15*time.Minute, minE, maxE),
+	}
+}
+
+func series(vals []float64) *timeseries.Series {
+	return timeseries.MustNew(t0, 15*time.Minute, vals)
+}
+
+func TestImbalance(t *testing.T) {
+	demand := series([]float64{3, 1, 2})
+	supply := series([]float64{1, 2, 2})
+	m, err := Imbalance(demand, supply)
+	if err != nil {
+		t.Fatalf("Imbalance: %v", err)
+	}
+	if !almostEqual(m.UnmatchedDemand, 2, 1e-9) {
+		t.Errorf("UnmatchedDemand = %v, want 2", m.UnmatchedDemand)
+	}
+	if !almostEqual(m.UnusedSupply, 1, 1e-9) {
+		t.Errorf("UnusedSupply = %v, want 1", m.UnusedSupply)
+	}
+	if !almostEqual(m.RMSE, math.Sqrt(5.0/3), 1e-9) {
+		t.Errorf("RMSE = %v", m.RMSE)
+	}
+	short := series([]float64{1})
+	if _, err := Imbalance(demand, short); !errors.Is(err, ErrInput) {
+		t.Errorf("misaligned: %v", err)
+	}
+}
+
+// TestScheduleMovesOfferToSupply: surplus at hour 2; an offer with a
+// flexible window covering it must land there.
+func TestScheduleMovesOfferToSupply(t *testing.T) {
+	n := 16 // 4 hours
+	inflex := make([]float64, n)
+	supply := make([]float64, n)
+	for i := 8; i < 12; i++ { // hour 2..3
+		supply[i] = 2
+	}
+	f := offer("a", t0, 3*time.Hour, 4, 0.5, 2)
+	s := &Scheduler{}
+	res, err := s.Schedule(flexoffer.Set{f}, series(inflex), series(supply))
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if len(res.Assignments) != 1 || len(res.Skipped) != 0 {
+		t.Fatalf("assignments = %d, skipped = %d", len(res.Assignments), len(res.Skipped))
+	}
+	asg := res.Assignments[0]
+	if !asg.Start.Equal(t0.Add(2 * time.Hour)) {
+		t.Errorf("start = %v, want 02:00 (supply window)", asg.Start)
+	}
+	// Energies track supply up to slice max.
+	for _, e := range asg.Energies {
+		if !almostEqual(e, 2, 1e-9) {
+			t.Errorf("energy = %v, want 2 (supply level)", e)
+		}
+	}
+	// Demand series contains the placed energy.
+	if !almostEqual(res.Demand.Total(), asg.TotalEnergy(), 1e-9) {
+		t.Errorf("demand total = %v", res.Demand.Total())
+	}
+	m, _ := Imbalance(res.Demand, series(supply))
+	if m.UnmatchedDemand > 1e-9 {
+		t.Errorf("unmatched demand = %v, want 0", m.UnmatchedDemand)
+	}
+}
+
+// TestScheduleBeatsEarliestBaseline: scheduling with flexibility yields
+// lower unmatched demand than pinning offers at their earliest start.
+func TestScheduleBeatsEarliestBaseline(t *testing.T) {
+	n := 96
+	inflex := make([]float64, n)
+	supply := make([]float64, n)
+	for i := range inflex {
+		inflex[i] = 0.2
+		// Wind blows at night (intervals 80..95).
+		if i >= 80 {
+			supply[i] = 1.5
+		}
+	}
+	var offers flexoffer.Set
+	for k := 0; k < 4; k++ {
+		est := t0.Add(time.Duration(10+2*k) * time.Hour) // daytime ESTs
+		offers = append(offers, offer(string(rune('a'+k)), est, 12*time.Hour, 4, 0.3, 1.0))
+	}
+	s := &Scheduler{}
+	smart, err := s.Schedule(offers, series(inflex), series(supply))
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	naive, err := ScheduleAtEarliest(offers, series(inflex))
+	if err != nil {
+		t.Fatalf("ScheduleAtEarliest: %v", err)
+	}
+	ms, _ := Imbalance(smart.Demand, series(supply))
+	mn, _ := Imbalance(naive.Demand, series(supply))
+	if ms.UnmatchedDemand >= mn.UnmatchedDemand {
+		t.Errorf("scheduled unmatched %v not below naive %v", ms.UnmatchedDemand, mn.UnmatchedDemand)
+	}
+}
+
+// TestScheduleAssignmentsFeasible: all produced assignments validate.
+func TestScheduleAssignmentsFeasible(t *testing.T) {
+	n := 48
+	inflex := make([]float64, n)
+	supply := make([]float64, n)
+	for i := range supply {
+		supply[i] = float64(i%7) * 0.3
+		inflex[i] = 0.1
+	}
+	var offers flexoffer.Set
+	for k := 0; k < 6; k++ {
+		offers = append(offers, offer(string(rune('a'+k)), t0.Add(time.Duration(k)*time.Hour), 4*time.Hour, 3, 0.2, 0.8))
+	}
+	res, err := (&Scheduler{Passes: 3}).Schedule(offers, series(inflex), series(supply))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, asg := range res.Assignments {
+		if err := asg.Validate(); err != nil {
+			t.Errorf("assignment invalid: %v", err)
+		}
+	}
+	if len(res.Assignments)+len(res.Skipped) != len(offers) {
+		t.Error("offers lost")
+	}
+}
+
+func TestScheduleSkipsUnschedulable(t *testing.T) {
+	n := 8
+	inflex := make([]float64, n)
+	supply := make([]float64, n)
+	offers := flexoffer.Set{
+		offer("fits", t0, time.Hour, 2, 0.1, 0.2),
+		offer("too-long", t0, time.Hour, 20, 0.1, 0.2),                 // profile longer than horizon
+		offer("outside", t0.Add(24*time.Hour), time.Hour, 2, 0.1, 0.2), // EST beyond horizon
+		offer("off-grid", t0.Add(7*time.Minute), time.Hour, 2, 0.1, 0.2),
+	}
+	hourly := &flexoffer.FlexOffer{
+		ID: "wrong-slices", EarliestStart: t0, LatestStart: t0.Add(time.Hour),
+		Profile: flexoffer.UniformProfile(2, time.Hour, 0.1, 0.2),
+	}
+	offers = append(offers, hourly)
+	res, err := (&Scheduler{}).Schedule(offers, series(inflex), series(supply))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignments) != 1 {
+		t.Errorf("assignments = %d, want 1", len(res.Assignments))
+	}
+	if len(res.Skipped) != 4 {
+		t.Errorf("skipped = %d, want 4", len(res.Skipped))
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	s := &Scheduler{}
+	good := series(make([]float64, 8))
+	if _, err := s.Schedule(nil, nil, good); !errors.Is(err, ErrInput) {
+		t.Errorf("nil inflexible: %v", err)
+	}
+	other := timeseries.MustNew(t0.Add(time.Hour), 15*time.Minute, make([]float64, 8))
+	if _, err := s.Schedule(nil, good, other); !errors.Is(err, ErrInput) {
+		t.Errorf("misaligned: %v", err)
+	}
+	bad := flexoffer.Set{{ID: "bad"}}
+	if _, err := s.Schedule(bad, good, good.Clone()); err == nil {
+		t.Error("invalid offer accepted")
+	}
+}
+
+func TestScheduleAtEarliest(t *testing.T) {
+	inflex := series(make([]float64, 16))
+	offers := flexoffer.Set{offer("a", t0.Add(time.Hour), 2*time.Hour, 2, 1, 1)}
+	res, err := ScheduleAtEarliest(offers, inflex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignments) != 1 {
+		t.Fatalf("assignments = %d", len(res.Assignments))
+	}
+	if !res.Assignments[0].Start.Equal(t0.Add(time.Hour)) {
+		t.Errorf("start = %v", res.Assignments[0].Start)
+	}
+	if !almostEqual(res.Demand.Total(), 2, 1e-9) {
+		t.Errorf("demand = %v", res.Demand.Total())
+	}
+}
+
+func TestHorizon(t *testing.T) {
+	s := series([]float64{1, 2, 3})
+	h := Horizon(s)
+	if h.Len() != 3 || h.Total() != 0 || !h.Start().Equal(s.Start()) {
+		t.Errorf("Horizon = %v", h)
+	}
+}
+
+// TestScheduleDeterministic: same inputs, same schedule.
+func TestScheduleDeterministic(t *testing.T) {
+	n := 48
+	inflex := make([]float64, n)
+	supply := make([]float64, n)
+	for i := range supply {
+		supply[i] = float64((i*7)%5) * 0.25
+	}
+	var offers flexoffer.Set
+	for k := 0; k < 5; k++ {
+		offers = append(offers, offer(string(rune('a'+k)), t0.Add(time.Duration(k)*time.Hour), 6*time.Hour, 4, 0.1, 0.9))
+	}
+	r1, err := (&Scheduler{}).Schedule(offers, series(inflex), series(supply))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := (&Scheduler{}).Schedule(offers, series(inflex), series(supply))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Assignments) != len(r2.Assignments) {
+		t.Fatal("assignment counts differ")
+	}
+	for i := range r1.Assignments {
+		if !r1.Assignments[i].Start.Equal(r2.Assignments[i].Start) {
+			t.Fatal("schedule not deterministic")
+		}
+	}
+}
+
+// TestScheduleRespectsTotalConstraint: an offer with a total-energy
+// constraint is scheduled within it even when supply would fill every slice
+// to its maximum.
+func TestScheduleRespectsTotalConstraint(t *testing.T) {
+	n := 16
+	inflex := make([]float64, n)
+	supply := make([]float64, n)
+	for i := range supply {
+		supply[i] = 10 // abundant supply → per-slice clamp hits maxima
+	}
+	f := offer("tec", t0, 2*time.Hour, 4, 1, 3)
+	f.TotalConstraint = &flexoffer.EnergyConstraint{Min: 5, Max: 7}
+	res, err := (&Scheduler{}).Schedule(flexoffer.Set{f}, series(inflex), series(supply))
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if len(res.Assignments) != 1 {
+		t.Fatalf("assignments = %d (skipped %d)", len(res.Assignments), len(res.Skipped))
+	}
+	total := res.Assignments[0].TotalEnergy()
+	if total < 5-1e-9 || total > 7+1e-9 {
+		t.Errorf("scheduled total = %v, want within [5, 7]", total)
+	}
+	if err := res.Assignments[0].Validate(); err != nil {
+		t.Errorf("assignment invalid: %v", err)
+	}
+}
+
+func TestScheduleAtEarliestSkipsAndErrors(t *testing.T) {
+	inflex := series(make([]float64, 8))
+	// An offer with a total constraint whose averages violate it is still
+	// scheduled via FitEnergies inside AssignDefault; an offer whose
+	// default assignment is infeasible (empty effective bounds cannot be
+	// built through Validate) — use one that assigns fine and one skipped
+	// via unreachable earliest start handled by AddToSeries clipping.
+	good := offer("g", t0, time.Hour, 2, 1, 1)
+	res, err := ScheduleAtEarliest(flexoffer.Set{good}, inflex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignments) != 1 || len(res.Skipped) != 0 {
+		t.Fatalf("assignments/skipped = %d/%d", len(res.Assignments), len(res.Skipped))
+	}
+	// Nil and empty series errors.
+	if _, err := ScheduleAtEarliest(nil, nil); !errors.Is(err, ErrInput) {
+		t.Errorf("nil series: %v", err)
+	}
+	empty := timeseries.MustNew(t0, 15*time.Minute, nil)
+	if _, err := ScheduleAtEarliest(nil, empty); !errors.Is(err, ErrInput) {
+		t.Errorf("empty series: %v", err)
+	}
+	// Invalid offers rejected.
+	bad := flexoffer.Set{{ID: "bad"}}
+	if _, err := ScheduleAtEarliest(bad, inflex); err == nil {
+		t.Error("invalid offer accepted")
+	}
+}

@@ -1,0 +1,85 @@
+package timeseries
+
+import (
+	"time"
+)
+
+// DayType classifies calendar days for profile estimation: the multi-tariff
+// extraction computes "typical behavior during the work days, weekends,
+// holidays" (§3.3), and the schedule-based extraction differentiates
+// weekday vs weekend usage (§4.2).
+type DayType int
+
+const (
+	// Workday is Monday through Friday.
+	Workday DayType = iota
+	// Weekend is Saturday and Sunday.
+	Weekend
+)
+
+// String implements fmt.Stringer.
+func (d DayType) String() string {
+	switch d {
+	case Workday:
+		return "workday"
+	case Weekend:
+		return "weekend"
+	default:
+		return "unknown"
+	}
+}
+
+// DayTypeOf classifies the calendar day containing t.
+func DayTypeOf(t time.Time) DayType {
+	switch t.UTC().Weekday() {
+	case time.Saturday, time.Sunday:
+		return Weekend
+	default:
+		return Workday
+	}
+}
+
+// TruncateDay reports midnight (UTC) of the calendar day containing t.
+func TruncateDay(t time.Time) time.Time {
+	u := t.UTC()
+	return time.Date(u.Year(), u.Month(), u.Day(), 0, 0, 0, 0, time.UTC)
+}
+
+// Days splits the series into calendar-day sub-series. The first and last
+// day may be partial. An empty series yields no days.
+func (s *Series) Days() []*Series {
+	var days []*Series
+	if s.Len() == 0 {
+		return days
+	}
+	dayStart := TruncateDay(s.start)
+	for dayStart.Before(s.End()) {
+		next := dayStart.Add(24 * time.Hour)
+		if win, err := s.Window(dayStart, next); err == nil {
+			days = append(days, win)
+		}
+		dayStart = next
+	}
+	return days
+}
+
+// DaysByType splits the series into calendar days and groups them by
+// DayType.
+func (s *Series) DaysByType() map[DayType][]*Series {
+	out := make(map[DayType][]*Series)
+	for _, d := range s.Days() {
+		t := DayTypeOf(d.Start())
+		out[t] = append(out[t], d)
+	}
+	return out
+}
+
+// IntervalsPerDay reports how many intervals of the series' resolution fit
+// in 24 hours, or 0 when the resolution does not divide a day evenly.
+func (s *Series) IntervalsPerDay() int {
+	day := 24 * time.Hour
+	if s.resolution <= 0 || day%s.resolution != 0 {
+		return 0
+	}
+	return int(day / s.resolution)
+}

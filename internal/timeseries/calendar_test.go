@@ -1,0 +1,106 @@
+package timeseries
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDayTypeOf(t *testing.T) {
+	tests := []struct {
+		t    time.Time
+		want DayType
+	}{
+		{time.Date(2012, 6, 1, 12, 0, 0, 0, time.UTC), Workday}, // Friday
+		{time.Date(2012, 6, 2, 12, 0, 0, 0, time.UTC), Weekend}, // Saturday
+		{time.Date(2012, 6, 3, 12, 0, 0, 0, time.UTC), Weekend}, // Sunday
+		{time.Date(2012, 6, 4, 12, 0, 0, 0, time.UTC), Workday}, // Monday
+	}
+	for _, tc := range tests {
+		if got := DayTypeOf(tc.t); got != tc.want {
+			t.Errorf("DayTypeOf(%v) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestDayTypeString(t *testing.T) {
+	if Workday.String() != "workday" || Weekend.String() != "weekend" {
+		t.Error("DayType.String mismatch")
+	}
+	if DayType(99).String() != "unknown" {
+		t.Error("unknown DayType.String mismatch")
+	}
+}
+
+func TestTruncateDay(t *testing.T) {
+	in := time.Date(2012, 6, 1, 17, 42, 13, 5, time.UTC)
+	want := time.Date(2012, 6, 1, 0, 0, 0, 0, time.UTC)
+	if got := TruncateDay(in); !got.Equal(want) {
+		t.Errorf("TruncateDay = %v, want %v", got, want)
+	}
+}
+
+func TestDaysFullDays(t *testing.T) {
+	s := MustNew(t0, time.Hour, make([]float64, 48))
+	days := s.Days()
+	if len(days) != 2 {
+		t.Fatalf("Days = %d, want 2", len(days))
+	}
+	for i, d := range days {
+		if d.Len() != 24 {
+			t.Errorf("day %d len = %d, want 24", i, d.Len())
+		}
+	}
+	if !days[1].Start().Equal(t0.Add(24 * time.Hour)) {
+		t.Errorf("day 1 start = %v", days[1].Start())
+	}
+}
+
+func TestDaysPartialEdges(t *testing.T) {
+	// Starts at 22:00, covers 28 hours: partial, full, partial.
+	start := time.Date(2012, 6, 1, 22, 0, 0, 0, time.UTC)
+	s := MustNew(start, time.Hour, make([]float64, 28))
+	days := s.Days()
+	if len(days) != 3 {
+		t.Fatalf("Days = %d, want 3", len(days))
+	}
+	if days[0].Len() != 2 || days[1].Len() != 24 || days[2].Len() != 2 {
+		t.Errorf("day lengths = %d, %d, %d", days[0].Len(), days[1].Len(), days[2].Len())
+	}
+}
+
+func TestDaysEmpty(t *testing.T) {
+	s := MustNew(t0, time.Hour, nil)
+	if got := s.Days(); len(got) != 0 {
+		t.Errorf("Days of empty = %d", len(got))
+	}
+}
+
+func TestDaysByType(t *testing.T) {
+	// 2012-06-01 is a Friday; 7 days → 5 workdays + 2 weekend days.
+	s := MustNew(t0, time.Hour, make([]float64, 24*7))
+	byType := s.DaysByType()
+	if len(byType[Workday]) != 5 {
+		t.Errorf("workdays = %d, want 5", len(byType[Workday]))
+	}
+	if len(byType[Weekend]) != 2 {
+		t.Errorf("weekend days = %d, want 2", len(byType[Weekend]))
+	}
+}
+
+func TestIntervalsPerDay(t *testing.T) {
+	tests := []struct {
+		res  time.Duration
+		want int
+	}{
+		{15 * time.Minute, 96},
+		{time.Hour, 24},
+		{time.Minute, 1440},
+		{7 * time.Hour, 0}, // does not divide a day
+	}
+	for _, tc := range tests {
+		s := MustNew(t0, tc.res, []float64{1})
+		if got := s.IntervalsPerDay(); got != tc.want {
+			t.Errorf("IntervalsPerDay(%v) = %d, want %d", tc.res, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package timeseries
+
+import (
+	"fmt"
+	"math"
+)
+
+// Decomposition holds the classical additive decomposition of a series into
+// trend, seasonal and residual components (value = trend + seasonal +
+// residual). The paper cites the trend/seasonal/error composition of time
+// series [12] as the standard structure extraction tools build on.
+type Decomposition struct {
+	Trend    *Series
+	Seasonal *Series
+	Residual *Series
+	// Period is the seasonal period in intervals (e.g. 96 for a daily
+	// season at 15-minute resolution).
+	Period int
+	// SeasonalIndex holds the per-phase seasonal means (length Period,
+	// centred to sum to zero).
+	SeasonalIndex []float64
+}
+
+// Decompose performs classical additive decomposition with the given
+// seasonal period (in intervals). The trend is a centred moving average of
+// width period; the seasonal component is the per-phase mean of the
+// detrended series, centred to zero mean; the residual is what remains.
+// The series must contain at least two full periods and no missing values.
+func Decompose(s *Series, period int) (*Decomposition, error) {
+	n := s.Len()
+	if period < 2 {
+		return nil, fmt.Errorf("timeseries: decompose period %d < 2", period)
+	}
+	if n < 2*period {
+		return nil, fmt.Errorf("timeseries: decompose needs >= %d points, have %d", 2*period, n)
+	}
+	for i := 0; i < n; i++ {
+		if math.IsNaN(s.values[i]) {
+			return nil, fmt.Errorf("timeseries: decompose requires no missing values (index %d)", i)
+		}
+	}
+
+	// Centred moving average of width `period`. For even periods the
+	// classical 2xMA is used (half weight on the edge points).
+	trend := make([]float64, n)
+	for i := range trend {
+		trend[i] = math.NaN()
+	}
+	half := period / 2
+	if period%2 == 1 {
+		for i := half; i < n-half; i++ {
+			var sum float64
+			for j := i - half; j <= i+half; j++ {
+				sum += s.values[j]
+			}
+			trend[i] = sum / float64(period)
+		}
+	} else {
+		for i := half; i < n-half; i++ {
+			sum := 0.5*s.values[i-half] + 0.5*s.values[i+half]
+			for j := i - half + 1; j <= i+half-1; j++ {
+				sum += s.values[j]
+			}
+			trend[i] = sum / float64(period)
+		}
+	}
+
+	// Per-phase means of the detrended series.
+	idx := make([]float64, period)
+	cnt := make([]int, period)
+	for i := 0; i < n; i++ {
+		if math.IsNaN(trend[i]) {
+			continue
+		}
+		p := i % period
+		idx[p] += s.values[i] - trend[i]
+		cnt[p]++
+	}
+	var mean float64
+	for p := 0; p < period; p++ {
+		if cnt[p] > 0 {
+			idx[p] /= float64(cnt[p])
+		}
+		mean += idx[p]
+	}
+	mean /= float64(period)
+	for p := range idx {
+		idx[p] -= mean // centre so the seasonal component sums to ~0
+	}
+
+	seasonal := make([]float64, n)
+	resid := make([]float64, n)
+	for i := 0; i < n; i++ {
+		seasonal[i] = idx[i%period]
+		if math.IsNaN(trend[i]) {
+			resid[i] = math.NaN()
+		} else {
+			resid[i] = s.values[i] - trend[i] - seasonal[i]
+		}
+	}
+
+	mk := func(v []float64) *Series {
+		return &Series{start: s.start, resolution: s.resolution, values: v}
+	}
+	return &Decomposition{
+		Trend:         mk(trend),
+		Seasonal:      mk(seasonal),
+		Residual:      mk(resid),
+		Period:        period,
+		SeasonalIndex: idx,
+	}, nil
+}
+
+// TypicalProfile computes the per-phase mean profile over the given period
+// (in intervals): element p is the mean of all observations at phase p.
+// Unlike Decompose it tolerates missing values, making it the workhorse for
+// estimating "usual consumption" from historical data, as the multi-tariff
+// extraction requires (§3.3). The returned slice has length period.
+func TypicalProfile(s *Series, period int) ([]float64, error) {
+	if period < 1 {
+		return nil, fmt.Errorf("timeseries: profile period %d < 1", period)
+	}
+	if s.Len() == 0 {
+		return nil, ErrEmpty
+	}
+	sums := make([]float64, period)
+	cnts := make([]int, period)
+	for i, v := range s.values {
+		if math.IsNaN(v) {
+			continue
+		}
+		p := i % period
+		sums[p] += v
+		cnts[p]++
+	}
+	for p := 0; p < period; p++ {
+		if cnts[p] == 0 {
+			sums[p] = math.NaN()
+		} else {
+			sums[p] /= float64(cnts[p])
+		}
+	}
+	return sums, nil
+}
+
+// MedianProfile computes the per-phase median profile over the given period,
+// which is more robust to occasional appliance activations than the mean and
+// therefore preferred when estimating the inflexible base consumption.
+func MedianProfile(s *Series, period int) ([]float64, error) {
+	if period < 1 {
+		return nil, fmt.Errorf("timeseries: profile period %d < 1", period)
+	}
+	if s.Len() == 0 {
+		return nil, ErrEmpty
+	}
+	buckets := make([][]float64, period)
+	for i, v := range s.values {
+		if math.IsNaN(v) {
+			continue
+		}
+		p := i % period
+		buckets[p] = append(buckets[p], v)
+	}
+	out := make([]float64, period)
+	for p := 0; p < period; p++ {
+		out[p] = median(buckets[p])
+	}
+	return out, nil
+}
+
+// median reports the median of vals, or NaN when empty. vals is reordered.
+func median(vals []float64) float64 {
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	// Insertion sort: phase buckets are short (one per day of history).
+	for i := 1; i < len(vals); i++ {
+		for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
+			vals[j], vals[j-1] = vals[j-1], vals[j]
+		}
+	}
+	m := len(vals) / 2
+	if len(vals)%2 == 1 {
+		return vals[m]
+	}
+	return (vals[m-1] + vals[m]) / 2
+}

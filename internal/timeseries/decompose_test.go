@@ -1,0 +1,166 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// synthetic series with known trend and season.
+func trendSeason(n, period int, slope float64, amp float64) []float64 {
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 10 + slope*float64(i) + amp*math.Sin(2*math.Pi*float64(i)/float64(period))
+	}
+	return vals
+}
+
+func TestDecomposeRecoversComponents(t *testing.T) {
+	const period = 24
+	s := MustNew(t0, time.Hour, trendSeason(24*14, period, 0.01, 3))
+	d, err := Decompose(s, period)
+	if err != nil {
+		t.Fatalf("Decompose: %v", err)
+	}
+	if d.Period != period || len(d.SeasonalIndex) != period {
+		t.Fatalf("Period = %d, index len = %d", d.Period, len(d.SeasonalIndex))
+	}
+	// Seasonal index should be near-sinusoidal with amplitude ~3.
+	var maxIdx float64
+	for _, v := range d.SeasonalIndex {
+		if v > maxIdx {
+			maxIdx = v
+		}
+	}
+	if maxIdx < 2.5 || maxIdx > 3.5 {
+		t.Errorf("seasonal amplitude = %v, want ~3", maxIdx)
+	}
+	// Seasonal index sums to ~0 (centred).
+	var sum float64
+	for _, v := range d.SeasonalIndex {
+		sum += v
+	}
+	if !almostEqual(sum, 0, 1e-9) {
+		t.Errorf("seasonal index sum = %v, want 0", sum)
+	}
+	// Residuals should be tiny for this noiseless construction.
+	var maxResid float64
+	for i := 0; i < d.Residual.Len(); i++ {
+		if v := math.Abs(d.Residual.Value(i)); !math.IsNaN(v) && v > maxResid {
+			maxResid = v
+		}
+	}
+	if maxResid > 0.5 {
+		t.Errorf("max residual = %v, want small", maxResid)
+	}
+	// value = trend + seasonal + residual wherever trend is defined.
+	for i := 0; i < s.Len(); i++ {
+		tr := d.Trend.Value(i)
+		if math.IsNaN(tr) {
+			continue
+		}
+		recon := tr + d.Seasonal.Value(i) + d.Residual.Value(i)
+		if !almostEqual(recon, s.Value(i), 1e-9) {
+			t.Fatalf("reconstruction at %d: %v != %v", i, recon, s.Value(i))
+		}
+	}
+}
+
+func TestDecomposeOddPeriod(t *testing.T) {
+	const period = 7
+	s := MustNew(t0, time.Hour, trendSeason(7*10, period, 0, 2))
+	d, err := Decompose(s, period)
+	if err != nil {
+		t.Fatalf("Decompose odd period: %v", err)
+	}
+	for i := 0; i < s.Len(); i++ {
+		tr := d.Trend.Value(i)
+		if math.IsNaN(tr) {
+			continue
+		}
+		recon := tr + d.Seasonal.Value(i) + d.Residual.Value(i)
+		if !almostEqual(recon, s.Value(i), 1e-9) {
+			t.Fatalf("odd-period reconstruction at %d", i)
+		}
+	}
+}
+
+func TestDecomposeErrors(t *testing.T) {
+	s := MustNew(t0, time.Hour, trendSeason(20, 24, 0, 1))
+	if _, err := Decompose(s, 24); err == nil {
+		t.Error("Decompose with < 2 periods succeeded")
+	}
+	if _, err := Decompose(s, 1); err == nil {
+		t.Error("Decompose with period 1 succeeded")
+	}
+	withNaN := MustNew(t0, time.Hour, append(trendSeason(48, 24, 0, 1), math.NaN()))
+	if _, err := Decompose(withNaN, 24); err == nil {
+		t.Error("Decompose with NaN succeeded")
+	}
+}
+
+func TestTypicalProfile(t *testing.T) {
+	// Two days of a 4-interval pattern.
+	s := MustNew(t0, 6*time.Hour, []float64{1, 2, 3, 4, 3, 4, 5, 6})
+	prof, err := TypicalProfile(s, 4)
+	if err != nil {
+		t.Fatalf("TypicalProfile: %v", err)
+	}
+	want := []float64{2, 3, 4, 5}
+	for i, w := range want {
+		if !almostEqual(prof[i], w, 1e-12) {
+			t.Errorf("profile[%d] = %v, want %v", i, prof[i], w)
+		}
+	}
+	if _, err := TypicalProfile(s, 0); err == nil {
+		t.Error("TypicalProfile period 0 succeeded")
+	}
+	empty := MustNew(t0, time.Hour, nil)
+	if _, err := TypicalProfile(empty, 4); err == nil {
+		t.Error("TypicalProfile of empty series succeeded")
+	}
+}
+
+func TestTypicalProfileMissingPhase(t *testing.T) {
+	s := MustNew(t0, time.Hour, []float64{1, math.NaN(), 1, math.NaN()})
+	prof, err := TypicalProfile(s, 2)
+	if err != nil {
+		t.Fatalf("TypicalProfile: %v", err)
+	}
+	if prof[0] != 1 || !math.IsNaN(prof[1]) {
+		t.Errorf("profile = %v, want [1 NaN]", prof)
+	}
+}
+
+func TestMedianProfile(t *testing.T) {
+	// Phase 0 observations: 1, 1, 100 (outlier) → median 1.
+	s := MustNew(t0, time.Hour, []float64{1, 5, 1, 5, 100, 5})
+	prof, err := MedianProfile(s, 2)
+	if err != nil {
+		t.Fatalf("MedianProfile: %v", err)
+	}
+	if prof[0] != 1 || prof[1] != 5 {
+		t.Errorf("median profile = %v, want [1 5]", prof)
+	}
+	if _, err := MedianProfile(s, 0); err == nil {
+		t.Error("MedianProfile period 0 succeeded")
+	}
+}
+
+func TestMedianHelper(t *testing.T) {
+	tests := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, math.NaN()},
+		{[]float64{3}, 3},
+		{[]float64{3, 1}, 2},
+		{[]float64{5, 1, 3}, 3},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, tc := range tests {
+		if got := median(append([]float64(nil), tc.in...)); !almostEqual(got, tc.want, 1e-12) {
+			t.Errorf("median(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

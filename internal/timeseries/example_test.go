@@ -1,0 +1,36 @@
+package timeseries_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/timeseries"
+)
+
+// ExampleSeries_Downsample converts a 15-minute consumption series to
+// hourly resolution; downsampling sums energy, so the total is conserved.
+func ExampleSeries_Downsample() {
+	start := time.Date(2012, 6, 4, 0, 0, 0, 0, time.UTC)
+	quarterHourly, _ := timeseries.New(start, 15*time.Minute,
+		[]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.5, 0.5, 0.5})
+	hourly, _ := quarterHourly.Downsample(4)
+	fmt.Printf("hourly values: %.1f and %.1f kWh\n", hourly.Value(0), hourly.Value(1))
+	fmt.Printf("totals: %.1f == %.1f\n", quarterHourly.Total(), hourly.Total())
+	// Output:
+	// hourly values: 1.0 and 2.0 kWh
+	// totals: 3.0 == 3.0
+}
+
+// ExampleSeries_Days splits a series into calendar days for per-day
+// processing (the unit the peak-based extraction works on).
+func ExampleSeries_Days() {
+	start := time.Date(2012, 6, 4, 22, 0, 0, 0, time.UTC) // 22:00
+	s, _ := timeseries.New(start, time.Hour, make([]float64, 28))
+	for _, day := range s.Days() {
+		fmt.Printf("%s: %d hours\n", day.Start().Format("Jan 2"), day.Len())
+	}
+	// Output:
+	// Jun 4: 2 hours
+	// Jun 5: 24 hours
+	// Jun 6: 2 hours
+}

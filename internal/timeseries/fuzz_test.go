@@ -1,0 +1,64 @@
+package timeseries
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks the CSV parser never panics and that everything it
+// accepts round-trips losslessly.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("timestamp,kwh\n2012-06-04T00:00:00Z,1.5\n2012-06-04T00:15:00Z,2\n")
+	f.Add("timestamp,kwh\n2012-06-04T00:00:00Z,\n")
+	f.Add("timestamp,kwh\n")
+	f.Add("")
+	f.Add("garbage")
+	f.Add("timestamp,kwh\n2012-06-04T00:00:00Z,1\n2012-06-04T00:00:00Z,1\n")
+	f.Add("timestamp,kwh\nnot-a-time,1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted series must survive a write/read cycle unchanged.
+		var buf bytes.Buffer
+		if err := s.WriteCSV(&buf); err != nil {
+			t.Fatalf("WriteCSV after accept: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-read of own output: %v", err)
+		}
+		if back.Len() != s.Len() || !back.Start().Equal(s.Start()) {
+			t.Fatalf("round trip changed shape: %v vs %v", back, s)
+		}
+	})
+}
+
+// FuzzSeriesJSON checks the JSON unmarshaller never panics and accepted
+// payloads round-trip.
+func FuzzSeriesJSON(f *testing.F) {
+	f.Add(`{"start":"2012-06-04T00:00:00Z","resolution":"15m0s","values":[1,null,3]}`)
+	f.Add(`{"start":"2012-06-04T00:00:00Z","resolution":"-5m","values":[]}`)
+	f.Add(`{}`)
+	f.Add(`[]`)
+	f.Add(`{"start":1}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		var s Series
+		if err := s.UnmarshalJSON([]byte(input)); err != nil {
+			return
+		}
+		data, err := s.MarshalJSON()
+		if err != nil {
+			t.Fatalf("marshal after accept: %v", err)
+		}
+		var back Series
+		if err := back.UnmarshalJSON(data); err != nil {
+			t.Fatalf("re-read of own output: %v", err)
+		}
+		if back.Len() != s.Len() {
+			t.Fatalf("round trip changed length: %d vs %d", back.Len(), s.Len())
+		}
+	})
+}

@@ -1,0 +1,145 @@
+package timeseries
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"time"
+)
+
+// CSV layout: a header row "timestamp,kwh" followed by one row per interval
+// with an RFC 3339 timestamp and a decimal energy value. Missing values are
+// written as empty fields and parsed back to NaN. The resolution is inferred
+// from the first two rows and validated against every subsequent row, so a
+// file with gaps or irregular sampling is rejected rather than silently
+// misread.
+
+// WriteCSV writes the series to w in the CSV layout described above.
+func (s *Series) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"timestamp", "kwh"}); err != nil {
+		return fmt.Errorf("timeseries: write csv header: %w", err)
+	}
+	for i, v := range s.values {
+		field := ""
+		if !math.IsNaN(v) {
+			field = strconv.FormatFloat(v, 'f', -1, 64)
+		}
+		if err := cw.Write([]string{s.TimeAt(i).Format(time.RFC3339), field}); err != nil {
+			return fmt.Errorf("timeseries: write csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a series from r in the layout written by WriteCSV.
+func ReadCSV(r io.Reader) (*Series, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("timeseries: read csv header: %w", err)
+	}
+	if header[0] != "timestamp" {
+		return nil, fmt.Errorf("timeseries: unexpected csv header %q", header)
+	}
+	var (
+		start      time.Time
+		prev       time.Time
+		resolution time.Duration
+		values     []float64
+	)
+	for row := 1; ; row++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("timeseries: read csv row %d: %w", row, err)
+		}
+		ts, err := time.Parse(time.RFC3339, rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("timeseries: row %d: bad timestamp %q: %w", row, rec[0], err)
+		}
+		v := math.NaN()
+		if rec[1] != "" {
+			v, err = strconv.ParseFloat(rec[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("timeseries: row %d: bad value %q: %w", row, rec[1], err)
+			}
+		}
+		switch len(values) {
+		case 0:
+			start = ts
+		case 1:
+			resolution = ts.Sub(prev)
+			if resolution <= 0 {
+				return nil, fmt.Errorf("%w: inferred %v", ErrResolution, resolution)
+			}
+		default:
+			if ts.Sub(prev) != resolution {
+				return nil, fmt.Errorf("timeseries: row %d: irregular step %v (expected %v)", row, ts.Sub(prev), resolution)
+			}
+		}
+		prev = ts
+		values = append(values, v)
+	}
+	if len(values) == 0 {
+		return nil, ErrEmpty
+	}
+	if len(values) == 1 {
+		resolution = 15 * time.Minute // single-row files default to the MIRABEL granularity
+	}
+	return New(start, resolution, values)
+}
+
+// seriesJSON is the wire representation of a Series. NaN is not valid JSON,
+// so missing values are carried as nulls via *float64.
+type seriesJSON struct {
+	Start      time.Time  `json:"start"`
+	Resolution string     `json:"resolution"`
+	Values     []*float64 `json:"values"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s *Series) MarshalJSON() ([]byte, error) {
+	out := seriesJSON{Start: s.start, Resolution: s.resolution.String(), Values: make([]*float64, len(s.values))}
+	for i := range s.values {
+		if !math.IsNaN(s.values[i]) {
+			v := s.values[i]
+			out.Values[i] = &v
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Series) UnmarshalJSON(data []byte) error {
+	var in seriesJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("timeseries: unmarshal: %w", err)
+	}
+	res, err := time.ParseDuration(in.Resolution)
+	if err != nil {
+		return fmt.Errorf("timeseries: unmarshal resolution: %w", err)
+	}
+	if res <= 0 {
+		return fmt.Errorf("%w: %v", ErrResolution, res)
+	}
+	vals := make([]float64, len(in.Values))
+	for i, p := range in.Values {
+		if p == nil {
+			vals[i] = math.NaN()
+		} else {
+			vals[i] = *p
+		}
+	}
+	s.start = in.Start.UTC()
+	s.resolution = res
+	s.values = vals
+	return nil
+}

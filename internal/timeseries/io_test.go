@@ -1,0 +1,130 @@
+package timeseries
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := MustNew(t0, 15*time.Minute, []float64{1.5, math.NaN(), 0, 2.25})
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if !got.Start().Equal(s.Start()) || got.Resolution() != s.Resolution() || got.Len() != s.Len() {
+		t.Fatalf("round trip shape mismatch: %v vs %v", got, s)
+	}
+	for i := 0; i < s.Len(); i++ {
+		if !almostEqual(got.Value(i), s.Value(i), 1e-12) {
+			t.Errorf("round trip value[%d] = %v, want %v", i, got.Value(i), s.Value(i))
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"bad header", "foo,bar\n"},
+		{"no rows", "timestamp,kwh\n"},
+		{"bad timestamp", "timestamp,kwh\nnot-a-time,1\n"},
+		{"bad value", "timestamp,kwh\n2012-06-01T00:00:00Z,abc\n"},
+		{"irregular step", "timestamp,kwh\n2012-06-01T00:00:00Z,1\n2012-06-01T00:15:00Z,2\n2012-06-01T00:45:00Z,3\n"},
+		{"backwards time", "timestamp,kwh\n2012-06-01T00:15:00Z,1\n2012-06-01T00:00:00Z,2\n"},
+		{"wrong field count", "timestamp,kwh\n2012-06-01T00:00:00Z,1,extra\n"},
+	}
+	for _, tc := range tests {
+		if _, err := ReadCSV(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: ReadCSV succeeded, want error", tc.name)
+		}
+	}
+}
+
+func TestReadCSVSingleRowDefaultsResolution(t *testing.T) {
+	s, err := ReadCSV(strings.NewReader("timestamp,kwh\n2012-06-01T00:00:00Z,1.5\n"))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if s.Resolution() != 15*time.Minute {
+		t.Errorf("single-row resolution = %v, want 15m", s.Resolution())
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := MustNew(t0, 15*time.Minute, []float64{1, math.NaN(), 3})
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var got Series
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !got.Start().Equal(s.Start()) || got.Resolution() != s.Resolution() {
+		t.Fatalf("JSON round trip shape: %v", &got)
+	}
+	for i := 0; i < s.Len(); i++ {
+		if !almostEqual(got.Value(i), s.Value(i), 1e-12) {
+			t.Errorf("JSON value[%d] = %v, want %v", i, got.Value(i), s.Value(i))
+		}
+	}
+}
+
+func TestUnmarshalJSONErrors(t *testing.T) {
+	var s Series
+	for _, in := range []string{
+		`{`,
+		`{"start":"2012-06-01T00:00:00Z","resolution":"nope","values":[]}`,
+		`{"start":"2012-06-01T00:00:00Z","resolution":"-15m0s","values":[]}`,
+	} {
+		if err := s.UnmarshalJSON([]byte(in)); err == nil {
+			t.Errorf("UnmarshalJSON(%q) succeeded, want error", in)
+		}
+	}
+}
+
+// Property: CSV round trip is the identity for random non-negative series.
+func TestCSVRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(50) + 2
+		vals := make([]float64, n)
+		for i := range vals {
+			if rng.Float64() < 0.1 {
+				vals[i] = math.NaN()
+			} else {
+				vals[i] = rng.Float64() * 10
+			}
+		}
+		s := MustNew(t0, 15*time.Minute, vals)
+		var buf bytes.Buffer
+		if err := s.WriteCSV(&buf); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf)
+		if err != nil || got.Len() != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if !almostEqual(got.Value(i), s.Value(i), 1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,134 @@
+package timeseries
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// CountMissing reports the number of NaN values in the series.
+func (s *Series) CountMissing() int {
+	var n int
+	for _, v := range s.values {
+		if math.IsNaN(v) {
+			n++
+		}
+	}
+	return n
+}
+
+// FillLinear replaces missing values by linear interpolation between the
+// nearest non-missing neighbours, in place, and returns s. Leading and
+// trailing gaps are filled with the nearest observed value. A fully missing
+// series is left unchanged.
+func (s *Series) FillLinear() *Series {
+	n := len(s.values)
+	first, last := -1, -1
+	for i, v := range s.values {
+		if !math.IsNaN(v) {
+			if first == -1 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if first == -1 {
+		return s
+	}
+	for i := 0; i < first; i++ {
+		s.values[i] = s.values[first]
+	}
+	for i := last + 1; i < n; i++ {
+		s.values[i] = s.values[last]
+	}
+	i := first
+	for i < last {
+		if !math.IsNaN(s.values[i]) {
+			i++
+			continue
+		}
+		// Gap [i, j): find next observed value at j.
+		j := i
+		for math.IsNaN(s.values[j]) {
+			j++
+		}
+		lo, hi := s.values[i-1], s.values[j]
+		span := float64(j - (i - 1))
+		for k := i; k < j; k++ {
+			frac := float64(k-(i-1)) / span
+			s.values[k] = lo + (hi-lo)*frac
+		}
+		i = j
+	}
+	return s
+}
+
+// FillSeasonal replaces missing values with the per-phase mean over the
+// given period, in place, and returns s. Phases with no observations at all
+// fall back to the global mean. The technique follows the disaggregation /
+// missing-value literature the paper cites [14].
+func (s *Series) FillSeasonal(period int) *Series {
+	if period < 1 || s.Len() == 0 {
+		return s
+	}
+	prof, err := TypicalProfile(s, period)
+	if err != nil {
+		return s
+	}
+	global := s.Mean()
+	for i, v := range s.values {
+		if !math.IsNaN(v) {
+			continue
+		}
+		fill := prof[i%period]
+		if math.IsNaN(fill) {
+			fill = global
+		}
+		if !math.IsNaN(fill) {
+			s.values[i] = fill
+		}
+	}
+	return s
+}
+
+// DisaggregateWith splits each coarse interval into factor fine intervals
+// distributing its energy according to the weight profile, whose length must
+// equal factor. Weights are normalised per group; a zero-sum weight vector
+// falls back to an even split. Total energy is conserved. This implements
+// profile-guided temporal disaggregation ("reasoning about the finer
+// granularity of the data than the input", §5 [14]).
+func (s *Series) DisaggregateWith(factor int, weights []float64) (*Series, error) {
+	if factor <= 0 {
+		return nil, fmt.Errorf("%w: disaggregation factor %d", ErrResolution, factor)
+	}
+	if len(weights) != factor {
+		return nil, fmt.Errorf("timeseries: weight profile length %d != factor %d", len(weights), factor)
+	}
+	var wsum float64
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return nil, fmt.Errorf("timeseries: weights must be non-negative, got %v", w)
+		}
+		wsum += w
+	}
+	out := make([]float64, 0, len(s.values)*factor)
+	for _, v := range s.values {
+		if math.IsNaN(v) {
+			for k := 0; k < factor; k++ {
+				out = append(out, math.NaN())
+			}
+			continue
+		}
+		if wsum == 0 {
+			share := v / float64(factor)
+			for k := 0; k < factor; k++ {
+				out = append(out, share)
+			}
+			continue
+		}
+		for k := 0; k < factor; k++ {
+			out = append(out, v*weights[k]/wsum)
+		}
+	}
+	return &Series{start: s.start, resolution: s.resolution / time.Duration(factor), values: out}, nil
+}

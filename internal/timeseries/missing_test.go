@@ -1,0 +1,119 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestCountMissing(t *testing.T) {
+	s := MustNew(t0, time.Hour, []float64{1, math.NaN(), 2, math.NaN()})
+	if got := s.CountMissing(); got != 2 {
+		t.Errorf("CountMissing = %d, want 2", got)
+	}
+}
+
+func TestFillLinearInterior(t *testing.T) {
+	s := MustNew(t0, time.Hour, []float64{1, math.NaN(), math.NaN(), 4})
+	s.FillLinear()
+	want := []float64{1, 2, 3, 4}
+	for i, w := range want {
+		if !almostEqual(s.Value(i), w, 1e-12) {
+			t.Errorf("FillLinear[%d] = %v, want %v", i, s.Value(i), w)
+		}
+	}
+}
+
+func TestFillLinearEdges(t *testing.T) {
+	s := MustNew(t0, time.Hour, []float64{math.NaN(), 2, math.NaN(), 6, math.NaN()})
+	s.FillLinear()
+	want := []float64{2, 2, 4, 6, 6}
+	for i, w := range want {
+		if !almostEqual(s.Value(i), w, 1e-12) {
+			t.Errorf("FillLinear edges[%d] = %v, want %v", i, s.Value(i), w)
+		}
+	}
+}
+
+func TestFillLinearAllMissing(t *testing.T) {
+	s := MustNew(t0, time.Hour, []float64{math.NaN(), math.NaN()})
+	s.FillLinear()
+	if s.CountMissing() != 2 {
+		t.Error("FillLinear invented values for an all-missing series")
+	}
+}
+
+func TestFillSeasonal(t *testing.T) {
+	// Period 2: phase 0 mean = 10, phase 1 mean = 20.
+	s := MustNew(t0, time.Hour, []float64{10, 20, math.NaN(), math.NaN(), 10, 20})
+	s.FillSeasonal(2)
+	if !almostEqual(s.Value(2), 10, 1e-12) || !almostEqual(s.Value(3), 20, 1e-12) {
+		t.Errorf("FillSeasonal = %v", s.Values())
+	}
+}
+
+func TestFillSeasonalFallbackToGlobalMean(t *testing.T) {
+	// Phase 1 has no observations; falls back to global mean of phase-0 data.
+	s := MustNew(t0, time.Hour, []float64{4, math.NaN(), 8, math.NaN()})
+	s.FillSeasonal(2)
+	if !almostEqual(s.Value(1), 6, 1e-12) || !almostEqual(s.Value(3), 6, 1e-12) {
+		t.Errorf("FillSeasonal fallback = %v", s.Values())
+	}
+}
+
+func TestDisaggregateWithProfile(t *testing.T) {
+	s := MustNew(t0, time.Hour, []float64{12})
+	d, err := s.DisaggregateWith(4, []float64{1, 2, 3, 0})
+	if err != nil {
+		t.Fatalf("DisaggregateWith: %v", err)
+	}
+	want := []float64{2, 4, 6, 0}
+	for i, w := range want {
+		if !almostEqual(d.Value(i), w, 1e-12) {
+			t.Errorf("disagg[%d] = %v, want %v", i, d.Value(i), w)
+		}
+	}
+	if !almostEqual(d.Total(), s.Total(), 1e-9) {
+		t.Errorf("disagg total = %v, want %v", d.Total(), s.Total())
+	}
+	if d.Resolution() != 15*time.Minute {
+		t.Errorf("disagg resolution = %v", d.Resolution())
+	}
+}
+
+func TestDisaggregateZeroWeightsEvenSplit(t *testing.T) {
+	s := MustNew(t0, time.Hour, []float64{8})
+	d, err := s.DisaggregateWith(4, []float64{0, 0, 0, 0})
+	if err != nil {
+		t.Fatalf("DisaggregateWith zero weights: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		if !almostEqual(d.Value(i), 2, 1e-12) {
+			t.Errorf("even split[%d] = %v, want 2", i, d.Value(i))
+		}
+	}
+}
+
+func TestDisaggregateErrors(t *testing.T) {
+	s := MustNew(t0, time.Hour, []float64{8})
+	if _, err := s.DisaggregateWith(0, nil); err == nil {
+		t.Error("factor 0 succeeded")
+	}
+	if _, err := s.DisaggregateWith(2, []float64{1}); err == nil {
+		t.Error("wrong weight length succeeded")
+	}
+	if _, err := s.DisaggregateWith(2, []float64{1, -1}); err == nil {
+		t.Error("negative weight succeeded")
+	}
+}
+
+func TestDisaggregateMissing(t *testing.T) {
+	s := MustNew(t0, time.Hour, []float64{math.NaN()})
+	d, err := s.DisaggregateWith(2, []float64{1, 1})
+	if err != nil {
+		t.Fatalf("DisaggregateWith: %v", err)
+	}
+	if !math.IsNaN(d.Value(0)) || !math.IsNaN(d.Value(1)) {
+		t.Errorf("disagg of NaN = %v", d.Values())
+	}
+}

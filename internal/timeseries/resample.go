@@ -1,0 +1,87 @@
+package timeseries
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Downsample merges every factor consecutive intervals into one by summing
+// their energy. A trailing partial group is summed as well (its interval is
+// still factor*resolution wide in the result; callers that need exact
+// coverage should trim first). Missing values within a group are ignored
+// unless the whole group is missing, in which case the result is NaN.
+func (s *Series) Downsample(factor int) (*Series, error) {
+	if factor <= 0 {
+		return nil, fmt.Errorf("%w: downsample factor %d", ErrResolution, factor)
+	}
+	if factor == 1 {
+		return s.Clone(), nil
+	}
+	n := (len(s.values) + factor - 1) / factor
+	out := make([]float64, n)
+	for g := 0; g < n; g++ {
+		var sum float64
+		var seen int
+		for i := g * factor; i < (g+1)*factor && i < len(s.values); i++ {
+			if !math.IsNaN(s.values[i]) {
+				sum += s.values[i]
+				seen++
+			}
+		}
+		if seen == 0 {
+			out[g] = math.NaN()
+		} else {
+			out[g] = sum
+		}
+	}
+	return &Series{start: s.start, resolution: s.resolution * time.Duration(factor), values: out}, nil
+}
+
+// Upsample splits every interval into factor equal sub-intervals, dividing
+// its energy evenly among them. Total energy is conserved. Missing values
+// expand to missing sub-intervals.
+func (s *Series) Upsample(factor int) (*Series, error) {
+	if factor <= 0 {
+		return nil, fmt.Errorf("%w: upsample factor %d", ErrResolution, factor)
+	}
+	if factor == 1 {
+		return s.Clone(), nil
+	}
+	out := make([]float64, 0, len(s.values)*factor)
+	for _, v := range s.values {
+		if math.IsNaN(v) {
+			for k := 0; k < factor; k++ {
+				out = append(out, math.NaN())
+			}
+			continue
+		}
+		share := v / float64(factor)
+		for k := 0; k < factor; k++ {
+			out = append(out, share)
+		}
+	}
+	return &Series{start: s.start, resolution: s.resolution / time.Duration(factor), values: out}, nil
+}
+
+// ResampleTo converts the series to the target resolution, which must be an
+// integer multiple or divisor of the current one. Energy is conserved.
+func (s *Series) ResampleTo(target time.Duration) (*Series, error) {
+	if target <= 0 {
+		return nil, fmt.Errorf("%w: target %v", ErrResolution, target)
+	}
+	switch {
+	case target == s.resolution:
+		return s.Clone(), nil
+	case target > s.resolution:
+		if target%s.resolution != 0 {
+			return nil, fmt.Errorf("%w: %v not a multiple of %v", ErrResolution, target, s.resolution)
+		}
+		return s.Downsample(int(target / s.resolution))
+	default:
+		if s.resolution%target != 0 {
+			return nil, fmt.Errorf("%w: %v not a divisor of %v", ErrResolution, target, s.resolution)
+		}
+		return s.Upsample(int(s.resolution / target))
+	}
+}

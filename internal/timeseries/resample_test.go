@@ -1,0 +1,154 @@
+package timeseries
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDownsample(t *testing.T) {
+	s := MustNew(t0, 15*time.Minute, []float64{1, 2, 3, 4, 5, 6, 7, 8})
+	d, err := s.Downsample(4)
+	if err != nil {
+		t.Fatalf("Downsample: %v", err)
+	}
+	if d.Len() != 2 || d.Value(0) != 10 || d.Value(1) != 26 {
+		t.Errorf("Downsample = %v", d.Values())
+	}
+	if d.Resolution() != time.Hour {
+		t.Errorf("Downsample resolution = %v, want 1h", d.Resolution())
+	}
+	if _, err := s.Downsample(0); !errors.Is(err, ErrResolution) {
+		t.Errorf("Downsample(0) err = %v, want ErrResolution", err)
+	}
+}
+
+func TestDownsamplePartialTrailingGroup(t *testing.T) {
+	s := MustNew(t0, 15*time.Minute, []float64{1, 2, 3, 4, 5})
+	d, err := s.Downsample(4)
+	if err != nil {
+		t.Fatalf("Downsample: %v", err)
+	}
+	if d.Len() != 2 || d.Value(1) != 5 {
+		t.Errorf("Downsample partial = %v", d.Values())
+	}
+}
+
+func TestDownsampleMissing(t *testing.T) {
+	s := MustNew(t0, 15*time.Minute, []float64{1, math.NaN(), math.NaN(), math.NaN()})
+	d, _ := s.Downsample(2)
+	if d.Value(0) != 1 {
+		t.Errorf("group with partial data = %v, want 1", d.Value(0))
+	}
+	if !math.IsNaN(d.Value(1)) {
+		t.Errorf("all-missing group = %v, want NaN", d.Value(1))
+	}
+}
+
+func TestUpsampleConservesEnergy(t *testing.T) {
+	s := MustNew(t0, time.Hour, []float64{4, 8})
+	u, err := s.Upsample(4)
+	if err != nil {
+		t.Fatalf("Upsample: %v", err)
+	}
+	if u.Len() != 8 || u.Value(0) != 1 || u.Value(4) != 2 {
+		t.Errorf("Upsample = %v", u.Values())
+	}
+	if !almostEqual(u.Total(), s.Total(), 1e-9) {
+		t.Errorf("Upsample total = %v, want %v", u.Total(), s.Total())
+	}
+	if u.Resolution() != 15*time.Minute {
+		t.Errorf("Upsample resolution = %v", u.Resolution())
+	}
+}
+
+func TestUpsampleMissing(t *testing.T) {
+	s := MustNew(t0, time.Hour, []float64{math.NaN()})
+	u, _ := s.Upsample(2)
+	if !math.IsNaN(u.Value(0)) || !math.IsNaN(u.Value(1)) {
+		t.Errorf("Upsample of NaN = %v", u.Values())
+	}
+}
+
+func TestResampleTo(t *testing.T) {
+	s := MustNew(t0, 15*time.Minute, []float64{1, 2, 3, 4})
+	same, err := s.ResampleTo(15 * time.Minute)
+	if err != nil || same.Len() != 4 {
+		t.Fatalf("ResampleTo same = %v, %v", same, err)
+	}
+	hourly, err := s.ResampleTo(time.Hour)
+	if err != nil || hourly.Len() != 1 || hourly.Value(0) != 10 {
+		t.Fatalf("ResampleTo hour = %v, %v", hourly, err)
+	}
+	fine, err := s.ResampleTo(5 * time.Minute)
+	if err != nil || fine.Len() != 12 {
+		t.Fatalf("ResampleTo 5m = %v, %v", fine, err)
+	}
+	if _, err := s.ResampleTo(40 * time.Minute); !errors.Is(err, ErrResolution) {
+		t.Errorf("non-multiple ResampleTo err = %v, want ErrResolution", err)
+	}
+	if _, err := s.ResampleTo(0); !errors.Is(err, ErrResolution) {
+		t.Errorf("zero ResampleTo err = %v, want ErrResolution", err)
+	}
+}
+
+// Property: downsampling conserves total energy for any non-negative series
+// whose length is a multiple of the factor.
+func TestDownsampleConservesEnergyProperty(t *testing.T) {
+	f := func(seed int64, factorRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		factor := int(factorRaw%8) + 1
+		n := factor * (rng.Intn(20) + 1)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.Float64() * 10
+		}
+		s := MustNew(t0, time.Minute, vals)
+		d, err := s.Downsample(factor)
+		if err != nil {
+			return false
+		}
+		return almostEqual(d.Total(), s.Total(), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: upsample then downsample is the identity (energy per original
+// interval is restored).
+func TestUpDownRoundTripProperty(t *testing.T) {
+	f := func(seed int64, factorRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		factor := int(factorRaw%6) + 1
+		n := rng.Intn(30) + 1
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.Float64() * 5
+		}
+		s := MustNew(t0, time.Hour, vals)
+		u, err := s.Upsample(factor)
+		if err != nil {
+			return false
+		}
+		d, err := u.Downsample(factor)
+		if err != nil {
+			return false
+		}
+		if d.Len() != s.Len() {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if !almostEqual(d.Value(i), s.Value(i), 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,327 @@
+package timeseries
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Statistics in this file skip NaN (missing) observations. When every
+// observation is missing the neutral value 0 (or NaN where documented) is
+// returned rather than an error, because callers typically fold statistics
+// into larger computations.
+
+// Mean reports the arithmetic mean of non-missing values, or NaN when there
+// are none.
+func (s *Series) Mean() float64 {
+	var sum float64
+	var n int
+	for _, v := range s.values {
+		if !math.IsNaN(v) {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// Std reports the population standard deviation of non-missing values, or
+// NaN when there are none.
+func (s *Series) Std() float64 {
+	m := s.Mean()
+	if math.IsNaN(m) {
+		return math.NaN()
+	}
+	var sum float64
+	var n int
+	for _, v := range s.values {
+		if !math.IsNaN(v) {
+			d := v - m
+			sum += d * d
+			n++
+		}
+	}
+	return math.Sqrt(sum / float64(n))
+}
+
+// Min reports the smallest non-missing value, or NaN when there are none.
+func (s *Series) Min() float64 {
+	min := math.NaN()
+	for _, v := range s.values {
+		if math.IsNaN(v) {
+			continue
+		}
+		if math.IsNaN(min) || v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Max reports the largest non-missing value, or NaN when there are none.
+func (s *Series) Max() float64 {
+	max := math.NaN()
+	for _, v := range s.values {
+		if math.IsNaN(v) {
+			continue
+		}
+		if math.IsNaN(max) || v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Quantile reports the q-quantile (0 <= q <= 1) of non-missing values using
+// linear interpolation between order statistics, or NaN when there are none.
+func (s *Series) Quantile(q float64) float64 {
+	var vals []float64
+	for _, v := range s.values {
+		if !math.IsNaN(v) {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	sort.Float64s(vals)
+	if len(vals) == 1 {
+		return vals[0]
+	}
+	pos := q * float64(len(vals)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return vals[lo]
+	}
+	frac := pos - float64(lo)
+	return vals[lo]*(1-frac) + vals[hi]*frac
+}
+
+// Sparseness reports the fraction of non-missing values whose magnitude is
+// at most eps. The paper lists sparseness among the statistics one would
+// compare against real flex-offer data (§3.1).
+func (s *Series) Sparseness(eps float64) float64 {
+	var zero, n int
+	for _, v := range s.values {
+		if math.IsNaN(v) {
+			continue
+		}
+		n++
+		if math.Abs(v) <= eps {
+			zero++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(zero) / float64(n)
+}
+
+// Autocorrelation reports the lag-k autocorrelation coefficient of the
+// series. Missing values propagate: pairs with a NaN member are skipped.
+// Returns NaN for out-of-range lags or constant series.
+func (s *Series) Autocorrelation(lag int) float64 {
+	n := len(s.values)
+	if lag < 0 || lag >= n {
+		return math.NaN()
+	}
+	m := s.Mean()
+	if math.IsNaN(m) {
+		return math.NaN()
+	}
+	var num, den float64
+	for i := 0; i < n; i++ {
+		v := s.values[i]
+		if math.IsNaN(v) {
+			continue
+		}
+		d := v - m
+		den += d * d
+		if i+lag < n && !math.IsNaN(s.values[i+lag]) {
+			num += d * (s.values[i+lag] - m)
+		}
+	}
+	if den == 0 {
+		return math.NaN()
+	}
+	return num / den
+}
+
+// Pearson reports the Pearson correlation coefficient between two aligned
+// series, skipping pairs with missing members. Returns NaN when either
+// series is constant over the compared pairs or the series are misaligned.
+func Pearson(a, b *Series) float64 {
+	if !a.aligned(b) {
+		return math.NaN()
+	}
+	var sx, sy, sxx, syy, sxy float64
+	var n int
+	for i := range a.values {
+		x, y := a.values[i], b.values[i]
+		if math.IsNaN(x) || math.IsNaN(y) {
+			continue
+		}
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	nf := float64(n)
+	cov := sxy/nf - (sx/nf)*(sy/nf)
+	vx := sxx/nf - (sx/nf)*(sx/nf)
+	vy := syy/nf - (sy/nf)*(sy/nf)
+	if vx <= 0 || vy <= 0 {
+		return math.NaN()
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// PeakToAverage reports the ratio of the maximum to the mean value — a
+// simple peakiness measure used when judging how concentrated consumption
+// (or extracted flexibility) is. Returns NaN for empty or zero-mean series.
+func (s *Series) PeakToAverage() float64 {
+	m := s.Mean()
+	if math.IsNaN(m) || m == 0 {
+		return math.NaN()
+	}
+	return s.Max() / m
+}
+
+// NormalizedEntropy reports the Shannon entropy of the value distribution
+// across intervals, normalised to [0, 1] by log(n). A uniform series scores
+// 1; a series with all energy in a single interval scores 0. Negative and
+// missing values are treated as zero mass. Used to quantify how "uniformly
+// dispatched within the day" a profile is (the paper's complaint about the
+// random baseline, §1).
+func (s *Series) NormalizedEntropy() float64 {
+	n := len(s.values)
+	if n <= 1 {
+		return 0
+	}
+	var total float64
+	for _, v := range s.values {
+		if !math.IsNaN(v) && v > 0 {
+			total += v
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	var h float64
+	for _, v := range s.values {
+		if math.IsNaN(v) || v <= 0 {
+			continue
+		}
+		p := v / total
+		h -= p * math.Log(p)
+	}
+	return h / math.Log(float64(n))
+}
+
+// BlockQuantileBaseline estimates a slowly varying baseline: the series is
+// partitioned into blocks of `window` intervals, each block contributes its
+// q-quantile at the block centre, and the baseline interpolates linearly
+// between centres (clamped flat at the edges). Unlike a per-phase profile,
+// this baseline cannot absorb loads that recur at the same time every day —
+// the classic blind spot of phase-median base estimation in load
+// disaggregation. Returns an error for invalid windows or quantiles.
+func (s *Series) BlockQuantileBaseline(window int, q float64) (*Series, error) {
+	n := s.Len()
+	if window < 1 || window > n {
+		return nil, fmt.Errorf("%w: window %d for series of %d", ErrRange, window, n)
+	}
+	if q < 0 || q > 1 {
+		return nil, fmt.Errorf("%w: quantile %v", ErrRange, q)
+	}
+	type anchor struct {
+		center int
+		value  float64
+	}
+	var anchors []anchor
+	for from := 0; from < n; from += window {
+		to := from + window
+		if to > n {
+			to = n
+		}
+		block, err := s.Slice(from, to)
+		if err != nil {
+			return nil, err
+		}
+		v := block.Quantile(q)
+		if math.IsNaN(v) {
+			continue // all-missing block contributes no anchor
+		}
+		anchors = append(anchors, anchor{center: (from + to) / 2, value: v})
+	}
+	out := make([]float64, n)
+	if len(anchors) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return &Series{start: s.start, resolution: s.resolution, values: out}, nil
+	}
+	ai := 0
+	for i := 0; i < n; i++ {
+		for ai+1 < len(anchors) && anchors[ai+1].center <= i {
+			ai++
+		}
+		switch {
+		case i <= anchors[0].center:
+			out[i] = anchors[0].value
+		case i >= anchors[len(anchors)-1].center:
+			out[i] = anchors[len(anchors)-1].value
+		default:
+			a, b := anchors[ai], anchors[ai+1]
+			frac := float64(i-a.center) / float64(b.center-a.center)
+			out[i] = a.value + frac*(b.value-a.value)
+		}
+	}
+	return &Series{start: s.start, resolution: s.resolution, values: out}, nil
+}
+
+// DominantPeriod searches lags in [minLag, maxLag] and reports the lag with
+// the highest autocorrelation together with that coefficient. It is the
+// periodicity detector used by the frequency-based extraction to estimate
+// appliance usage periods. To avoid picking points on the decaying shoulder
+// of lag 0, lags before the first zero crossing of the ACF are skipped when
+// a crossing exists inside the range. Returns (0, NaN) when the range is
+// empty or invalid.
+func (s *Series) DominantPeriod(minLag, maxLag int) (int, float64) {
+	if minLag < 1 || maxLag < minLag || maxLag >= len(s.values) {
+		return 0, math.NaN()
+	}
+	acfs := make([]float64, maxLag+1)
+	for lag := minLag; lag <= maxLag; lag++ {
+		acfs[lag] = s.Autocorrelation(lag)
+	}
+	// Skip the shoulder: start searching after the ACF first dips <= 0.
+	searchFrom := minLag
+	for lag := minLag; lag <= maxLag; lag++ {
+		if !math.IsNaN(acfs[lag]) && acfs[lag] <= 0 {
+			searchFrom = lag + 1
+			break
+		}
+	}
+	if searchFrom > maxLag {
+		searchFrom = minLag
+	}
+	bestLag, bestACF := 0, math.Inf(-1)
+	for lag := searchFrom; lag <= maxLag; lag++ {
+		if !math.IsNaN(acfs[lag]) && acfs[lag] > bestACF {
+			bestLag, bestACF = lag, acfs[lag]
+		}
+	}
+	if bestLag == 0 {
+		return 0, math.NaN()
+	}
+	return bestLag, bestACF
+}
