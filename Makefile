@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: build test race vet bench fuzz verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detect the packages with real concurrency: the batch-extraction
+# worker pool and the market store (plus the commands that drive them).
+race:
+	$(GO) test -race ./internal/pipeline ./internal/market ./cmd/flexextract ./cmd/mirabeld
+
+race-all:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run XXX .
+
+fuzz:
+	$(GO) test -run XXX -fuzz FuzzParamsValidate -fuzztime 30s ./internal/core
+	$(GO) test -run XXX -fuzz FuzzOfferValidate -fuzztime 30s ./internal/flexoffer
+	$(GO) test -run XXX -fuzz FuzzReadJSON -fuzztime 30s ./internal/flexoffer
+
+verify:
+	sh scripts/verify.sh

@@ -10,6 +10,7 @@
 package repro_bench
 
 import (
+	"context"
 	"strconv"
 	"sync"
 	"testing"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/market"
 	"repro/internal/paperdata"
 	"repro/internal/patterns"
+	"repro/internal/pipeline"
 	"repro/internal/res"
 	"repro/internal/sched"
 	"repro/internal/tariff"
@@ -392,6 +394,61 @@ func BenchmarkMarketLifecycle(b *testing.B) {
 		if _, err := store.Assign(f.ID, f.EarliestStart, energies); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchBatch lazily builds the pipeline benchmark batch: a 100-household
+// population week, one extraction job per household.
+var (
+	batchOnce sync.Once
+	batchJobs []pipeline.Job
+)
+
+func benchBatch(b *testing.B) {
+	b.Helper()
+	batchOnce.Do(func() {
+		cfgs := household.Population(100, 11)
+		results, _, err := household.SimulatePopulation(registry, cfgs, benchStart, 7, 15*time.Minute)
+		if err != nil {
+			panic(err)
+		}
+		batchJobs = make([]pipeline.Job, len(results))
+		for i, r := range results {
+			batchJobs[i] = pipeline.Job{ID: r.Config.ID, Series: r.Total}
+		}
+	})
+}
+
+// BenchmarkPipelineExtraction: peak-based extraction of a 100-household
+// batch through the concurrent pipeline at 1, 4 and 8 workers. On multi-core
+// hardware the per-series extraction work parallelises; compare ns/op across
+// the sub-benchmarks for the speedup (expected >1.5x at 4 workers).
+func BenchmarkPipelineExtraction(b *testing.B) {
+	benchBatch(b)
+	for _, workers := range []int{1, 4, 8} {
+		b.Run("workers="+strconv.Itoa(workers), func(b *testing.B) {
+			cfg := pipeline.Config{
+				Workers: workers,
+				NewExtractor: func(j pipeline.Job) core.Extractor {
+					p := core.DefaultParams()
+					p.ConsumerID = j.ID
+					for _, c := range j.ID {
+						p.Seed = p.Seed*31 + int64(c)
+					}
+					return &core.PeakExtractor{Params: p}
+				},
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				stats, err := pipeline.RunJobs(context.Background(), cfg, batchJobs, pipeline.Discard)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.Errors > 0 || stats.SeriesProcessed != len(batchJobs) {
+					b.Fatalf("batch incomplete: %s", stats)
+				}
+			}
+		})
 	}
 }
 

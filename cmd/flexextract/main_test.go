@@ -1,9 +1,11 @@
 package main
 
 import (
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -90,6 +92,138 @@ func TestRunMultiTariff(t *testing.T) {
 	// Missing reference is an error.
 	if err := run(in, "", "multitariff", 0.05, 1, "", offers, modified, 22, 6, 0); err == nil {
 		t.Error("multitariff without -ref accepted")
+	}
+}
+
+func TestRunBatch(t *testing.T) {
+	indir := t.TempDir()
+	outdir := t.TempDir()
+	const n = 6
+	inputs := make(map[string]*timeseries.Series, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("house-%02d", i)
+		inputs[name] = writeSyntheticCSV(t, filepath.Join(indir, name+".csv"), 3, 15*time.Minute)
+	}
+	if err := runBatch(indir, outdir, "", "peak", 0.05, 1, 4, 22, 6, 0); err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	for name, input := range inputs {
+		of, err := os.Open(filepath.Join(outdir, name+".offers.json"))
+		if err != nil {
+			t.Fatalf("%s offers missing: %v", name, err)
+		}
+		set, err := flexoffer.ReadJSON(of)
+		of.Close()
+		if err != nil {
+			t.Fatalf("%s offers: %v", name, err)
+		}
+		if len(set) == 0 {
+			t.Fatalf("%s extracted nothing", name)
+		}
+		for _, f := range set {
+			if f.ConsumerID != name {
+				t.Errorf("%s: consumer = %q", name, f.ConsumerID)
+			}
+			if !strings.HasPrefix(f.ID, name+"/") {
+				t.Errorf("%s: offer ID %q not qualified with the series name", name, f.ID)
+			}
+		}
+		mf, err := os.Open(filepath.Join(outdir, name+".modified.csv"))
+		if err != nil {
+			t.Fatalf("%s modified missing: %v", name, err)
+		}
+		mod, err := timeseries.ReadCSV(mf)
+		mf.Close()
+		if err != nil {
+			t.Fatalf("%s modified: %v", name, err)
+		}
+		if math.Abs(mod.Total()+set.TotalAvgEnergy()-input.Total()) > 1e-6 {
+			t.Errorf("%s accounting broken after round trip", name)
+		}
+	}
+}
+
+func TestRunBatchDeterministicAcrossWorkerCounts(t *testing.T) {
+	indir := t.TempDir()
+	for i := 0; i < 4; i++ {
+		writeSyntheticCSV(t, filepath.Join(indir, fmt.Sprintf("h%d.csv", i)), 2, 15*time.Minute)
+	}
+	read := func(dir string) map[string]string {
+		out := make(map[string]string)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[e.Name()] = string(b)
+		}
+		return out
+	}
+	out1, out4 := t.TempDir(), t.TempDir()
+	if err := runBatch(indir, out1, "", "basic", 0.05, 7, 1, 22, 6, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := runBatch(indir, out4, "", "basic", 0.05, 7, 4, 22, 6, 0); err != nil {
+		t.Fatal(err)
+	}
+	a, b := read(out1), read(out4)
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("output file counts differ: %d vs %d", len(a), len(b))
+	}
+	for name, content := range a {
+		if b[name] != content {
+			t.Errorf("%s differs between -jobs 1 and -jobs 4", name)
+		}
+	}
+}
+
+func TestRunBatchReportsBadSeries(t *testing.T) {
+	indir := t.TempDir()
+	writeSyntheticCSV(t, filepath.Join(indir, "good.csv"), 2, 15*time.Minute)
+	if err := os.WriteFile(filepath.Join(indir, "bad.csv"), []byte("not,a,series\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := runBatch(indir, t.TempDir(), "", "peak", 0.05, 1, 2, 22, 6, 0)
+	if err == nil {
+		t.Fatal("batch with unreadable series reported success")
+	}
+	if !strings.Contains(err.Error(), "1 of 2") {
+		t.Fatalf("err = %v, want partial-failure summary", err)
+	}
+}
+
+// TestRunBatchSkipsOwnOutputs re-runs a batch with outdir defaulted to the
+// input directory: the second run must not ingest the *.modified.csv files
+// the first run wrote there.
+func TestRunBatchSkipsOwnOutputs(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 3; i++ {
+		writeSyntheticCSV(t, filepath.Join(dir, fmt.Sprintf("house-%d.csv", i)), 2, 15*time.Minute)
+	}
+	for run := 0; run < 2; run++ {
+		if err := runBatch(dir, "", "", "peak", 0.05, 1, 2, 22, 6, 0); err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+	}
+	offers, err := filepath.Glob(filepath.Join(dir, "*.offers.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offers) != 3 {
+		t.Fatalf("got %d offer files, want 3 (modified.csv re-ingested?)", len(offers))
+	}
+	if _, err := os.Stat(filepath.Join(dir, "house-0.modified.modified.csv")); err == nil {
+		t.Fatal("second run extracted from a modified series")
+	}
+}
+
+func TestRunBatchEmptyDir(t *testing.T) {
+	if err := runBatch(t.TempDir(), "", "", "peak", 0.05, 1, 2, 22, 6, 0); err == nil {
+		t.Fatal("empty batch directory accepted")
 	}
 }
 

@@ -2,42 +2,193 @@
 // of the MIRABEL data-management prototype the paper's extraction tools
 // feed ([3]: near real-time flex-offer collection). Offers are submitted,
 // accepted/rejected and assigned over HTTP; a background sweeper expires
-// offers whose lifecycle deadlines lapse.
+// offers whose lifecycle deadlines lapse. Both the sweeper and the HTTP
+// server shut down cleanly on SIGINT/SIGTERM.
 //
-// Usage:
+// A directory of household CSVs can be bulk-extracted straight into the
+// store at startup through the concurrent pipeline (internal/pipeline), so
+// a whole portfolio's offers are collected before the first request:
 //
-//	mirabeld -addr :7654 -sweep 30s
+//	mirabeld -addr :7654 -sweep 30s -seed-dir data/ -seed-approach peak -seed-jobs 8
+//
+// Historical datasets carry lifecycle deadlines in the past; -clock pins
+// the store's logical clock for such replays:
+//
+//	mirabeld -seed-dir data/ -clock 2012-06-04T00:00:00Z
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/market"
+	"repro/internal/pipeline"
+	"repro/internal/timeseries"
 )
 
 func main() {
 	addr := flag.String("addr", ":7654", "listen address")
 	sweep := flag.Duration("sweep", 30*time.Second, "deadline sweep interval (0 disables)")
+	clockAt := flag.String("clock", "", "fix the store's logical clock to this RFC3339 time (historical replays; default: live)")
+	seedDir := flag.String("seed-dir", "", "bulk-extract every CSV in this directory into the store at startup")
+	seedApproach := flag.String("seed-approach", "peak", "extraction approach for -seed-dir (basic | peak | random)")
+	seedFlexPct := flag.Float64("seed-flexpct", 0.05, "flexible share for -seed-dir extraction")
+	seedJobs := flag.Int("seed-jobs", 0, "worker count for -seed-dir extraction (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	store := market.NewStore(nil)
+	var clock func() time.Time
+	if *clockAt != "" {
+		at, err := time.Parse(time.RFC3339, *clockAt)
+		if err != nil {
+			log.Fatalf("mirabeld: -clock: %v", err)
+		}
+		clock = func() time.Time { return at }
+	}
+	store := market.NewStore(clock)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *seedDir != "" {
+		if err := seedStore(ctx, store, *seedDir, *seedApproach, *seedFlexPct, *seedJobs); err != nil {
+			log.Fatalf("mirabeld: seed: %v", err)
+		}
+	}
+
 	if *sweep > 0 {
-		go func() {
-			ticker := time.NewTicker(*sweep)
-			defer ticker.Stop()
-			for range ticker.C {
-				if n := store.ExpireOverdue(); n > 0 {
-					log.Printf("mirabeld: expired %d overdue offers", n)
-				}
-			}
-		}()
+		go sweeper(ctx, store, *sweep)
 	}
+
+	srv := &http.Server{Addr: *addr, Handler: market.NewServer(store)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("mirabeld: listening on %s\n", *addr)
-	if err := http.ListenAndServe(*addr, market.NewServer(store)); err != nil {
+
+	select {
+	case err := <-errc:
 		log.Fatalf("mirabeld: %v", err)
+	case <-ctx.Done():
+		log.Printf("mirabeld: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("mirabeld: shutdown: %v", err)
+		}
 	}
+}
+
+// sweeper periodically expires overdue offers until the context ends.
+func sweeper(ctx context.Context, store *market.Store, interval time.Duration) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			if n := store.ExpireOverdue(); n > 0 {
+				log.Printf("mirabeld: expired %d overdue offers", n)
+			}
+		}
+	}
+}
+
+// seedStore bulk-extracts every *.csv under dir through the concurrent
+// pipeline and submits the resulting offers straight into the store.
+func seedStore(ctx context.Context, store *market.Store, dir, approach string, flexPct float64, jobs int) error {
+	all, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if err != nil {
+		return err
+	}
+	// Skip flexextract batch outputs that may sit next to the inputs.
+	files := all[:0]
+	for _, path := range all {
+		if !strings.HasSuffix(path, ".modified.csv") {
+			files = append(files, path)
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return fmt.Errorf("no *.csv files under %s", dir)
+	}
+
+	newExtractor := func(params core.Params) (core.Extractor, error) {
+		switch approach {
+		case "basic":
+			return &core.BasicExtractor{Params: params}, nil
+		case "peak":
+			return &core.PeakExtractor{Params: params}, nil
+		case "random":
+			return &core.RandomExtractor{Params: params}, nil
+		default:
+			return nil, fmt.Errorf("unknown seed approach %q", approach)
+		}
+	}
+	if _, err := newExtractor(core.DefaultParams()); err != nil {
+		return err
+	}
+
+	batch := make([]pipeline.Job, 0, len(files))
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		series, err := timeseries.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("read %s: %w", path, err)
+		}
+		batch = append(batch, pipeline.Job{
+			ID:     strings.TrimSuffix(filepath.Base(path), ".csv"),
+			Series: series,
+		})
+	}
+	seedOf := make(map[string]int64, len(batch))
+	for i, j := range batch {
+		seedOf[j.ID] = int64(i + 1)
+	}
+
+	sink := &pipeline.StoreSink{Store: store}
+	cfg := pipeline.Config{
+		Workers: jobs,
+		NewExtractor: func(j pipeline.Job) core.Extractor {
+			params := core.DefaultParams()
+			params.FlexPercentage = flexPct
+			params.Seed = seedOf[j.ID]
+			params.ConsumerID = j.ID
+			ex, _ := newExtractor(params)
+			return ex
+		},
+	}
+	stats, err := pipeline.RunJobs(ctx, cfg, batch, sink)
+	if err != nil {
+		return err
+	}
+	for _, je := range stats.JobErrors {
+		log.Printf("mirabeld: seed: %v", je)
+	}
+	submitted, rejected := sink.Counts()
+	log.Printf("mirabeld: seeded %d offers from %d/%d series (%d rejected, %d extraction errors) in %v (%.2fx speedup, %d workers)",
+		submitted, stats.SeriesProcessed, len(batch), rejected, stats.Errors,
+		stats.Wall.Round(time.Millisecond), stats.Speedup(), stats.Workers)
+	if rejected > 0 {
+		return fmt.Errorf("%d offers rejected by the store (first: %v); historical data may need -clock", rejected, sink.FirstErr())
+	}
+	if stats.Errors > 0 && stats.SeriesProcessed == 0 {
+		return errors.New("every series failed extraction")
+	}
+	return nil
 }

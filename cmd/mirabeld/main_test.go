@@ -1,0 +1,94 @@
+package main
+
+import (
+	"context"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/market"
+	"repro/internal/timeseries"
+)
+
+var seedStart = time.Date(2012, 6, 4, 0, 0, 0, 0, time.UTC)
+
+func writeHouseCSV(t *testing.T, path string, days int) {
+	t.Helper()
+	res := 15 * time.Minute
+	perDay := int((24 * time.Hour) / res)
+	vals := make([]float64, days*perDay)
+	for i := range vals {
+		frac := float64(i%perDay) / float64(perDay) * 24
+		vals[i] = 0.2 + 0.6*math.Exp(-(frac-19)*(frac-19)/6)
+	}
+	s := timeseries.MustNew(seedStart, res, vals)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := s.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeedStoreBulkSubmits(t *testing.T) {
+	dir := t.TempDir()
+	const n = 5
+	for _, name := range []string{"a", "b", "c", "d", "e"} {
+		writeHouseCSV(t, filepath.Join(dir, name+".csv"), 3)
+	}
+	// Replay clock before the historical deadlines, as -clock would set.
+	clock := seedStart.Add(-48 * time.Hour)
+	store := market.NewStore(func() time.Time { return clock })
+	if err := seedStore(context.Background(), store, dir, "peak", 0.05, 4); err != nil {
+		t.Fatal(err)
+	}
+	counts := store.Stats()
+	if counts.Offered == 0 {
+		t.Fatal("seeding left the store empty")
+	}
+	// Offers from every series arrived, with qualified IDs.
+	bySeries := make(map[string]int)
+	for _, rec := range store.List() {
+		id := rec.Offer.ID
+		slash := strings.IndexByte(id, '/')
+		if slash < 0 {
+			t.Fatalf("offer ID %q not qualified with its series name", id)
+		}
+		bySeries[id[:slash]]++
+		if rec.Offer.ConsumerID != id[:slash] {
+			t.Fatalf("offer %q has consumer %q", id, rec.Offer.ConsumerID)
+		}
+	}
+	if len(bySeries) != n {
+		t.Fatalf("offers from %d series, want %d", len(bySeries), n)
+	}
+}
+
+func TestSeedStoreLiveClockRejectsHistoricalOffers(t *testing.T) {
+	dir := t.TempDir()
+	writeHouseCSV(t, filepath.Join(dir, "old.csv"), 2)
+	store := market.NewStore(nil) // live clock: 2012 deadlines lapsed long ago
+	err := seedStore(context.Background(), store, dir, "peak", 0.05, 2)
+	if err == nil {
+		t.Fatal("historical offers accepted under a live clock")
+	}
+	if !strings.Contains(err.Error(), "-clock") {
+		t.Fatalf("err = %v, want hint about -clock", err)
+	}
+}
+
+func TestSeedStoreErrors(t *testing.T) {
+	if err := seedStore(context.Background(), market.NewStore(nil), t.TempDir(), "peak", 0.05, 1); err == nil {
+		t.Fatal("empty seed dir accepted")
+	}
+	dir := t.TempDir()
+	writeHouseCSV(t, filepath.Join(dir, "h.csv"), 2)
+	if err := seedStore(context.Background(), market.NewStore(nil), dir, "frequency", 0.05, 1); err == nil {
+		t.Fatal("unsupported seed approach accepted")
+	}
+}

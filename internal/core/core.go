@@ -18,6 +18,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
@@ -90,28 +91,45 @@ func DefaultParams() Params {
 	}
 }
 
-// Validate checks parameter consistency.
+// Validate checks parameter consistency. NaN in any float field is
+// rejected explicitly: NaN fails every ordered comparison, so without
+// these checks a NaN FlexPercentage or energy spread would sail through
+// the range checks and surface later as NaN offer energies deep inside a
+// pipeline worker.
 func (p Params) Validate() error {
-	if p.FlexPercentage <= 0 || p.FlexPercentage >= 1 {
+	if math.IsNaN(p.FlexPercentage) || p.FlexPercentage <= 0 || p.FlexPercentage >= 1 {
 		return fmt.Errorf("%w: flex percentage %v outside (0, 1)", ErrParams, p.FlexPercentage)
 	}
 	if p.SliceDuration <= 0 || (24*time.Hour)%p.SliceDuration != 0 {
 		return fmt.Errorf("%w: slice duration %v must divide 24h", ErrParams, p.SliceDuration)
 	}
-	if p.SlicesPerOffer < 1 {
-		return fmt.Errorf("%w: slices per offer %d", ErrParams, p.SlicesPerOffer)
+	// maxSlices bounds the profile length (a 15-minute profile of 10000
+	// slices already spans 100 days); beyond any sane value, and large
+	// enough that the bound never bites real configurations. It also keeps
+	// 2*SliceJitter+1 far from integer overflow in the jitter draw.
+	const maxSlices = 10000
+	if p.SlicesPerOffer < 1 || p.SlicesPerOffer > maxSlices {
+		return fmt.Errorf("%w: slices per offer %d outside [1, %d]", ErrParams, p.SlicesPerOffer, maxSlices)
 	}
 	if p.SliceJitter < 0 || p.SliceJitter >= p.SlicesPerOffer {
 		return fmt.Errorf("%w: slice jitter %d for %d slices", ErrParams, p.SliceJitter, p.SlicesPerOffer)
 	}
-	if p.EnergySpreadMin < 0 || p.EnergySpreadMax < p.EnergySpreadMin || p.EnergySpreadMax >= 1 {
+	if math.IsNaN(p.EnergySpreadMin) || math.IsNaN(p.EnergySpreadMax) ||
+		p.EnergySpreadMin < 0 || p.EnergySpreadMax < p.EnergySpreadMin || p.EnergySpreadMax >= 1 {
 		return fmt.Errorf("%w: energy spread [%v, %v]", ErrParams, p.EnergySpreadMin, p.EnergySpreadMax)
 	}
-	if p.TimeFlexibility < 0 || p.TimeFlexJitter < 0 || p.TimeFlexJitter > p.TimeFlexibility {
+	// maxHorizon bounds every open-ended duration to a year. Offers live on
+	// day-to-week scales; durations near the int64 limit would overflow the
+	// jitter draw (2*TimeFlexJitter) and timestamp arithmetic.
+	const maxHorizon = 366 * 24 * time.Hour
+	if p.TimeFlexibility < 0 || p.TimeFlexibility > maxHorizon ||
+		p.TimeFlexJitter < 0 || p.TimeFlexJitter > p.TimeFlexibility {
 		return fmt.Errorf("%w: time flexibility %v jitter %v", ErrParams, p.TimeFlexibility, p.TimeFlexJitter)
 	}
-	if p.CreationLead < p.AcceptanceLead || p.AcceptanceLead < p.AssignmentLead || p.AssignmentLead < 0 {
-		return fmt.Errorf("%w: lifecycle leads must satisfy creation >= acceptance >= assignment >= 0", ErrParams)
+	if p.CreationLead < p.AcceptanceLead || p.AcceptanceLead < p.AssignmentLead || p.AssignmentLead < 0 ||
+		p.CreationLead > maxHorizon {
+		return fmt.Errorf("%w: lifecycle leads must satisfy %v >= creation >= acceptance >= assignment >= 0",
+			ErrParams, maxHorizon)
 	}
 	return nil
 }

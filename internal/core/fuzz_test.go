@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/timeseries"
+)
+
+// FuzzParamsValidate fuzzes the context-information parameters that reach
+// pipeline workers. The contract under test: Validate never panics, and a
+// parameter set that Validate accepts can be fed to an extractor without
+// panicking the worker — extraction may error, but every offer it does
+// produce must itself validate and carry finite energies.
+func FuzzParamsValidate(f *testing.F) {
+	d := DefaultParams()
+	f.Add(d.FlexPercentage, int64(d.SliceDuration/time.Minute), d.SlicesPerOffer, d.SliceJitter,
+		d.EnergySpreadMin, d.EnergySpreadMax,
+		int64(d.TimeFlexibility/time.Minute), int64(d.TimeFlexJitter/time.Minute),
+		int64(d.CreationLead/time.Minute), int64(d.AcceptanceLead/time.Minute), int64(d.AssignmentLead/time.Minute))
+	// Known hostile corners: NaN percentages, zero slice duration (a naive
+	// 24h%duration check divides by zero), inverted leads, huge jitter.
+	f.Add(math.NaN(), int64(15), 8, 2, 0.1, 0.3, int64(240), int64(60), int64(720), int64(360), int64(120))
+	f.Add(0.05, int64(0), 8, 2, 0.1, 0.3, int64(240), int64(60), int64(720), int64(360), int64(120))
+	f.Add(0.05, int64(15), 8, 2, math.NaN(), math.NaN(), int64(240), int64(60), int64(720), int64(360), int64(120))
+	f.Add(0.05, int64(15), 1, 0, 0.0, 0.99, int64(0), int64(0), int64(0), int64(0), int64(0))
+	f.Add(0.999, int64(1440), 64, 63, 0.5, 0.5, int64(240), int64(240), int64(1), int64(2), int64(3))
+
+	f.Fuzz(func(t *testing.T, flexPct float64, sliceMin int64, slices, jitter int,
+		spreadMin, spreadMax float64, tfMin, tfjMin, clMin, alMin, asMin int64) {
+		p := Params{
+			ConsumerID:      "fuzz",
+			FlexPercentage:  flexPct,
+			SliceDuration:   time.Duration(sliceMin) * time.Minute,
+			SlicesPerOffer:  slices,
+			SliceJitter:     jitter,
+			EnergySpreadMin: spreadMin,
+			EnergySpreadMax: spreadMax,
+			TimeFlexibility: time.Duration(tfMin) * time.Minute,
+			TimeFlexJitter:  time.Duration(tfjMin) * time.Minute,
+			CreationLead:    time.Duration(clMin) * time.Minute,
+			AcceptanceLead:  time.Duration(alMin) * time.Minute,
+			AssignmentLead:  time.Duration(asMin) * time.Minute,
+			Seed:            1,
+		}
+		if err := p.Validate(); err != nil {
+			return // rejected; nothing more to check
+		}
+		// Validated params promise NaN-free randomisation inputs.
+		if math.IsNaN(p.FlexPercentage) || math.IsNaN(p.EnergySpreadMin) || math.IsNaN(p.EnergySpreadMax) {
+			t.Fatalf("Validate accepted NaN fields: %+v", p)
+		}
+		// One synthetic day at the validated slice duration. Validate
+		// guarantees SliceDuration divides 24h, so this is exact; cap the
+		// series so a 1-minute resolution stays cheap.
+		perDay := int((24 * time.Hour) / p.SliceDuration)
+		if perDay > 2000 {
+			perDay = 2000
+		}
+		vals := make([]float64, perDay)
+		for i := range vals {
+			vals[i] = 0.25 + 0.5*float64(i%7)/7
+		}
+		input := timeseries.MustNew(time.Date(2012, 6, 4, 0, 0, 0, 0, time.UTC), p.SliceDuration, vals)
+
+		for _, ex := range []Extractor{
+			&BasicExtractor{Params: p},
+			&PeakExtractor{Params: p},
+			&RandomExtractor{Params: p},
+		} {
+			res, err := ex.Extract(input) // must not panic
+			if err != nil {
+				continue
+			}
+			if err := res.Offers.Validate(); err != nil {
+				t.Fatalf("%s produced invalid offers from validated params: %v (params %+v)", ex.Name(), err, p)
+			}
+			if e := res.Offers.TotalAvgEnergy(); math.IsNaN(e) || math.IsInf(e, 0) {
+				t.Fatalf("%s produced non-finite offer energy %v (params %+v)", ex.Name(), e, p)
+			}
+			if e := res.Modified.Total(); math.IsNaN(e) || math.IsInf(e, 0) {
+				t.Fatalf("%s produced non-finite modified series total %v (params %+v)", ex.Name(), e, p)
+			}
+		}
+	})
+}

@@ -13,6 +13,7 @@ package flexoffer
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 )
 
@@ -159,7 +160,9 @@ func (f *FlexOffer) Validate() error {
 		if s.Duration <= 0 {
 			return fmt.Errorf("%w: slice %d of offer %s has duration %v", ErrSliceDuration, i, f.ID, s.Duration)
 		}
-		if s.MinEnergy > s.MaxEnergy {
+		// NaN fails every ordered comparison, so min > max would not catch
+		// it; a NaN bound must never enter a store or scheduler.
+		if math.IsNaN(s.MinEnergy) || math.IsNaN(s.MaxEnergy) || s.MinEnergy > s.MaxEnergy {
 			return fmt.Errorf("%w: slice %d of offer %s has min %.4f > max %.4f",
 				ErrSliceBounds, i, f.ID, s.MinEnergy, s.MaxEnergy)
 		}
@@ -169,7 +172,7 @@ func (f *FlexOffer) Validate() error {
 			ErrTimeWindow, f.LatestStart, f.EarliestStart, f.ID)
 	}
 	if c := f.TotalConstraint; c != nil {
-		if c.Min > c.Max {
+		if math.IsNaN(c.Min) || math.IsNaN(c.Max) || c.Min > c.Max {
 			return fmt.Errorf("%w: total constraint [%.4f, %.4f] inverted (offer %s)",
 				ErrSliceBounds, c.Min, c.Max, f.ID)
 		}

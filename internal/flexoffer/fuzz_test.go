@@ -2,9 +2,78 @@ package flexoffer
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
+	"time"
 )
+
+// FuzzOfferValidate fuzzes direct offer construction — the path extraction
+// pipeline workers take. The contract: Validate never panics, and any offer
+// it accepts can flow through the whole downstream API (clone, stringify,
+// energy accounting, default assignment) without panicking a worker or
+// yielding NaN energy totals.
+func FuzzOfferValidate(f *testing.F) {
+	base := time.Date(2012, 6, 4, 22, 0, 0, 0, time.UTC).Unix()
+	f.Add(4, int64(15*time.Minute), 0.5, 1.0, base, int64(7*time.Hour), int64(12*time.Hour), int64(6*time.Hour), int64(2*time.Hour), 2.0, 3.0, false)
+	f.Add(1, int64(-1), 2.0, 1.0, base, int64(0), int64(0), int64(0), int64(0), 0.0, 0.0, false)
+	f.Add(0, int64(time.Hour), 0.0, 0.0, base, int64(-time.Hour), int64(0), int64(0), int64(0), 0.0, 0.0, false)
+	f.Add(3, int64(time.Minute), math.NaN(), math.NaN(), base, int64(time.Hour), int64(0), int64(0), int64(0), math.NaN(), math.Inf(1), true)
+	f.Add(8, int64(15*time.Minute), -2.0, -1.0, base, int64(time.Hour), int64(2*time.Hour), int64(time.Hour), int64(30*time.Minute), -20.0, -5.0, true)
+
+	f.Fuzz(func(t *testing.T, nSlices int, sliceDur int64, minE, maxE float64,
+		startUnix, windowNs, creationLeadNs, acceptLeadNs, assignLeadNs int64,
+		totMin, totMax float64, withConstraint bool) {
+		if nSlices < 0 || nSlices > 256 {
+			return // profile length is under caller control; bound the allocation
+		}
+		earliest := time.Unix(startUnix%(1<<40), 0).UTC()
+		fo := &FlexOffer{
+			ID:             "fuzz",
+			ConsumerID:     "c",
+			CreationTime:   earliest.Add(-time.Duration(creationLeadNs)),
+			AcceptanceTime: earliest.Add(-time.Duration(acceptLeadNs)),
+			AssignmentTime: earliest.Add(-time.Duration(assignLeadNs)),
+			EarliestStart:  earliest,
+			LatestStart:    earliest.Add(time.Duration(windowNs)),
+		}
+		for i := 0; i < nSlices; i++ {
+			// Vary the bounds per slice so inverted/NaN bounds can land on
+			// any index, not just slice 0.
+			lo, hi := minE, maxE
+			if i%2 == 1 {
+				lo, hi = lo/2, hi*2
+			}
+			fo.Profile = append(fo.Profile, Slice{Duration: time.Duration(sliceDur), MinEnergy: lo, MaxEnergy: hi})
+		}
+		if withConstraint {
+			fo.TotalConstraint = &EnergyConstraint{Min: totMin, Max: totMax}
+		}
+		if err := fo.Validate(); err != nil {
+			return // rejected; construction is allowed to fail, not to panic
+		}
+		// Accepted offers must survive the downstream API.
+		c := fo.Clone()
+		if err := c.Validate(); err != nil {
+			t.Fatalf("clone of valid offer invalid: %v", err)
+		}
+		_ = fo.String()
+		_ = fo.Duration()
+		_ = fo.LatestEnd()
+		if e := fo.TotalAvgEnergy(); math.IsNaN(e) {
+			t.Fatalf("validated offer has NaN total energy: %+v", fo)
+		}
+		lo, hi := fo.EffectiveTotalBounds()
+		if math.IsNaN(lo) || math.IsNaN(hi) {
+			t.Fatalf("validated offer has NaN effective bounds [%v, %v]", lo, hi)
+		}
+		if _, err := fo.AssignDefault(fo.EarliestStart); err != nil {
+			// Assignment may be infeasible (e.g. disjoint total constraint
+			// after fitting); it must never panic.
+			return
+		}
+	})
+}
 
 // FuzzReadJSON checks the set decoder never panics, only yields validated
 // offers, and that accepted sets round-trip.

@@ -101,16 +101,20 @@ func (s *Server) handleOffers(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleOffer(w http.ResponseWriter, r *http.Request) {
-	rest := strings.TrimPrefix(r.URL.Path, "/offers/")
-	parts := strings.SplitN(rest, "/", 2)
-	id := parts[0]
+	// Offer IDs may themselves contain slashes (batch extraction qualifies
+	// them as <series>/<offer>), so the action is the *last* path segment
+	// when it names a known verb; everything before it is the ID.
+	id := strings.TrimPrefix(r.URL.Path, "/offers/")
+	action := ""
+	if i := strings.LastIndex(id, "/"); i >= 0 {
+		switch verb := id[i+1:]; verb {
+		case "accept", "reject", "assign":
+			id, action = id[:i], verb
+		}
+	}
 	if id == "" {
 		writeError(w, fmt.Errorf("%w: missing offer id", ErrBadRequest))
 		return
-	}
-	action := ""
-	if len(parts) == 2 {
-		action = parts[1]
 	}
 
 	switch {

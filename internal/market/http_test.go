@@ -48,6 +48,36 @@ func TestHTTPLifecycle(t *testing.T) {
 	}
 }
 
+// TestHTTPQualifiedIDs drives the per-offer endpoints with the slash-
+// qualified IDs batch extraction produces (<series>/<offer>).
+func TestHTTPQualifiedIDs(t *testing.T) {
+	client, _, _ := newTestServer(t)
+	const id = "family-house-001/peak-0001"
+	if err := client.Submit(testOffer(id)); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	rec, err := client.Get(id)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if rec.Offer.ID != id {
+		t.Fatalf("got offer %q, want %q", rec.Offer.ID, id)
+	}
+	if err := client.Accept(id); err != nil {
+		t.Fatalf("Accept: %v", err)
+	}
+	if err := client.Accept(id); err == nil {
+		t.Fatal("second accept succeeded")
+	}
+	rec, err = client.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != Accepted {
+		t.Fatalf("state = %v, want accepted", rec.State)
+	}
+}
+
 func TestHTTPListAndStats(t *testing.T) {
 	client, _, _ := newTestServer(t)
 	for _, id := range []string{"a", "b", "c"} {

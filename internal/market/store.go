@@ -123,6 +123,54 @@ func (s *Store) Submit(f *flexoffer.FlexOffer) error {
 	return nil
 }
 
+// SubmitBatch collects many offers under a single lock acquisition — the
+// bulk ingest path used by the extraction pipeline. Validation runs outside
+// the lock; insertion is atomic per offer, not per batch: each offer is
+// accepted or rejected independently. It returns the number accepted and
+// one error slot per input offer (nil for accepted ones), so callers can
+// attribute rejections.
+func (s *Store) SubmitBatch(offers flexoffer.Set) (int, []error) {
+	errs := make([]error, len(offers))
+	type pending struct {
+		i int
+		f *flexoffer.FlexOffer
+	}
+	ok := make([]pending, 0, len(offers))
+	for i, f := range offers {
+		switch {
+		case f == nil:
+			errs[i] = fmt.Errorf("%w: nil offer", ErrBadRequest)
+		case f.ID == "":
+			errs[i] = fmt.Errorf("%w: empty offer id", ErrBadRequest)
+		default:
+			if err := f.Validate(); err != nil {
+				errs[i] = fmt.Errorf("%w: %v", ErrBadRequest, err)
+			} else {
+				ok = append(ok, pending{i, f})
+			}
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock()
+	accepted := 0
+	for _, p := range ok {
+		f := p.f
+		if !f.AcceptanceTime.IsZero() && now.After(f.AcceptanceTime) {
+			errs[p.i] = fmt.Errorf("%w: acceptance deadline %v already passed", ErrDeadline, f.AcceptanceTime)
+			continue
+		}
+		if _, dup := s.records[f.ID]; dup {
+			errs[p.i] = fmt.Errorf("%w: %s", ErrDuplicate, f.ID)
+			continue
+		}
+		s.records[f.ID] = &Record{Offer: f.Clone(), State: Offered, SubmittedAt: now}
+		s.order = append(s.order, f.ID)
+		accepted++
+	}
+	return accepted, errs
+}
+
 // Accept moves an offered flex-offer to Accepted, enforcing the acceptance
 // deadline.
 func (s *Store) Accept(id string) error {

@@ -1,0 +1,270 @@
+package market
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/flexoffer"
+)
+
+// Concurrency stress tests: N goroutines hammer every lifecycle operation
+// at once while sweepers and readers run, then the final store state is
+// checked against invariants. Run with -race to catch synchronisation bugs.
+
+var stressStart = time.Date(2012, 6, 4, 0, 0, 0, 0, time.UTC)
+
+// stressOffer builds a valid offer whose acceptance/assignment deadlines
+// sit `lead` after the given clock origin.
+func stressOffer(id string, origin time.Time, lead time.Duration) *flexoffer.FlexOffer {
+	return &flexoffer.FlexOffer{
+		ID:             id,
+		CreationTime:   origin,
+		AcceptanceTime: origin.Add(lead),
+		AssignmentTime: origin.Add(lead),
+		EarliestStart:  origin.Add(lead + time.Hour),
+		LatestStart:    origin.Add(lead + 5*time.Hour),
+		Profile:        flexoffer.UniformProfile(4, 15*time.Minute, 0.5, 1.0),
+	}
+}
+
+// TestStoreConcurrentLifecycle drives submit/accept/reject/assign/sweep
+// from many goroutines and asserts the final state is coherent.
+func TestStoreConcurrentLifecycle(t *testing.T) {
+	// A mutable logical clock shared by every goroutine, advanced by the
+	// expirer to push deadlines past.
+	var nowNanos atomic.Int64
+	nowNanos.Store(stressStart.UnixNano())
+	clock := func() time.Time { return time.Unix(0, nowNanos.Load()).UTC() }
+	store := NewStore(clock)
+
+	const (
+		workers    = 8
+		perWorker  = 50
+		nearLead   = 30 * time.Minute // expirable by the sweeper's clock jump
+		farLead    = 1000 * time.Hour // never expires during the test
+		clockJumpN = 10
+	)
+	var submitted, accepted, rejected, assigned atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id := fmt.Sprintf("w%d-%03d", w, i)
+				lead := farLead
+				if i%5 == 0 {
+					lead = nearLead
+				}
+				if err := store.Submit(stressOffer(id, clock(), lead)); err != nil {
+					// Near-lead offers may race the sweeper's clock jumps.
+					if !errors.Is(err, ErrDeadline) {
+						t.Errorf("submit %s: %v", id, err)
+					}
+					continue
+				}
+				submitted.Add(1)
+				// The sweeper races every transition below: near-lead
+				// offers may expire first, surfacing as ErrDeadline or
+				// ErrTransition — both legal outcomes, never corruption.
+				raced := func(err error) bool {
+					return errors.Is(err, ErrDeadline) || errors.Is(err, ErrTransition)
+				}
+				switch i % 3 {
+				case 0:
+					// Leave offered; the sweeper may expire it.
+				case 1:
+					if err := store.Accept(id); err == nil {
+						accepted.Add(1)
+						if i%6 == 1 {
+							f, _ := store.Get(id)
+							es := make([]float64, len(f.Offer.Profile))
+							for k := range es {
+								es[k] = 0.75
+							}
+							if _, err := store.Assign(id, f.Offer.EarliestStart, es); err == nil {
+								assigned.Add(1)
+							} else if !raced(err) {
+								t.Errorf("assign %s: %v", id, err)
+							}
+						}
+					} else if !raced(err) {
+						t.Errorf("accept %s: %v", id, err)
+					}
+				case 2:
+					if err := store.Reject(id); err == nil {
+						rejected.Add(1)
+					} else if !raced(err) {
+						t.Errorf("reject %s: %v", id, err)
+					}
+				}
+			}
+		}(w)
+	}
+	// Sweeper: advance the clock well past the near deadlines and expire.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < clockJumpN; i++ {
+			nowNanos.Add(int64(nearLead))
+			store.ExpireOverdue()
+		}
+	}()
+	// Readers: exercise every read path concurrently.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				store.Stats()
+				store.List(Offered, Accepted)
+				store.AcceptedOffers()
+				store.Get(fmt.Sprintf("w0-%03d", i%perWorker))
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Invariants on the final state.
+	counts := store.Stats()
+	total := counts.Offered + counts.Accepted + counts.Rejected + counts.Assigned + counts.Expired
+	if int64(total) != submitted.Load() {
+		t.Fatalf("state counts sum to %d, submitted %d", total, submitted.Load())
+	}
+	records := store.List()
+	if len(records) != total {
+		t.Fatalf("List returned %d records, Stats counted %d", len(records), total)
+	}
+	if int64(counts.Rejected) != rejected.Load() {
+		t.Fatalf("rejected %d, want %d", counts.Rejected, rejected.Load())
+	}
+	if int64(counts.Assigned) != assigned.Load() {
+		t.Fatalf("assigned %d, want %d", counts.Assigned, assigned.Load())
+	}
+	seen := make(map[string]bool, len(records))
+	for _, r := range records {
+		if seen[r.Offer.ID] {
+			t.Fatalf("duplicate record %s in listing", r.Offer.ID)
+		}
+		seen[r.Offer.ID] = true
+		switch r.State {
+		case Assigned:
+			if r.Assignment == nil {
+				t.Fatalf("%s assigned without assignment", r.Offer.ID)
+			}
+		case Offered:
+			if r.Assignment != nil {
+				t.Fatalf("%s offered with assignment", r.Offer.ID)
+			}
+		}
+		if r.State != Offered && r.DecidedAt.IsZero() {
+			t.Fatalf("%s in state %s without decision time", r.Offer.ID, r.State)
+		}
+	}
+}
+
+// TestStoreConcurrentDuplicateSubmit races many goroutines submitting the
+// same offer ID: exactly one must win.
+func TestStoreConcurrentDuplicateSubmit(t *testing.T) {
+	store := NewStore(func() time.Time { return stressStart })
+	const contenders = 16
+	var wins, dups atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < contenders; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := store.Submit(stressOffer("contested", stressStart, time.Hour))
+			switch {
+			case err == nil:
+				wins.Add(1)
+			case errors.Is(err, ErrDuplicate):
+				dups.Add(1)
+			default:
+				t.Errorf("submit: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if wins.Load() != 1 || dups.Load() != contenders-1 {
+		t.Fatalf("wins=%d dups=%d, want 1/%d", wins.Load(), dups.Load(), contenders-1)
+	}
+	if got := len(store.List()); got != 1 {
+		t.Fatalf("store holds %d records, want 1", got)
+	}
+}
+
+// TestStoreConcurrentSubmitBatch fans batches out from several goroutines,
+// with every batch sharing some colliding IDs.
+func TestStoreConcurrentSubmitBatch(t *testing.T) {
+	store := NewStore(func() time.Time { return stressStart })
+	const (
+		batches   = 8
+		batchSize = 25
+		sharedIDs = 5
+	)
+	var acceptedTotal atomic.Int64
+	var wg sync.WaitGroup
+	for b := 0; b < batches; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			set := make(flexoffer.Set, 0, batchSize)
+			for i := 0; i < batchSize; i++ {
+				id := fmt.Sprintf("batch%d-%02d", b, i)
+				if i < sharedIDs {
+					id = fmt.Sprintf("shared-%02d", i) // collides across batches
+				}
+				set = append(set, stressOffer(id, stressStart, time.Hour))
+			}
+			accepted, errs := store.SubmitBatch(set)
+			acceptedTotal.Add(int64(accepted))
+			var failed int
+			for _, err := range errs {
+				if err != nil {
+					failed++
+					if !errors.Is(err, ErrDuplicate) {
+						t.Errorf("batch %d: %v", b, err)
+					}
+				}
+			}
+			if accepted+failed != batchSize {
+				t.Errorf("batch %d: accepted %d + failed %d != %d", b, accepted, failed, batchSize)
+			}
+		}(b)
+	}
+	wg.Wait()
+	want := batches*(batchSize-sharedIDs) + sharedIDs
+	if got := len(store.List()); got != want || int64(got) != acceptedTotal.Load() {
+		t.Fatalf("store holds %d records (accepted %d), want %d", got, acceptedTotal.Load(), want)
+	}
+}
+
+func TestSubmitBatchValidation(t *testing.T) {
+	store := NewStore(func() time.Time { return stressStart })
+	good := stressOffer("good", stressStart, time.Hour)
+	lapsed := stressOffer("lapsed", stressStart.Add(-10*time.Hour), time.Hour)
+	invalid := stressOffer("invalid", stressStart, time.Hour)
+	invalid.Profile = nil
+	batch := flexoffer.Set{good, nil, invalid, lapsed, good.Clone()}
+	accepted, errs := store.SubmitBatch(batch)
+	if accepted != 1 {
+		t.Fatalf("accepted %d, want 1", accepted)
+	}
+	if errs[0] != nil {
+		t.Fatalf("good offer rejected: %v", errs[0])
+	}
+	if !errors.Is(errs[1], ErrBadRequest) || !errors.Is(errs[2], ErrBadRequest) {
+		t.Fatalf("nil/invalid offers: %v, %v", errs[1], errs[2])
+	}
+	if !errors.Is(errs[3], ErrDeadline) {
+		t.Fatalf("lapsed offer: %v", errs[3])
+	}
+	if !errors.Is(errs[4], ErrDuplicate) {
+		t.Fatalf("duplicate within batch: %v", errs[4])
+	}
+}

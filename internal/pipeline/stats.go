@@ -1,0 +1,87 @@
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Stats summarises one batch run, per stage: how many series went through
+// the pool, how many offers came out, what failed, and where the time went.
+type Stats struct {
+	// Workers is the resolved pool size.
+	Workers int
+	// SeriesProcessed counts jobs whose extraction finished successfully.
+	SeriesProcessed int
+	// OffersEmitted counts flex-offers streamed into the sink.
+	OffersEmitted int
+	// Errors counts failed jobs (including recovered panics).
+	Errors int
+	// Panics counts the subset of Errors that were recovered worker panics.
+	Panics int
+	// Wall is the end-to-end duration of the batch.
+	Wall time.Duration
+	// Busy is the summed extraction time across all workers — the batch's
+	// sequential cost. Busy/Wall is the achieved parallel speedup.
+	Busy time.Duration
+	// JobErrors lists the individual job failures, in completion order.
+	JobErrors []JobError
+}
+
+// Speedup reports the achieved parallelism, Busy/Wall (1.0 means no
+// overlap; Workers is the upper bound). Zero when nothing ran.
+func (s Stats) Speedup() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Busy) / float64(s.Wall)
+}
+
+// String implements fmt.Stringer with a one-line, log-friendly summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("pipeline[%d workers: %d series, %d offers, %d errors (%d panics), wall %v, busy %v, speedup %.2fx]",
+		s.Workers, s.SeriesProcessed, s.OffersEmitted, s.Errors, s.Panics, s.Wall, s.Busy, s.Speedup())
+}
+
+// accumulator gathers counters from concurrent workers.
+type accumulator struct {
+	mu        sync.Mutex
+	processed int
+	offers    int
+	errors    int
+	panics    int
+	busy      time.Duration
+	jobErrs   []JobError
+}
+
+func (a *accumulator) done(offers int, elapsed time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.processed++
+	a.offers += offers
+	a.busy += elapsed
+}
+
+func (a *accumulator) fail(je JobError, elapsed time.Duration, panicked bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.errors++
+	if panicked {
+		a.panics++
+	}
+	a.busy += elapsed
+	a.jobErrs = append(a.jobErrs, je)
+}
+
+func (a *accumulator) snapshot() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return Stats{
+		SeriesProcessed: a.processed,
+		OffersEmitted:   a.offers,
+		Errors:          a.errors,
+		Panics:          a.panics,
+		Busy:            a.busy,
+		JobErrors:       append([]JobError(nil), a.jobErrs...),
+	}
+}

@@ -10,6 +10,17 @@
 //
 // Missing observations are represented as NaN and are skipped by the
 // statistics in this package; see missing.go for fill strategies.
+//
+// # Concurrency and ownership
+//
+// A Series carries no synchronisation. Any number of goroutines may read a
+// Series concurrently (Value, TimeAt, the statistics, Clone, …) as long as
+// none mutates it; SetValue and the in-place fill operations require
+// exclusive access. Code that needs a private mutable copy — the extractors
+// in internal/core, for example — must Clone first and mutate the clone.
+// The batch engine in internal/pipeline relies on exactly this discipline to
+// share one input series across many workers; see that package's ownership
+// model for the contract it imposes on extractors and sinks.
 package timeseries
 
 import (

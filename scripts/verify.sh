@@ -1,0 +1,22 @@
+#!/bin/sh
+# verify.sh — the full pre-merge check: vet, build, test, then the race
+# detector over the packages with real concurrency (the pipeline worker
+# pool and the market store). Run from the repository root, or via
+# `make verify`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race (concurrent packages)"
+go test -race ./internal/pipeline ./internal/market ./cmd/flexextract ./cmd/mirabeld
+
+echo "verify: OK"
