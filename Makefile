@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench fuzz verify
+.PHONY: build test race vet fmt-check docs-check bench fuzz verify
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,16 @@ race-all:
 
 vet:
 	$(GO) vet ./...
+
+# Fail when any tracked Go file is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# Fail when an exported identifier in the contract packages lacks a doc
+# comment (the HTTP/metrics surface must stay documented).
+docs-check:
+	$(GO) run ./scripts/docscheck ./internal/obs ./internal/market
 
 bench:
 	$(GO) test -bench . -benchmem -run XXX .

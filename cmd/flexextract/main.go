@@ -18,6 +18,11 @@
 // ("<name>/peak-0001") so a downstream store never sees collisions. Every
 // series gets its own deterministic seed (-seed plus the batch index), so
 // results do not depend on -jobs.
+//
+// -stats-json writes a machine-readable run summary rendered from the
+// same internal/obs metric registry mirabeld's /metrics exposes (pipeline
+// job counters, per-stage latency histograms, worker saturation); "-"
+// writes it to stdout.
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 
 	"repro/internal/appliance"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/tariff"
 	"repro/internal/timeseries"
@@ -52,14 +58,15 @@ func main() {
 	lowStart := flag.Int("low-start", 22, "low-tariff window start hour (multitariff)")
 	lowEnd := flag.Int("low-end", 6, "low-tariff window end hour (multitariff)")
 	resample := flag.Duration("resample", 0, "resample the input to this resolution before extraction (0 = keep)")
+	statsJSON := flag.String("stats-json", "", "write a JSON run summary (obs registry) to this file (\"-\" = stdout)")
 	flag.Parse()
 
 	var err error
 	switch {
 	case *indir != "":
-		err = runBatch(*indir, *outdir, *ref, *approach, *flexPct, *seed, *jobs, *lowStart, *lowEnd, *resample)
+		err = runBatch(*indir, *outdir, *ref, *approach, *flexPct, *seed, *jobs, *lowStart, *lowEnd, *resample, *statsJSON)
 	case *in != "":
-		err = run(*in, *ref, *approach, *flexPct, *seed, *consumer, *offersOut, *modifiedOut, *lowStart, *lowEnd, *resample)
+		err = run(*in, *ref, *approach, *flexPct, *seed, *consumer, *offersOut, *modifiedOut, *lowStart, *lowEnd, *resample, *statsJSON)
 	default:
 		fmt.Fprintln(os.Stderr, "flexextract: -in (single series) or -indir (batch) is required")
 		flag.Usage()
@@ -100,7 +107,26 @@ func buildExtractor(approach string, params core.Params, tou tariff.TimeOfUse) (
 	}
 }
 
-func run(in, ref, approach string, flexPct float64, seed int64, consumer, offersOut, modifiedOut string, lowStart, lowEnd int, resample time.Duration) error {
+// writeStats renders the registry as JSON to path ("-" = stdout, "" = off).
+func writeStats(reg *obs.Registry, path string) error {
+	if path == "" {
+		return nil
+	}
+	if path == "-" {
+		return reg.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+func run(in, ref, approach string, flexPct float64, seed int64, consumer, offersOut, modifiedOut string, lowStart, lowEnd int, resample time.Duration, statsJSON string) error {
 	input, err := readSeries(in)
 	if err != nil {
 		return fmt.Errorf("read %s: %w", in, err)
@@ -150,7 +176,12 @@ func run(in, ref, approach string, flexPct float64, seed int64, consumer, offers
 		approach, len(result.Offers), result.Offers.TotalAvgEnergy(),
 		result.Offers.TotalAvgEnergy()/input.Total()*100, result.Modified.Total())
 	fmt.Printf("wrote %s and %s\n", offersOut, modifiedOut)
-	return nil
+
+	reg := obs.NewRegistry()
+	reg.NewGauge("flexextract_offers", "Flex-offers extracted by this run.").Set(int64(len(result.Offers)))
+	reg.NewGaugeFunc("flexextract_flexible_kwh", "Flexible energy extracted, in kWh.", result.Offers.TotalAvgEnergy)
+	reg.NewGaugeFunc("flexextract_modified_kwh", "Total energy left in the modified series, in kWh.", result.Modified.Total)
+	return writeStats(reg, statsJSON)
 }
 
 // writeResult writes an extraction's offers (JSON) and modified series (CSV).
@@ -179,7 +210,7 @@ func writeResult(result *core.Result, offersOut, modifiedOut string) error {
 
 // runBatch extracts every *.csv under indir concurrently through the
 // pipeline, writing per-series outputs into outdir.
-func runBatch(indir, outdir, ref, approach string, flexPct float64, seed int64, jobsN int, lowStart, lowEnd int, resample time.Duration) error {
+func runBatch(indir, outdir, ref, approach string, flexPct float64, seed int64, jobsN int, lowStart, lowEnd int, resample time.Duration, statsJSON string) error {
 	all, err := filepath.Glob(filepath.Join(indir, "*.csv"))
 	if err != nil {
 		return err
@@ -223,8 +254,14 @@ func runBatch(indir, outdir, ref, approach string, flexPct float64, seed int64, 
 		}
 		seedOf[id] = seed + int64(i)
 	}
+	reg := obs.NewRegistry()
+	telemetry := pipeline.NewTelemetry(reg)
+	readErrGauge := reg.NewGauge("flexextract_read_errors", "Input CSVs that could not be read.")
+	reg.NewGauge("flexextract_series_total", "Input CSVs discovered in the batch.").Set(int64(len(files)))
+
 	cfg := pipeline.Config{
-		Workers: jobsN,
+		Workers:   jobsN,
+		Telemetry: telemetry,
 		NewExtractor: func(j pipeline.Job) core.Extractor {
 			params := core.DefaultParams()
 			params.FlexPercentage = flexPct
@@ -298,6 +335,10 @@ func runBatch(indir, outdir, ref, approach string, flexPct float64, seed int64, 
 		stats.Errors+len(readErrs), stats.Wall.Round(time.Millisecond),
 		stats.Busy.Round(time.Millisecond), stats.Speedup(), stats.Workers)
 	fmt.Printf("wrote per-series offers and modified series under %s\n", outdir)
+	readErrGauge.Set(int64(len(readErrs)))
+	if err := writeStats(reg, statsJSON); err != nil {
+		return err
+	}
 	if failed := stats.Errors + len(readErrs); failed > 0 {
 		return fmt.Errorf("%d of %d series failed", failed, len(files))
 	}

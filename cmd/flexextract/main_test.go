@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"os"
@@ -42,7 +43,7 @@ func TestRunConsumptionApproaches(t *testing.T) {
 	for _, approach := range []string{"basic", "peak", "random"} {
 		offers := filepath.Join(dir, approach+"-offers.json")
 		modified := filepath.Join(dir, approach+"-modified.csv")
-		if err := run(in, "", approach, 0.05, 1, "c1", offers, modified, 22, 6, 0); err != nil {
+		if err := run(in, "", approach, 0.05, 1, "c1", offers, modified, 22, 6, 0, ""); err != nil {
 			t.Fatalf("%s: %v", approach, err)
 		}
 		of, err := os.Open(offers)
@@ -86,11 +87,11 @@ func TestRunMultiTariff(t *testing.T) {
 	writeSyntheticCSV(t, in, 7, 15*time.Minute)
 	offers := filepath.Join(dir, "offers.json")
 	modified := filepath.Join(dir, "modified.csv")
-	if err := run(in, ref, "multitariff", 0.05, 1, "", offers, modified, 22, 6, 0); err != nil {
+	if err := run(in, ref, "multitariff", 0.05, 1, "", offers, modified, 22, 6, 0, ""); err != nil {
 		t.Fatalf("multitariff: %v", err)
 	}
 	// Missing reference is an error.
-	if err := run(in, "", "multitariff", 0.05, 1, "", offers, modified, 22, 6, 0); err == nil {
+	if err := run(in, "", "multitariff", 0.05, 1, "", offers, modified, 22, 6, 0, ""); err == nil {
 		t.Error("multitariff without -ref accepted")
 	}
 }
@@ -104,7 +105,7 @@ func TestRunBatch(t *testing.T) {
 		name := fmt.Sprintf("house-%02d", i)
 		inputs[name] = writeSyntheticCSV(t, filepath.Join(indir, name+".csv"), 3, 15*time.Minute)
 	}
-	if err := runBatch(indir, outdir, "", "peak", 0.05, 1, 4, 22, 6, 0); err != nil {
+	if err := runBatch(indir, outdir, "", "peak", 0.05, 1, 4, 22, 6, 0, ""); err != nil {
 		t.Fatalf("batch: %v", err)
 	}
 	for name, input := range inputs {
@@ -164,10 +165,10 @@ func TestRunBatchDeterministicAcrossWorkerCounts(t *testing.T) {
 		return out
 	}
 	out1, out4 := t.TempDir(), t.TempDir()
-	if err := runBatch(indir, out1, "", "basic", 0.05, 7, 1, 22, 6, 0); err != nil {
+	if err := runBatch(indir, out1, "", "basic", 0.05, 7, 1, 22, 6, 0, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := runBatch(indir, out4, "", "basic", 0.05, 7, 4, 22, 6, 0); err != nil {
+	if err := runBatch(indir, out4, "", "basic", 0.05, 7, 4, 22, 6, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	a, b := read(out1), read(out4)
@@ -187,7 +188,7 @@ func TestRunBatchReportsBadSeries(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(indir, "bad.csv"), []byte("not,a,series\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	err := runBatch(indir, t.TempDir(), "", "peak", 0.05, 1, 2, 22, 6, 0)
+	err := runBatch(indir, t.TempDir(), "", "peak", 0.05, 1, 2, 22, 6, 0, "")
 	if err == nil {
 		t.Fatal("batch with unreadable series reported success")
 	}
@@ -205,7 +206,7 @@ func TestRunBatchSkipsOwnOutputs(t *testing.T) {
 		writeSyntheticCSV(t, filepath.Join(dir, fmt.Sprintf("house-%d.csv", i)), 2, 15*time.Minute)
 	}
 	for run := 0; run < 2; run++ {
-		if err := runBatch(dir, "", "", "peak", 0.05, 1, 2, 22, 6, 0); err != nil {
+		if err := runBatch(dir, "", "", "peak", 0.05, 1, 2, 22, 6, 0, ""); err != nil {
 			t.Fatalf("run %d: %v", run, err)
 		}
 	}
@@ -222,7 +223,7 @@ func TestRunBatchSkipsOwnOutputs(t *testing.T) {
 }
 
 func TestRunBatchEmptyDir(t *testing.T) {
-	if err := runBatch(t.TempDir(), "", "", "peak", 0.05, 1, 2, 22, 6, 0); err == nil {
+	if err := runBatch(t.TempDir(), "", "", "peak", 0.05, 1, 2, 22, 6, 0, ""); err == nil {
 		t.Fatal("empty batch directory accepted")
 	}
 }
@@ -233,10 +234,10 @@ func TestRunErrors(t *testing.T) {
 	writeSyntheticCSV(t, in, 2, 15*time.Minute)
 	offers := filepath.Join(dir, "o.json")
 	modified := filepath.Join(dir, "m.csv")
-	if err := run(in, "", "no-such-approach", 0.05, 1, "", offers, modified, 22, 6, 0); err == nil {
+	if err := run(in, "", "no-such-approach", 0.05, 1, "", offers, modified, 22, 6, 0, ""); err == nil {
 		t.Error("unknown approach accepted")
 	}
-	if err := run(filepath.Join(dir, "missing.csv"), "", "peak", 0.05, 1, "", offers, modified, 22, 6, 0); err == nil {
+	if err := run(filepath.Join(dir, "missing.csv"), "", "peak", 0.05, 1, "", offers, modified, 22, 6, 0, ""); err == nil {
 		t.Error("missing input accepted")
 	}
 }
@@ -249,10 +250,10 @@ func TestRunResampleFlag(t *testing.T) {
 	modified := filepath.Join(dir, "m.csv")
 	// Peak extraction requires 15-minute slices; resampling makes the
 	// 5-minute input usable.
-	if err := run(in, "", "peak", 0.05, 1, "", offers, modified, 22, 6, 0); err == nil {
+	if err := run(in, "", "peak", 0.05, 1, "", offers, modified, 22, 6, 0, ""); err == nil {
 		t.Error("5-minute input accepted without resampling")
 	}
-	if err := run(in, "", "peak", 0.05, 1, "", offers, modified, 22, 6, 15*time.Minute); err != nil {
+	if err := run(in, "", "peak", 0.05, 1, "", offers, modified, 22, 6, 15*time.Minute, ""); err != nil {
 		t.Errorf("resampled run: %v", err)
 	}
 	mf, err := os.Open(modified)
@@ -266,5 +267,54 @@ func TestRunResampleFlag(t *testing.T) {
 	}
 	if mod.Resolution() != 15*time.Minute {
 		t.Errorf("modified resolution = %v", mod.Resolution())
+	}
+}
+
+// TestStatsJSON checks -stats-json emits the obs registry: pipeline
+// counters for batch runs, extraction gauges for single runs.
+func TestStatsJSON(t *testing.T) {
+	indir := t.TempDir()
+	for i := 0; i < 3; i++ {
+		writeSyntheticCSV(t, filepath.Join(indir, fmt.Sprintf("h%d.csv", i)), 2, 15*time.Minute)
+	}
+	stats := filepath.Join(t.TempDir(), "stats.json")
+	if err := runBatch(indir, t.TempDir(), "", "peak", 0.05, 1, 2, 22, 6, 0, stats); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatalf("stats not valid JSON: %v\n%s", err, b)
+	}
+	if got := out["pipeline_jobs_succeeded_total"]; got != float64(3) {
+		t.Errorf("pipeline_jobs_succeeded_total = %v, want 3", got)
+	}
+	if got := out["flexextract_series_total"]; got != float64(3) {
+		t.Errorf("flexextract_series_total = %v, want 3", got)
+	}
+	if _, ok := out["pipeline_extract_seconds"]; !ok {
+		t.Error("stats missing pipeline_extract_seconds histogram")
+	}
+
+	// Single-series mode writes its own gauges.
+	single := filepath.Join(t.TempDir(), "single.json")
+	in := filepath.Join(indir, "h0.csv")
+	offers := filepath.Join(t.TempDir(), "o.json")
+	modified := filepath.Join(t.TempDir(), "m.csv")
+	if err := run(in, "", "peak", 0.05, 1, "", offers, modified, 22, 6, 0, single); err != nil {
+		t.Fatal(err)
+	}
+	b, err = os.ReadFile(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatalf("single stats not valid JSON: %v", err)
+	}
+	if n, ok := out["flexextract_offers"].(float64); !ok || n <= 0 {
+		t.Errorf("flexextract_offers = %v, want > 0", out["flexextract_offers"])
 	}
 }

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"repro/internal/market"
+)
+
+// docHeadingRe matches the `### METHOD /path` headings docs/API.md uses
+// to introduce each route.
+var docHeadingRe = regexp.MustCompile(`(?m)^### (GET|POST|PUT|DELETE|PATCH) (/\S*)$`)
+
+// TestAPIDocCoversAllRoutes diffs the daemon's registered routes (the
+// market API inventory plus the operational endpoints mounted by
+// newHandler, pprof included) against docs/API.md, in both directions:
+// every route must be documented, and every documented route must exist.
+func TestAPIDocCoversAllRoutes(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "docs", "API.md"))
+	if err != nil {
+		t.Fatalf("read docs/API.md: %v", err)
+	}
+	documented := make(map[string]bool)
+	for _, m := range docHeadingRe.FindAllStringSubmatch(string(raw), -1) {
+		documented[m[1]+" "+m[2]] = true
+	}
+	if len(documented) == 0 {
+		t.Fatal("docs/API.md has no `### METHOD /path` headings")
+	}
+
+	registered := make(map[string]bool)
+	for _, r := range append(market.Routes(), opsRoutes(true)...) {
+		registered[fmt.Sprintf("%s %s", r.Method, r.Pattern)] = true
+	}
+
+	for route := range registered {
+		if !documented[route] {
+			t.Errorf("route %q is registered but missing from docs/API.md", route)
+		}
+	}
+	for route := range documented {
+		if !registered[route] {
+			t.Errorf("docs/API.md documents %q, which is not a registered route", route)
+		}
+	}
+}

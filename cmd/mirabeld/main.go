@@ -5,9 +5,16 @@
 // offers whose lifecycle deadlines lapse. Both the sweeper and the HTTP
 // server shut down cleanly on SIGINT/SIGTERM.
 //
+// The daemon is observable out of the box: /metrics exposes request,
+// store and pipeline metrics in Prometheus text format (?format=json for
+// JSON), /healthz reports liveness, /readyz flips to 200 once startup
+// seeding has finished, and -pprof mounts net/http/pprof under
+// /debug/pprof/. The full HTTP contract is documented in docs/API.md.
+//
 // A directory of household CSVs can be bulk-extracted straight into the
 // store at startup through the concurrent pipeline (internal/pipeline), so
-// a whole portfolio's offers are collected before the first request:
+// a whole portfolio's offers are collected before the daemon reports
+// ready:
 //
 //	mirabeld -addr :7654 -sweep 30s -seed-dir data/ -seed-approach peak -seed-jobs 8
 //
@@ -22,37 +29,69 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/market"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/timeseries"
 )
 
+// config gathers the daemon's flags so run stays testable.
+type config struct {
+	addr         string
+	sweep        time.Duration
+	clockAt      string
+	seedDir      string
+	seedApproach string
+	seedFlexPct  float64
+	seedJobs     int
+	pprof        bool
+}
+
 func main() {
-	addr := flag.String("addr", ":7654", "listen address")
-	sweep := flag.Duration("sweep", 30*time.Second, "deadline sweep interval (0 disables)")
-	clockAt := flag.String("clock", "", "fix the store's logical clock to this RFC3339 time (historical replays; default: live)")
-	seedDir := flag.String("seed-dir", "", "bulk-extract every CSV in this directory into the store at startup")
-	seedApproach := flag.String("seed-approach", "peak", "extraction approach for -seed-dir (basic | peak | random)")
-	seedFlexPct := flag.Float64("seed-flexpct", 0.05, "flexible share for -seed-dir extraction")
-	seedJobs := flag.Int("seed-jobs", 0, "worker count for -seed-dir extraction (0 = GOMAXPROCS)")
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":7654", "listen address")
+	flag.DurationVar(&cfg.sweep, "sweep", 30*time.Second, "deadline sweep interval (0 disables)")
+	flag.StringVar(&cfg.clockAt, "clock", "", "fix the store's logical clock to this RFC3339 time (historical replays; default: live)")
+	flag.StringVar(&cfg.seedDir, "seed-dir", "", "bulk-extract every CSV in this directory into the store at startup")
+	flag.StringVar(&cfg.seedApproach, "seed-approach", "peak", "extraction approach for -seed-dir (basic | peak | random)")
+	flag.Float64Var(&cfg.seedFlexPct, "seed-flexpct", 0.05, "flexible share for -seed-dir extraction")
+	flag.IntVar(&cfg.seedJobs, "seed-jobs", 0, "worker count for -seed-dir extraction (0 = GOMAXPROCS)")
+	flag.BoolVar(&cfg.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
+	logLevel := flag.String("log-level", "info", "minimum log level (debug | info | warn | error)")
 	flag.Parse()
 
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mirabeld: %v\n", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+	if err := run(cfg, logger); err != nil {
+		logger.Error("exiting", "err", err)
+		os.Exit(1)
+	}
+}
+
+// run is the daemon body. Every failure returns an error instead of
+// calling log.Fatalf, so deferred cleanup (signal handler release,
+// graceful server shutdown) always executes.
+func run(cfg config, logger *obs.Logger) error {
 	var clock func() time.Time
-	if *clockAt != "" {
-		at, err := time.Parse(time.RFC3339, *clockAt)
+	if cfg.clockAt != "" {
+		at, err := time.Parse(time.RFC3339, cfg.clockAt)
 		if err != nil {
-			log.Fatalf("mirabeld: -clock: %v", err)
+			return fmt.Errorf("-clock: %w", err)
 		}
 		clock = func() time.Time { return at }
 	}
@@ -61,36 +100,77 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if *seedDir != "" {
-		if err := seedStore(ctx, store, *seedDir, *seedApproach, *seedFlexPct, *seedJobs); err != nil {
-			log.Fatalf("mirabeld: seed: %v", err)
-		}
-	}
+	// One registry backs everything: HTTP middleware, store gauges,
+	// pipeline telemetry. /metrics renders it all.
+	reg := obs.NewRegistry()
+	httpMetrics := obs.NewHTTPMetrics(reg, "mirabeld")
+	storeMetrics := market.RegisterStoreMetrics(reg, store)
+	telemetry := pipeline.NewTelemetry(reg)
 
-	if *sweep > 0 {
-		go sweeper(ctx, store, *sweep)
-	}
+	var ready atomic.Bool
+	api := market.NewServer(store, market.WithObservability(httpMetrics, logger))
+	handler := newHandler(api, reg, &ready, cfg.pprof)
 
-	srv := &http.Server{Addr: *addr, Handler: market.NewServer(store)}
+	srv := &http.Server{Addr: cfg.addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("mirabeld: listening on %s\n", *addr)
+	logger.Info("listening", "addr", cfg.addr, "pprof", cfg.pprof, "sweep", cfg.sweep)
 
-	select {
-	case err := <-errc:
-		log.Fatalf("mirabeld: %v", err)
-	case <-ctx.Done():
-		log.Printf("mirabeld: shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		if err := srv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("mirabeld: shutdown: %v", err)
+	if cfg.sweep > 0 {
+		go sweeper(ctx, store, cfg.sweep, storeMetrics, logger)
+	}
+
+	// Seed while the server is already answering /healthz; /readyz stays
+	// 503 until the store is populated, then flips to 200.
+	seedc := make(chan error, 1)
+	go func() {
+		if cfg.seedDir != "" {
+			if err := seedStore(ctx, store, telemetry, logger, cfg.seedDir, cfg.seedApproach, cfg.seedFlexPct, cfg.seedJobs); err != nil {
+				seedc <- fmt.Errorf("seed: %w", err)
+				return
+			}
+		}
+		ready.Store(true)
+		logger.Info("ready", "seeded", cfg.seedDir != "")
+		seedc <- nil
+	}()
+
+	for {
+		select {
+		case err := <-errc:
+			if errors.Is(err, http.ErrServerClosed) {
+				return nil
+			}
+			return fmt.Errorf("serve: %w", err)
+		case err := <-seedc:
+			if err != nil {
+				shutdownErr := shutdown(srv, logger)
+				if shutdownErr != nil {
+					logger.Warn("shutdown after failed seed", "err", shutdownErr)
+				}
+				return err
+			}
+			seedc = nil // seeded; a nil channel never fires again
+		case <-ctx.Done():
+			logger.Info("shutting down")
+			return shutdown(srv, logger)
 		}
 	}
 }
 
+// shutdown drains the server gracefully, bounded by a five-second timeout.
+func shutdown(srv *http.Server, logger *obs.Logger) error {
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	logger.Info("stopped")
+	return nil
+}
+
 // sweeper periodically expires overdue offers until the context ends.
-func sweeper(ctx context.Context, store *market.Store, interval time.Duration) {
+func sweeper(ctx context.Context, store *market.Store, interval time.Duration, metrics *market.StoreMetrics, logger *obs.Logger) {
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	for {
@@ -99,7 +179,8 @@ func sweeper(ctx context.Context, store *market.Store, interval time.Duration) {
 			return
 		case <-ticker.C:
 			if n := store.ExpireOverdue(); n > 0 {
-				log.Printf("mirabeld: expired %d overdue offers", n)
+				metrics.SweeperExpired.Add(uint64(n))
+				logger.Info("sweep expired overdue offers", "expired", n)
 			}
 		}
 	}
@@ -107,7 +188,8 @@ func sweeper(ctx context.Context, store *market.Store, interval time.Duration) {
 
 // seedStore bulk-extracts every *.csv under dir through the concurrent
 // pipeline and submits the resulting offers straight into the store.
-func seedStore(ctx context.Context, store *market.Store, dir, approach string, flexPct float64, jobs int) error {
+// telemetry and logger may be nil.
+func seedStore(ctx context.Context, store *market.Store, telemetry *pipeline.Telemetry, logger *obs.Logger, dir, approach string, flexPct float64, jobs int) error {
 	all, err := filepath.Glob(filepath.Join(dir, "*.csv"))
 	if err != nil {
 		return err
@@ -163,7 +245,8 @@ func seedStore(ctx context.Context, store *market.Store, dir, approach string, f
 
 	sink := &pipeline.StoreSink{Store: store}
 	cfg := pipeline.Config{
-		Workers: jobs,
+		Workers:   jobs,
+		Telemetry: telemetry,
 		NewExtractor: func(j pipeline.Job) core.Extractor {
 			params := core.DefaultParams()
 			params.FlexPercentage = flexPct
@@ -178,12 +261,14 @@ func seedStore(ctx context.Context, store *market.Store, dir, approach string, f
 		return err
 	}
 	for _, je := range stats.JobErrors {
-		log.Printf("mirabeld: seed: %v", je)
+		logger.Warn("seed job failed", "job", je.JobID, "err", je.Err)
 	}
 	submitted, rejected := sink.Counts()
-	log.Printf("mirabeld: seeded %d offers from %d/%d series (%d rejected, %d extraction errors) in %v (%.2fx speedup, %d workers)",
-		submitted, stats.SeriesProcessed, len(batch), rejected, stats.Errors,
-		stats.Wall.Round(time.Millisecond), stats.Speedup(), stats.Workers)
+	logger.Info("seed done",
+		"offers", submitted, "series", stats.SeriesProcessed, "batch", len(batch),
+		"rejected", rejected, "extract_errors", stats.Errors,
+		"wall", stats.Wall.Round(time.Millisecond), "speedup", fmt.Sprintf("%.2fx", stats.Speedup()),
+		"workers", stats.Workers)
 	if rejected > 0 {
 		return fmt.Errorf("%d offers rejected by the store (first: %v); historical data may need -clock", rejected, sink.FirstErr())
 	}

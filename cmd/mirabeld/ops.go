@@ -1,0 +1,66 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+
+	"repro/internal/market"
+	"repro/internal/obs"
+)
+
+// opsRoutes is the inventory of mirabeld's operational endpoints, mounted
+// next to the market API by newHandler. Together with market.Routes it is
+// the route list docs/API.md must cover (TestAPIDocCoversAllRoutes).
+func opsRoutes(pprofOn bool) []market.Route {
+	routes := []market.Route{
+		{Method: http.MethodGet, Pattern: "/metrics", Summary: "Prometheus text exposition (?format=json for JSON)"},
+		{Method: http.MethodGet, Pattern: "/healthz", Summary: "liveness probe"},
+		{Method: http.MethodGet, Pattern: "/readyz", Summary: "readiness probe (503 until seeding finishes)"},
+	}
+	if pprofOn {
+		routes = append(routes, market.Route{Method: http.MethodGet, Pattern: "/debug/pprof/", Summary: "net/http/pprof profiles (behind -pprof)"})
+	}
+	return routes
+}
+
+// newHandler assembles the daemon's full HTTP surface: the flex-offer API
+// at the root, the metrics exposition, the health and readiness probes,
+// and — only when pprofOn — the net/http/pprof handlers. Keeping pprof
+// behind a flag means a production deployment exposes no profiling
+// endpoints unless explicitly asked to.
+func newHandler(api http.Handler, reg *obs.Registry, ready *atomic.Bool, pprofOn bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", api)
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		probe(w, r, http.StatusOK, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if ready.Load() {
+			probe(w, r, http.StatusOK, "ready")
+		} else {
+			probe(w, r, http.StatusServiceUnavailable, "seeding")
+		}
+	})
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// probe answers a health-style GET with a one-word plain-text body.
+func probe(w http.ResponseWriter, r *http.Request, status int, body string) {
+	if r.Method != http.MethodGet {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(status)
+	_, _ = io.WriteString(w, body+"\n")
+}

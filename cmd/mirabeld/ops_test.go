@@ -1,0 +1,138 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/market"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+)
+
+// newOpsHandler builds the daemon's full HTTP surface the way run does,
+// returning the pieces tests poke at.
+func newOpsHandler(t *testing.T, clock func() time.Time, pprofOn bool) (http.Handler, *market.Store, *obs.Registry, *pipeline.Telemetry, *atomic.Bool) {
+	t.Helper()
+	store := market.NewStore(clock)
+	reg := obs.NewRegistry()
+	httpMetrics := obs.NewHTTPMetrics(reg, "mirabeld")
+	market.RegisterStoreMetrics(reg, store)
+	telemetry := pipeline.NewTelemetry(reg)
+	ready := new(atomic.Bool)
+	api := market.NewServer(store, market.WithObservability(httpMetrics, nil))
+	return newHandler(api, reg, ready, pprofOn), store, reg, telemetry, ready
+}
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+	body, _ := io.ReadAll(rr.Result().Body)
+	return rr.Code, string(body)
+}
+
+// TestHealthzVersusReadyz covers the not-yet-seeded window: the daemon is
+// alive (healthz 200) from the first request, but not ready (readyz 503)
+// until seeding flips the flag.
+func TestHealthzVersusReadyz(t *testing.T) {
+	h, _, _, _, ready := newOpsHandler(t, nil, false)
+
+	if code, body := get(t, h, "/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz before seed = %d %q, want 200 ok", code, body)
+	}
+	if code, body := get(t, h, "/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "seeding") {
+		t.Errorf("/readyz before seed = %d %q, want 503 seeding", code, body)
+	}
+
+	ready.Store(true)
+	if code, body := get(t, h, "/readyz"); code != 200 || !strings.Contains(body, "ready") {
+		t.Errorf("/readyz after seed = %d %q, want 200 ready", code, body)
+	}
+
+	// Probes are GET-only.
+	for _, path := range []string{"/healthz", "/readyz"} {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("POST", path, nil))
+		if rr.Code != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s = %d, want 405", path, rr.Code)
+		}
+	}
+}
+
+// TestMetricsEndToEnd is the acceptance path: seed a store through the
+// pipeline, drive a few API requests, then scrape /metrics and require
+// request-latency histograms, per-state offer gauges and pipeline job
+// counters in the Prometheus text.
+func TestMetricsEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"a", "b"} {
+		writeHouseCSV(t, filepath.Join(dir, name+".csv"), 3)
+	}
+	clockAt := seedStart.Add(-48 * time.Hour)
+	h, store, _, telemetry, ready := newOpsHandler(t, func() time.Time { return clockAt }, false)
+
+	if err := seedStore(context.Background(), store, telemetry, nil, dir, "peak", 0.05, 2); err != nil {
+		t.Fatal(err)
+	}
+	ready.Store(true)
+
+	// A few API requests so the middleware has something to report.
+	if code, _ := get(t, h, "/offers"); code != 200 {
+		t.Fatalf("GET /offers = %d", code)
+	}
+	if code, _ := get(t, h, "/stats"); code != 200 {
+		t.Fatalf("GET /stats = %d", code)
+	}
+
+	code, text := get(t, h, "/metrics")
+	if code != 200 {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	for _, want := range []string{
+		// request-latency histograms from the HTTP middleware
+		`mirabeld_http_request_seconds_bucket{route="/offers",le="+Inf"} 1`,
+		`mirabeld_http_requests_total{route="/offers",method="GET",status="2xx"} 1`,
+		`mirabeld_http_requests_total{route="/stats",method="GET",status="2xx"} 1`,
+		// per-state offer gauges from the store
+		`market_offers{state="offered"}`,
+		`market_flexible_energy_kwh`,
+		// pipeline job counters from seeding
+		`pipeline_jobs_started_total 2`,
+		`pipeline_jobs_succeeded_total 2`,
+		`pipeline_jobs_failed_total 0`,
+		`# TYPE pipeline_extract_seconds histogram`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// The seeded offers really are gauged: the offered count is non-zero.
+	if strings.Contains(text, `market_offers{state="offered"} 0`) {
+		t.Error("offered gauge is zero after seeding")
+	}
+
+	// JSON rendering of the very same registry.
+	code, body := get(t, h, "/metrics?format=json")
+	if code != 200 || !strings.Contains(body, `"pipeline_jobs_succeeded_total": 2`) {
+		t.Errorf("/metrics?format=json = %d %q", code, body)
+	}
+}
+
+// TestPprofGating: /debug/pprof/ exists only behind -pprof.
+func TestPprofGating(t *testing.T) {
+	off, _, _, _, _ := newOpsHandler(t, nil, false)
+	if code, _ := get(t, off, "/debug/pprof/"); code != http.StatusNotFound {
+		t.Errorf("pprof off: /debug/pprof/ = %d, want 404", code)
+	}
+	on, _, _, _, _ := newOpsHandler(t, nil, true)
+	if code, body := get(t, on, "/debug/pprof/"); code != 200 || !strings.Contains(body, "profiles") {
+		t.Errorf("pprof on: /debug/pprof/ = %d", code)
+	}
+}

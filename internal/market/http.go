@@ -9,9 +9,11 @@ import (
 	"time"
 
 	"repro/internal/flexoffer"
+	"repro/internal/obs"
 )
 
-// Server exposes a Store over HTTP with a small JSON API:
+// Server exposes a Store over HTTP with a small JSON API; Routes lists
+// every route and docs/API.md documents the full contract:
 //
 //	POST /offers                 submit a flex-offer (JSON body)
 //	GET  /offers                 list records; ?state=offered filters
@@ -22,22 +24,102 @@ import (
 //	POST /expire                 sweep overdue records
 //	GET  /stats                  store summary
 type Server struct {
-	store *Store
-	mux   *http.ServeMux
+	store   *Store
+	mux     *http.ServeMux
+	handler http.Handler
+	metrics *obs.HTTPMetrics
+	logger  *obs.Logger
+}
+
+// ServerOption configures a Server at construction time.
+type ServerOption func(*Server)
+
+// WithObservability instruments the server: every request is counted and
+// timed under its RouteLabel through m's middleware (panic recovery
+// included), and requests are logged to logger at debug level. Either
+// argument may be nil.
+func WithObservability(m *obs.HTTPMetrics, logger *obs.Logger) ServerOption {
+	return func(s *Server) {
+		s.metrics = m
+		s.logger = logger
+	}
 }
 
 // NewServer wraps a store.
-func NewServer(store *Store) *Server {
+func NewServer(store *Store, opts ...ServerOption) *Server {
 	s := &Server{store: store, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/offers", s.handleOffers)
 	s.mux.HandleFunc("/offers/", s.handleOffer)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/expire", s.handleExpire)
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.handler = s.mux
+	if s.metrics != nil || s.logger != nil {
+		s.handler = obs.Middleware(s.mux, s.metrics, RouteLabel, s.logger)
+	}
 	return s
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
+
+// Route describes one HTTP route a daemon exposes: the inventory behind
+// docs/API.md, which a test diffs against the documentation.
+type Route struct {
+	// Method is the HTTP method the route answers.
+	Method string
+	// Pattern is the route's path with {placeholders} for variable
+	// segments, matching the RouteLabel metric labels.
+	Pattern string
+	// Summary is a one-line description.
+	Summary string
+}
+
+// Routes returns the flex-offer API's route inventory, in documentation
+// order. Every entry is registered by NewServer (the mux patterns collapse
+// the per-ID routes into "/offers/"); TestRoutesRegistered asserts the
+// correspondence.
+func Routes() []Route {
+	return []Route{
+		{Method: http.MethodPost, Pattern: "/offers", Summary: "submit a flex-offer"},
+		{Method: http.MethodGet, Pattern: "/offers", Summary: "list collected offers (?state= filters)"},
+		{Method: http.MethodGet, Pattern: "/offers/{id}", Summary: "fetch one offer record"},
+		{Method: http.MethodPost, Pattern: "/offers/{id}/accept", Summary: "accept an offered flex-offer"},
+		{Method: http.MethodPost, Pattern: "/offers/{id}/reject", Summary: "reject an offered flex-offer"},
+		{Method: http.MethodPost, Pattern: "/offers/{id}/assign", Summary: "fix start time and energies of an accepted offer"},
+		{Method: http.MethodGet, Pattern: "/stats", Summary: "store summary by lifecycle state"},
+		{Method: http.MethodPost, Pattern: "/expire", Summary: "sweep overdue offers"},
+	}
+}
+
+// RouteLabel maps a request onto the bounded set of route patterns used as
+// metric labels — offer IDs (which may contain slashes) collapse into
+// {id}, so label cardinality stays fixed no matter how many offers exist.
+// Requests that match nothing label as "other".
+func RouteLabel(r *http.Request) string {
+	p := r.URL.Path
+	switch p {
+	case "/offers", "/stats", "/expire", "/metrics", "/healthz", "/readyz":
+		return p
+	}
+	switch {
+	case strings.HasPrefix(p, "/offers/"):
+		rest := strings.TrimPrefix(p, "/offers/")
+		if i := strings.LastIndex(rest, "/"); i >= 0 {
+			switch rest[i+1:] {
+			case "accept", "reject", "assign":
+				return "/offers/{id}/" + rest[i+1:]
+			}
+		}
+		return "/offers/{id}"
+	case strings.HasPrefix(p, "/debug/pprof"):
+		return "/debug/pprof"
+	default:
+		return "other"
+	}
+}
 
 // assignRequest is the /assign body.
 type assignRequest struct {

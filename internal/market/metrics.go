@@ -1,0 +1,42 @@
+package market
+
+import "repro/internal/obs"
+
+// StoreMetrics holds the store-level instruments that are updated outside
+// the HTTP request path — currently the background sweeper's counter.
+// State-count gauges need no struct: they are sampled from the store at
+// scrape time by RegisterStoreMetrics.
+type StoreMetrics struct {
+	// SweeperExpired counts offers the background deadline sweeper moved
+	// to Expired (offers expired through POST /expire are visible in the
+	// request metrics instead).
+	SweeperExpired *obs.Counter
+}
+
+// RegisterStoreMetrics exports a store's state on reg and returns the
+// instruments the caller updates itself:
+//
+//	market_offers{state=...}        gauge: offers per lifecycle state
+//	market_flexible_energy_kwh     gauge: summed flexible energy on offer
+//	market_sweeper_expired_total   counter: offers expired by the sweeper
+//
+// The gauges are computed from a store snapshot at scrape time, so they
+// never drift from the store's actual contents.
+func RegisterStoreMetrics(reg *obs.Registry, store *Store) *StoreMetrics {
+	reg.NewSampledGauge("market_offers", "Collected flex-offers by lifecycle state.", func() []obs.Sample {
+		c := store.Stats()
+		return []obs.Sample{
+			{Labels: []obs.Label{{Name: "state", Value: Offered.String()}}, Value: float64(c.Offered)},
+			{Labels: []obs.Label{{Name: "state", Value: Accepted.String()}}, Value: float64(c.Accepted)},
+			{Labels: []obs.Label{{Name: "state", Value: Rejected.String()}}, Value: float64(c.Rejected)},
+			{Labels: []obs.Label{{Name: "state", Value: Assigned.String()}}, Value: float64(c.Assigned)},
+			{Labels: []obs.Label{{Name: "state", Value: Expired.String()}}, Value: float64(c.Expired)},
+		}
+	})
+	reg.NewGaugeFunc("market_flexible_energy_kwh", "Summed average energy of non-terminal offers, in kWh.", func() float64 {
+		return store.Stats().TotalFlexibleEnergy
+	})
+	return &StoreMetrics{
+		SweeperExpired: reg.NewCounter("market_sweeper_expired_total", "Offers expired by the background deadline sweeper."),
+	}
+}

@@ -1,0 +1,167 @@
+package market
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func newObservedServer(t *testing.T) (*Client, *obs.Registry, *obs.HTTPMetrics, *fakeClock) {
+	t.Helper()
+	clock := &fakeClock{now: t0}
+	store := NewStore(clock.Now)
+	reg := obs.NewRegistry()
+	m := obs.NewHTTPMetrics(reg, "mirabeld")
+	RegisterStoreMetrics(reg, store)
+	ts := httptest.NewServer(NewServer(store, WithObservability(m, nil)))
+	t.Cleanup(ts.Close)
+	return &Client{BaseURL: ts.URL, HTTPClient: ts.Client()}, reg, m, clock
+}
+
+// TestMiddlewareScriptedSequence drives a fixed request script through the
+// instrumented server and asserts the exact counter and histogram state
+// the middleware must have accumulated.
+func TestMiddlewareScriptedSequence(t *testing.T) {
+	client, _, m, _ := newObservedServer(t)
+
+	// Script: 2 submits (201), 1 duplicate submit (409), 1 list (200),
+	// 1 get of a missing offer (404), 1 accept (200), 1 stats (200).
+	if err := client.Submit(testOffer("s1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Submit(testOffer("s2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Submit(testOffer("s1")); err == nil {
+		t.Fatal("duplicate submit succeeded")
+	}
+	if _, err := client.List(""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Get("ghost"); err == nil {
+		t.Fatal("ghost get succeeded")
+	}
+	if err := client.Accept("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Stats(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		route, method, status string
+		want                  uint64
+	}{
+		{"/offers", "POST", "2xx", 2},
+		{"/offers", "POST", "4xx", 1}, // duplicate -> 409
+		{"/offers", "GET", "2xx", 1},
+		{"/offers/{id}", "GET", "4xx", 1}, // ghost -> 404
+		{"/offers/{id}/accept", "POST", "2xx", 1},
+		{"/stats", "GET", "2xx", 1},
+	} {
+		if got := m.Requests.With(tc.route, tc.method, tc.status).Value(); got != tc.want {
+			t.Errorf("requests{route=%q,method=%q,status=%q} = %d, want %d",
+				tc.route, tc.method, tc.status, got, tc.want)
+		}
+	}
+
+	// Latency histograms saw every request on their route, in plausible
+	// buckets: an in-process request cannot take 10 seconds, so the last
+	// bucket boundary must already hold the full count.
+	if got := m.Latency.With("/offers").Snapshot().Count; got != 4 {
+		t.Errorf("latency{/offers} count = %d, want 4", got)
+	}
+	snap := m.Latency.With("/offers/{id}/accept").Snapshot()
+	if snap.Count != 1 {
+		t.Errorf("latency{accept} count = %d, want 1", snap.Count)
+	}
+	var cum uint64
+	for i := range snap.Bounds {
+		cum += snap.Counts[i]
+	}
+	if cum != snap.Count {
+		t.Errorf("accept latency fell in +Inf bucket (counts %v)", snap.Counts)
+	}
+}
+
+// TestStoreGaugesTrackLifecycle renders the registry after lifecycle
+// transitions and checks the per-state gauge samples.
+func TestStoreGaugesTrackLifecycle(t *testing.T) {
+	client, reg, _, clock := newObservedServer(t)
+	for _, id := range []string{"a", "b", "c", "d"} {
+		if err := client.Submit(testOffer(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := client.Accept("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Reject("b"); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(3 * time.Hour)
+	if _, err := client.Expire(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`market_offers{state="offered"} 0`,
+		`market_offers{state="accepted"} 1`,
+		`market_offers{state="rejected"} 1`,
+		`market_offers{state="expired"} 2`,
+		`market_sweeper_expired_total 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+}
+
+func TestRouteLabel(t *testing.T) {
+	for path, want := range map[string]string{
+		"/offers":                         "/offers",
+		"/offers/h1":                      "/offers/{id}",
+		"/offers/family-house-001/peak-1": "/offers/{id}",
+		"/offers/h1/accept":               "/offers/{id}/accept",
+		"/offers/a/b/reject":              "/offers/{id}/reject",
+		"/offers/h1/assign":               "/offers/{id}/assign",
+		"/stats":                          "/stats",
+		"/expire":                         "/expire",
+		"/metrics":                        "/metrics",
+		"/healthz":                        "/healthz",
+		"/readyz":                         "/readyz",
+		"/debug/pprof/heap":               "/debug/pprof",
+		"/favicon.ico":                    "other",
+	} {
+		r := httptest.NewRequest("GET", path, nil)
+		if got := RouteLabel(r); got != want {
+			t.Errorf("RouteLabel(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+// TestRoutesRegistered asserts the Routes inventory and the mux agree:
+// every advertised route must reach a market handler (handlers answer an
+// unknown method with 405), never the mux's own 404.
+func TestRoutesRegistered(t *testing.T) {
+	store := NewStore(func() time.Time { return t0 })
+	srv := NewServer(store)
+	for _, route := range Routes() {
+		path := strings.NewReplacer("{id}", "some-id").Replace(route.Pattern)
+		rr := httptest.NewRecorder()
+		srv.ServeHTTP(rr, httptest.NewRequest("PATCH", path, nil))
+		if rr.Code != http.StatusMethodNotAllowed {
+			t.Errorf("PATCH %s = %d, want 405 (route not wired to a handler?)", path, rr.Code)
+		}
+	}
+}

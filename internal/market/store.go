@@ -8,6 +8,7 @@
 package market
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
@@ -50,6 +51,36 @@ func (s State) String() string {
 	default:
 		return "unknown"
 	}
+}
+
+// MarshalJSON renders the state as its textual name — the same form the
+// HTTP API's ?state= filter and lifecycle responses use, so the wire
+// contract (docs/API.md) never exposes internal enum values.
+func (s State) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON accepts the textual state name, and the numeric form for
+// compatibility with payloads recorded before states marshalled as text.
+func (s *State) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err == nil {
+		st, err := ParseState(name)
+		if err != nil {
+			return err
+		}
+		*s = st
+		return nil
+	}
+	var n int
+	if err := json.Unmarshal(b, &n); err != nil {
+		return fmt.Errorf("%w: state must be a name or number", ErrBadRequest)
+	}
+	if n < int(Offered) || n > int(Expired) {
+		return fmt.Errorf("%w: state %d out of range", ErrBadRequest, n)
+	}
+	*s = State(n)
+	return nil
 }
 
 // ParseState parses the textual state names used by the HTTP API.

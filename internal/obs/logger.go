@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level is a log severity. Records below a logger's minimum level are
+// dropped.
+type Level int32
+
+// The four severities, in increasing order.
+const (
+	// LevelDebug is per-request / per-job detail, off by default.
+	LevelDebug Level = iota
+	// LevelInfo is normal operational messages.
+	LevelInfo
+	// LevelWarn is something surprising the process survived.
+	LevelWarn
+	// LevelError is a failure someone should look at.
+	LevelError
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return fmt.Sprintf("level(%d)", int32(l))
+	}
+}
+
+// ParseLevel parses "debug", "info", "warn" or "error".
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	default:
+		return 0, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+	}
+}
+
+// Logger writes leveled key=value (logfmt-style) lines:
+//
+//	ts=2012-06-04T00:00:00Z level=info msg="seed done" offers=412
+//
+// A nil *Logger is a valid no-op receiver, so instrumented code can log
+// unconditionally. Loggers derived with With share the parent's writer and
+// mutex, so lines from the whole family never interleave.
+type Logger struct {
+	mu    *sync.Mutex
+	w     io.Writer
+	min   Level
+	now   func() time.Time
+	bound string // pre-rendered " k=v" pairs from With
+}
+
+// NewLogger builds a logger writing records at or above min to w.
+func NewLogger(w io.Writer, min Level) *Logger {
+	return &Logger{mu: new(sync.Mutex), w: w, min: min, now: time.Now}
+}
+
+// WithClock returns a copy of the logger that reads timestamps from now —
+// for tests that need deterministic output.
+func (l *Logger) WithClock(now func() time.Time) *Logger {
+	if l == nil {
+		return nil
+	}
+	c := *l
+	c.now = now
+	return &c
+}
+
+// With returns a child logger with the given key/value pairs bound to
+// every record it writes.
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	c := *l
+	c.bound = l.bound + renderPairs(kv)
+	return &c
+}
+
+// Enabled reports whether records at level would be written.
+func (l *Logger) Enabled(level Level) bool { return l != nil && level >= l.min }
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(level Level, msg string, kv []any) {
+	if !l.Enabled(level) {
+		return
+	}
+	var b strings.Builder
+	b.WriteString("ts=")
+	b.WriteString(l.now().UTC().Format(time.RFC3339))
+	b.WriteString(" level=")
+	b.WriteString(level.String())
+	b.WriteString(" msg=")
+	b.WriteString(quoteValue(msg))
+	b.WriteString(l.bound)
+	b.WriteString(renderPairs(kv))
+	b.WriteByte('\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, _ = io.WriteString(l.w, b.String())
+}
+
+// renderPairs renders kv as " k=v k=v"; a dangling key gets the value
+// "!MISSING" rather than being dropped.
+func renderPairs(kv []any) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i := 0; i < len(kv); i += 2 {
+		key := fmt.Sprint(kv[i])
+		val := "!MISSING"
+		if i+1 < len(kv) {
+			val = formatValue(kv[i+1])
+		}
+		b.WriteByte(' ')
+		b.WriteString(key)
+		b.WriteByte('=')
+		b.WriteString(quoteValue(val))
+	}
+	return b.String()
+}
+
+func formatValue(v any) string {
+	switch x := v.(type) {
+	case error:
+		return x.Error()
+	case time.Duration:
+		return x.String()
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// quoteValue quotes a value only when logfmt needs it: spaces, quotes or
+// '=' inside, or an empty string.
+func quoteValue(s string) string {
+	if s == "" || strings.ContainsAny(s, " \t\n\"=") {
+		return fmt.Sprintf("%q", s)
+	}
+	return s
+}

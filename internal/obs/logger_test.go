@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+var logT0 = time.Date(2012, 6, 4, 0, 0, 0, 0, time.UTC)
+
+func newTestLogger(min Level) (*Logger, *strings.Builder) {
+	var buf strings.Builder
+	l := NewLogger(&buf, min).WithClock(func() time.Time { return logT0 })
+	return l, &buf
+}
+
+func TestLoggerFormat(t *testing.T) {
+	l, buf := newTestLogger(LevelInfo)
+	l.Info("listening", "addr", ":7654")
+	want := "ts=2012-06-04T00:00:00Z level=info msg=listening addr=:7654\n"
+	if buf.String() != want {
+		t.Errorf("line = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestLoggerQuoting(t *testing.T) {
+	l, buf := newTestLogger(LevelInfo)
+	l.Info("seed done", "path", "a b.csv", "empty", "", "eq", "k=v")
+	got := buf.String()
+	for _, want := range []string{`msg="seed done"`, `path="a b.csv"`, `empty=""`, `eq="k=v"`} {
+		if !strings.Contains(got, want) {
+			t.Errorf("line %q missing %q", got, want)
+		}
+	}
+}
+
+func TestLoggerLevelFilter(t *testing.T) {
+	l, buf := newTestLogger(LevelWarn)
+	l.Debug("nope")
+	l.Info("nope")
+	l.Warn("yes")
+	l.Error("also")
+	got := buf.String()
+	if strings.Contains(got, "nope") {
+		t.Errorf("below-min records written: %q", got)
+	}
+	if !strings.Contains(got, "level=warn msg=yes") || !strings.Contains(got, "level=error msg=also") {
+		t.Errorf("expected records missing: %q", got)
+	}
+}
+
+func TestLoggerWith(t *testing.T) {
+	l, buf := newTestLogger(LevelInfo)
+	child := l.With("component", "sweeper")
+	child.Info("tick", "expired", 3)
+	if !strings.Contains(buf.String(), "component=sweeper expired=3") {
+		t.Errorf("bound fields missing: %q", buf.String())
+	}
+	buf.Reset()
+	l.Info("plain")
+	if strings.Contains(buf.String(), "component") {
+		t.Errorf("parent logger inherited child fields: %q", buf.String())
+	}
+}
+
+func TestLoggerDanglingKey(t *testing.T) {
+	l, buf := newTestLogger(LevelInfo)
+	l.Info("m", "orphan")
+	if !strings.Contains(buf.String(), "orphan=!MISSING") {
+		t.Errorf("dangling key mishandled: %q", buf.String())
+	}
+}
+
+func TestNilLoggerIsSafe(t *testing.T) {
+	var l *Logger
+	l.Info("into the void", "k", "v")
+	l.With("a", 1).Error("still fine")
+	if l.Enabled(LevelError) {
+		t.Error("nil logger claims to be enabled")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{"debug": LevelDebug, "info": LevelInfo, "warn": LevelWarn, "warning": LevelWarn, "error": LevelError} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted garbage")
+	}
+}

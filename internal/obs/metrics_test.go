@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGaugeConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("c_total", "test counter")
+	g := reg.NewGauge("g", "test gauge")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Inc()
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 0 {
+		t.Errorf("gauge = %d, want 0", g.Value())
+	}
+	g.Set(-3)
+	g.Add(5)
+	if g.Value() != 2 {
+		t.Errorf("gauge = %d, want 2", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 2} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// 0.005 and 0.01 land in le=0.01 (bounds are inclusive), 0.05 in
+	// le=0.1, 0.5 in le=1, 2 in +Inf.
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	if s.Count != 5 {
+		t.Errorf("count = %d, want 5", s.Count)
+	}
+	if math.Abs(s.Sum-2.565) > 1e-9 {
+		t.Errorf("sum = %v, want 2.565", s.Sum)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := newHistogram(nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != 4000 {
+		t.Errorf("count = %d, want 4000", s.Count)
+	}
+	if math.Abs(s.Sum-4.0) > 1e-6 {
+		t.Errorf("sum = %v, want 4.0", s.Sum)
+	}
+}
+
+func TestVecChildrenKeyedByLabels(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.NewCounterVec("req_total", "test", "route", "method")
+	v.With("/offers", "GET").Add(2)
+	v.With("/offers", "POST").Inc()
+	if got := v.With("/offers", "GET").Value(); got != 2 {
+		t.Errorf("GET child = %d, want 2", got)
+	}
+	if got := v.With("/offers", "POST").Value(); got != 1 {
+		t.Errorf("POST child = %d, want 1", got)
+	}
+	// Same values -> same child.
+	if v.With("/offers", "GET") != v.With("/offers", "GET") {
+		t.Error("With not stable for identical labels")
+	}
+}
+
+func TestVecWrongArityPanics(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.NewCounterVec("x_total", "test", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong label arity did not panic")
+		}
+	}()
+	v.With("only-one")
+}
+
+func TestDuplicateFamilyPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("dup_total", "first")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate family name did not panic")
+		}
+	}()
+	reg.NewGauge("dup_total", "second")
+}

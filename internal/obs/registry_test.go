@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry exercising every family kind with
+// deterministic values.
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+	c := reg.NewCounter("jobs_total", "Jobs processed.")
+	c.Add(42)
+	cv := reg.NewCounterVec("requests_total", "Requests by route and status.", "route", "status")
+	cv.With("/offers", "2xx").Add(7)
+	cv.With("/offers", "4xx").Inc()
+	cv.With("/stats", "2xx").Add(3)
+	g := reg.NewGauge("workers_busy", "Busy workers.")
+	g.Set(3)
+	reg.NewGaugeFunc("flexible_energy_kwh", "Flexible energy on offer.", func() float64 { return 12.5 })
+	reg.NewSampledGauge("offers_current", "Offers by lifecycle state.", func() []Sample {
+		return []Sample{
+			{Labels: []Label{{Name: "state", Value: "offered"}}, Value: 5},
+			{Labels: []Label{{Name: "state", Value: "accepted"}}, Value: 2},
+		}
+	})
+	h := reg.NewHistogram("extract_seconds", "Extraction durations.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.02, 0.02, 0.5, 3} {
+		h.Observe(v)
+	}
+	hv := reg.NewHistogramVec("request_seconds", "Request latency by route.", []float64{0.001, 0.01}, "route")
+	hv.With("/offers").Observe(0.0005)
+	hv.With("/offers").Observe(0.005)
+	hv.With("/stats").Observe(0.02)
+	return reg
+}
+
+// TestWritePrometheusGolden pins the full text exposition — HELP/TYPE
+// lines, label rendering, cumulative histogram buckets — against
+// testdata/metrics.golden. Refresh with `go test ./internal/obs -update`.
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("prometheus exposition drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	reg := goldenRegistry()
+	if err := reg.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two renders of the same registry differ")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	var jobs float64
+	if err := json.Unmarshal(out["jobs_total"], &jobs); err != nil || jobs != 42 {
+		t.Errorf("jobs_total = %s (%v)", out["jobs_total"], err)
+	}
+	var hist struct {
+		Count   uint64            `json:"count"`
+		Sum     float64           `json:"sum"`
+		Buckets map[string]uint64 `json:"buckets"`
+	}
+	if err := json.Unmarshal(out["extract_seconds"], &hist); err != nil {
+		t.Fatalf("extract_seconds: %v", err)
+	}
+	if hist.Count != 5 || hist.Buckets["+Inf"] != 5 || hist.Buckets["0.1"] != 3 {
+		t.Errorf("histogram JSON = %+v", hist)
+	}
+	var states []struct {
+		Labels map[string]string `json:"labels"`
+		Value  float64           `json:"value"`
+	}
+	if err := json.Unmarshal(out["offers_current"], &states); err != nil || len(states) != 2 {
+		t.Fatalf("offers_current = %s (%v)", out["offers_current"], err)
+	}
+}
+
+func TestRegistryHandler(t *testing.T) {
+	h := goldenRegistry().Handler()
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 || !strings.Contains(rr.Body.String(), "# TYPE jobs_total counter") {
+		t.Errorf("text scrape: code=%d body=%q", rr.Code, rr.Body.String())
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	if rr.Code != 200 || rr.Header().Get("Content-Type") != "application/json" {
+		t.Errorf("json scrape: code=%d ct=%q", rr.Code, rr.Header().Get("Content-Type"))
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("POST", "/metrics", nil))
+	if rr.Code != 405 {
+		t.Errorf("POST /metrics = %d, want 405", rr.Code)
+	}
+}

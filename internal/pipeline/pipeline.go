@@ -111,6 +111,10 @@ type Config struct {
 	// IDs with the job ID. Leave false whenever outputs from several
 	// households flow into one store.
 	KeepOfferIDs bool
+	// Telemetry, when set, feeds the long-lived pipeline metrics (jobs
+	// started/succeeded/failed, per-stage durations, worker saturation)
+	// registered with NewTelemetry. Nil disables instrumentation.
+	Telemetry *Telemetry
 }
 
 func (c Config) workers() int {
@@ -140,6 +144,7 @@ func Run(ctx context.Context, cfg Config, jobs <-chan Job, sink Sink) (Stats, er
 		return Stats{}, fmt.Errorf("%w: nil jobs channel", ErrConfig)
 	}
 	workers := cfg.workers()
+	cfg.Telemetry.setWorkers(workers)
 	ctx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
 
@@ -213,11 +218,14 @@ func RunJobs(ctx context.Context, cfg Config, jobs []Job, sink Sink) (Stats, err
 // runJob executes one job on the calling worker: extract, qualify offer
 // IDs, account, and stream the output into the sink.
 func runJob(ctx context.Context, cfg Config, job Job, sink Sink, acc *accumulator, cancel context.CancelCauseFunc) {
+	cfg.Telemetry.jobStarted()
 	begin := time.Now()
 	res, err := extractOne(cfg, job)
 	elapsed := time.Since(begin)
 	if err != nil {
-		acc.fail(JobError{JobID: job.ID, Err: err}, elapsed, errors.Is(err, ErrWorkerPanic))
+		panicked := errors.Is(err, ErrWorkerPanic)
+		cfg.Telemetry.jobDone(0, elapsed, err, panicked)
+		acc.fail(JobError{JobID: job.ID, Err: err}, elapsed, panicked)
 		return
 	}
 	if !cfg.KeepOfferIDs && job.ID != "" {
@@ -225,8 +233,12 @@ func runJob(ctx context.Context, cfg Config, job Job, sink Sink, acc *accumulato
 			f.ID = job.ID + "/" + f.ID
 		}
 	}
+	cfg.Telemetry.jobDone(len(res.Offers), elapsed, nil, false)
 	acc.done(len(res.Offers), elapsed)
-	if err := sink.Put(ctx, Output{JobID: job.ID, Result: res, Elapsed: elapsed}); err != nil {
+	sinkBegin := time.Now()
+	err = sink.Put(ctx, Output{JobID: job.ID, Result: res, Elapsed: elapsed})
+	cfg.Telemetry.sinkPut(time.Since(sinkBegin))
+	if err != nil {
 		cancel(fmt.Errorf("pipeline: sink: %w", err))
 	}
 }

@@ -1,0 +1,91 @@
+package pipeline
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Telemetry holds the pipeline's long-lived instruments. Unlike Stats —
+// which summarises one batch after the fact — Telemetry is cumulative
+// across every batch run with the same Config.Telemetry, and is readable
+// mid-run from a /metrics scrape: jobs in flight show up in WorkersBusy
+// and the per-stage histograms fill as workers finish.
+//
+// All methods on *Telemetry are nil-safe, so an uninstrumented pipeline
+// (Config.Telemetry == nil) pays only a nil check per job.
+type Telemetry struct {
+	// JobsStarted counts jobs a worker picked up.
+	JobsStarted *obs.Counter
+	// JobsSucceeded counts jobs whose extraction finished.
+	JobsSucceeded *obs.Counter
+	// JobsFailed counts failed jobs, recovered panics included.
+	JobsFailed *obs.Counter
+	// Panics counts the subset of failures that were worker panics.
+	Panics *obs.Counter
+	// OffersEmitted counts flex-offers streamed into sinks.
+	OffersEmitted *obs.Counter
+	// ExtractSeconds observes the extraction stage's per-job duration.
+	ExtractSeconds *obs.Histogram
+	// SinkSeconds observes the sink stage's per-output Put duration.
+	SinkSeconds *obs.Histogram
+	// WorkersBusy gauges workers currently executing a job — sampled
+	// against Workers it reads as pool saturation.
+	WorkersBusy *obs.Gauge
+	// Workers gauges the resolved pool size of the most recent Run.
+	Workers *obs.Gauge
+}
+
+// NewTelemetry registers the pipeline instruments on reg under pipeline_*.
+func NewTelemetry(reg *obs.Registry) *Telemetry {
+	return &Telemetry{
+		JobsStarted:    reg.NewCounter("pipeline_jobs_started_total", "Extraction jobs picked up by a worker."),
+		JobsSucceeded:  reg.NewCounter("pipeline_jobs_succeeded_total", "Extraction jobs that finished successfully."),
+		JobsFailed:     reg.NewCounter("pipeline_jobs_failed_total", "Extraction jobs that failed (recovered panics included)."),
+		Panics:         reg.NewCounter("pipeline_worker_panics_total", "Worker panics recovered into job failures."),
+		OffersEmitted:  reg.NewCounter("pipeline_offers_emitted_total", "Flex-offers streamed into sinks."),
+		ExtractSeconds: reg.NewHistogram("pipeline_extract_seconds", "Per-job extraction duration in seconds.", nil),
+		SinkSeconds:    reg.NewHistogram("pipeline_sink_seconds", "Per-output sink Put duration in seconds.", nil),
+		WorkersBusy:    reg.NewGauge("pipeline_workers_busy", "Workers currently executing a job."),
+		Workers:        reg.NewGauge("pipeline_workers", "Resolved worker-pool size of the most recent batch."),
+	}
+}
+
+func (t *Telemetry) jobStarted() {
+	if t == nil {
+		return
+	}
+	t.JobsStarted.Inc()
+	t.WorkersBusy.Inc()
+}
+
+func (t *Telemetry) jobDone(offers int, elapsed time.Duration, err error, panicked bool) {
+	if t == nil {
+		return
+	}
+	t.WorkersBusy.Dec()
+	t.ExtractSeconds.Observe(elapsed.Seconds())
+	if err != nil {
+		t.JobsFailed.Inc()
+		if panicked {
+			t.Panics.Inc()
+		}
+		return
+	}
+	t.JobsSucceeded.Inc()
+	t.OffersEmitted.Add(uint64(offers))
+}
+
+func (t *Telemetry) sinkPut(elapsed time.Duration) {
+	if t == nil {
+		return
+	}
+	t.SinkSeconds.Observe(elapsed.Seconds())
+}
+
+func (t *Telemetry) setWorkers(n int) {
+	if t == nil {
+		return
+	}
+	t.Workers.Set(int64(n))
+}

@@ -1,0 +1,105 @@
+package pipeline
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/timeseries"
+)
+
+// TestTelemetryMatchesStats runs a batch with one deliberately failing job
+// and checks the cumulative telemetry agrees with the batch Stats.
+func TestTelemetryMatchesStats(t *testing.T) {
+	reg := obs.NewRegistry()
+	tel := NewTelemetry(reg)
+
+	jobs := []Job{
+		{ID: "a", Series: telemetrySeries(t)},
+		{ID: "b", Series: telemetrySeries(t)},
+		{ID: "bad", Series: nil}, // nil series panics inside the extractor
+		{ID: "c", Series: telemetrySeries(t)},
+	}
+	cfg := Config{
+		Workers:   2,
+		Telemetry: tel,
+		NewExtractor: func(Job) core.Extractor {
+			return &core.BasicExtractor{Params: core.DefaultParams()}
+		},
+	}
+	sink := &CollectSink{}
+	stats, err := RunJobs(context.Background(), cfg, jobs, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := tel.JobsStarted.Value(); got != 4 {
+		t.Errorf("jobs started = %d, want 4", got)
+	}
+	if got := tel.JobsSucceeded.Value(); got != uint64(stats.SeriesProcessed) {
+		t.Errorf("jobs succeeded = %d, stats say %d", got, stats.SeriesProcessed)
+	}
+	if got := tel.JobsFailed.Value(); got != uint64(stats.Errors) {
+		t.Errorf("jobs failed = %d, stats say %d", got, stats.Errors)
+	}
+	if got := tel.Panics.Value(); got != uint64(stats.Panics) {
+		t.Errorf("panics = %d, stats say %d", got, stats.Panics)
+	}
+	if got := tel.OffersEmitted.Value(); got != uint64(stats.OffersEmitted) {
+		t.Errorf("offers emitted = %d, stats say %d", got, stats.OffersEmitted)
+	}
+	if got := tel.ExtractSeconds.Snapshot().Count; got != 4 {
+		t.Errorf("extract observations = %d, want 4", got)
+	}
+	// The sink only sees successful jobs.
+	if got := tel.SinkSeconds.Snapshot().Count; got != uint64(stats.SeriesProcessed) {
+		t.Errorf("sink observations = %d, want %d", got, stats.SeriesProcessed)
+	}
+	if got := tel.WorkersBusy.Value(); got != 0 {
+		t.Errorf("workers busy after batch = %d, want 0", got)
+	}
+	if got := tel.Workers.Value(); got != 2 {
+		t.Errorf("workers gauge = %d, want 2", got)
+	}
+}
+
+// TestTelemetryAccumulatesAcrossBatches checks telemetry is cumulative
+// (unlike per-batch Stats).
+func TestTelemetryAccumulatesAcrossBatches(t *testing.T) {
+	reg := obs.NewRegistry()
+	tel := NewTelemetry(reg)
+	cfg := Config{
+		Workers:   1,
+		Telemetry: tel,
+		NewExtractor: func(Job) core.Extractor {
+			return &core.BasicExtractor{Params: core.DefaultParams()}
+		},
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := RunJobs(context.Background(), cfg, []Job{{ID: "x", Series: telemetrySeries(t)}}, Discard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tel.JobsSucceeded.Value(); got != 3 {
+		t.Errorf("cumulative jobs succeeded = %d, want 3", got)
+	}
+}
+
+func TestNilTelemetryIsSafe(t *testing.T) {
+	var tel *Telemetry
+	tel.jobStarted()
+	tel.jobDone(1, time.Millisecond, nil, false)
+	tel.sinkPut(time.Millisecond)
+	tel.setWorkers(4)
+}
+
+func telemetrySeries(t *testing.T) *timeseries.Series {
+	t.Helper()
+	vals := make([]float64, 96*2)
+	for i := range vals {
+		vals[i] = 0.5
+	}
+	return timeseries.MustNew(time.Date(2012, 6, 4, 0, 0, 0, 0, time.UTC), 15*time.Minute, vals)
+}

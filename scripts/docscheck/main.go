@@ -1,0 +1,128 @@
+// Command docscheck fails when an exported identifier in the given
+// packages lacks a doc comment. It backs `make docs-check`, which gates
+// the packages that define this repository's public contracts
+// (internal/obs, internal/market): an undocumented exported name there is
+// an undocumented promise.
+//
+// Usage:
+//
+//	go run ./scripts/docscheck ./internal/obs ./internal/market
+//
+// A GenDecl comment covers every spec it groups (the usual const/var
+// block style); test files are ignored.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: docscheck <package dir> ...")
+		os.Exit(2)
+	}
+	var problems []string
+	for _, dir := range os.Args[1:] {
+		missing, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+			os.Exit(2)
+		}
+		problems = append(problems, missing...)
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		fmt.Fprintf(os.Stderr, "docscheck: %d exported identifier(s) without doc comments\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// checkDir parses every non-test Go file in dir and returns one
+// "file:line: name" entry per undocumented exported identifier.
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s:%d: exported %s %s has no doc comment",
+			filepath.ToSlash(p.Filename), p.Line, what, name))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				checkDecl(decl, report)
+			}
+		}
+	}
+	return missing, nil
+}
+
+func checkDecl(decl ast.Decl, report func(token.Pos, string, string)) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !exportedReceiver(d) {
+			return
+		}
+		if d.Doc == nil {
+			what := "function"
+			if d.Recv != nil {
+				what = "method"
+			}
+			report(d.Name.Pos(), what, d.Name.Name)
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+					report(s.Name.Pos(), "type", s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				for _, name := range s.Names {
+					if name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						report(name.Pos(), d.Tok.String(), name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// exportedReceiver reports whether a method's receiver type is exported
+// (methods on unexported types are not part of the public surface).
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true // plain function
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch rt := t.(type) {
+		case *ast.StarExpr:
+			t = rt.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = rt.X
+		case *ast.IndexListExpr:
+			t = rt.X
+		case *ast.Ident:
+			return rt.IsExported()
+		default:
+			return true
+		}
+	}
+}

@@ -1,14 +1,25 @@
 #!/bin/sh
-# verify.sh — the full pre-merge check: vet, build, test, then the race
-# detector over the packages with real concurrency (the pipeline worker
-# pool and the market store). Run from the repository root, or via
-# `make verify`.
+# verify.sh — the full pre-merge check: formatting, vet, doc coverage of
+# the contract packages, build, test, then the race detector over the
+# packages with real concurrency (the pipeline worker pool and the market
+# store). Run from the repository root, or via `make verify`.
 set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "==> gofmt -l ."
+fmt="$(gofmt -l .)"
+if [ -n "$fmt" ]; then
+    echo "gofmt needed:"
+    echo "$fmt"
+    exit 1
+fi
+
 echo "==> go vet ./..."
 go vet ./...
+
+echo "==> docscheck (internal/obs internal/market)"
+go run ./scripts/docscheck ./internal/obs ./internal/market
 
 echo "==> go build ./..."
 go build ./...
