@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check docs-check bench fuzz verify
+.PHONY: build test race vet fmt-check docs-check lint bench fuzz fuzz-smoke verify
 
 build:
 	$(GO) build ./...
@@ -25,9 +25,15 @@ fmt-check:
 		echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 # Fail when an exported identifier in the contract packages lacks a doc
-# comment (the HTTP/metrics surface must stay documented).
+# comment. The check is flexvet's doccheck analyzer (the former standalone
+# scripts/docscheck), scoped by the analyzer itself to the contract packages.
 docs-check:
-	$(GO) run ./scripts/docscheck ./internal/obs ./internal/market
+	$(GO) run ./scripts/flexvet -enable doccheck ./...
+
+# Run the full flexvet suite — the domain invariants go vet cannot know
+# about (docs/LINTING.md describes every analyzer).
+lint:
+	$(GO) run ./scripts/flexvet ./...
 
 bench:
 	$(GO) test -bench . -benchmem -run XXX .
@@ -36,6 +42,13 @@ fuzz:
 	$(GO) test -run XXX -fuzz FuzzParamsValidate -fuzztime 30s ./internal/core
 	$(GO) test -run XXX -fuzz FuzzOfferValidate -fuzztime 30s ./internal/flexoffer
 	$(GO) test -run XXX -fuzz FuzzReadJSON -fuzztime 30s ./internal/flexoffer
+
+# Short fuzz pass for CI: 10 seconds per target, enough to catch a freshly
+# introduced panic without stalling the workflow.
+fuzz-smoke:
+	$(GO) test -run XXX -fuzz FuzzParamsValidate -fuzztime 10s ./internal/core
+	$(GO) test -run XXX -fuzz FuzzOfferValidate -fuzztime 10s ./internal/flexoffer
+	$(GO) test -run XXX -fuzz FuzzReadJSON -fuzztime 10s ./internal/flexoffer
 
 verify:
 	sh scripts/verify.sh

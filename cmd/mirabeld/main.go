@@ -125,7 +125,7 @@ func run(cfg config, logger *obs.Logger) error {
 	seedc := make(chan error, 1)
 	go func() {
 		if cfg.seedDir != "" {
-			if err := seedStore(ctx, store, telemetry, logger, cfg.seedDir, cfg.seedApproach, cfg.seedFlexPct, cfg.seedJobs); err != nil {
+			if err := seedStore(ctx, store, telemetry, logger, clock, cfg.seedDir, cfg.seedApproach, cfg.seedFlexPct, cfg.seedJobs); err != nil {
 				seedc <- fmt.Errorf("seed: %w", err)
 				return
 			}
@@ -188,8 +188,10 @@ func sweeper(ctx context.Context, store *market.Store, interval time.Duration, m
 
 // seedStore bulk-extracts every *.csv under dir through the concurrent
 // pipeline and submits the resulting offers straight into the store.
-// telemetry and logger may be nil.
-func seedStore(ctx context.Context, store *market.Store, telemetry *pipeline.Telemetry, logger *obs.Logger, dir, approach string, flexPct float64, jobs int) error {
+// telemetry and logger may be nil; clock is the store's logical clock (nil
+// for live), injected into the pipeline so -clock replays report
+// deterministic batch timings.
+func seedStore(ctx context.Context, store *market.Store, telemetry *pipeline.Telemetry, logger *obs.Logger, clock func() time.Time, dir, approach string, flexPct float64, jobs int) error {
 	all, err := filepath.Glob(filepath.Join(dir, "*.csv"))
 	if err != nil {
 		return err
@@ -247,6 +249,7 @@ func seedStore(ctx context.Context, store *market.Store, telemetry *pipeline.Tel
 	cfg := pipeline.Config{
 		Workers:   jobs,
 		Telemetry: telemetry,
+		Clock:     clock,
 		NewExtractor: func(j pipeline.Job) core.Extractor {
 			params := core.DefaultParams()
 			params.FlexPercentage = flexPct

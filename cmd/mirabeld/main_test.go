@@ -44,7 +44,7 @@ func TestSeedStoreBulkSubmits(t *testing.T) {
 	// Replay clock before the historical deadlines, as -clock would set.
 	clock := seedStart.Add(-48 * time.Hour)
 	store := market.NewStore(func() time.Time { return clock })
-	if err := seedStore(context.Background(), store, nil, nil, dir, "peak", 0.05, 4); err != nil {
+	if err := seedStore(context.Background(), store, nil, nil, nil, dir, "peak", 0.05, 4); err != nil {
 		t.Fatal(err)
 	}
 	counts := store.Stats()
@@ -73,7 +73,7 @@ func TestSeedStoreLiveClockRejectsHistoricalOffers(t *testing.T) {
 	dir := t.TempDir()
 	writeHouseCSV(t, filepath.Join(dir, "old.csv"), 2)
 	store := market.NewStore(nil) // live clock: 2012 deadlines lapsed long ago
-	err := seedStore(context.Background(), store, nil, nil, dir, "peak", 0.05, 2)
+	err := seedStore(context.Background(), store, nil, nil, nil, dir, "peak", 0.05, 2)
 	if err == nil {
 		t.Fatal("historical offers accepted under a live clock")
 	}
@@ -83,12 +83,12 @@ func TestSeedStoreLiveClockRejectsHistoricalOffers(t *testing.T) {
 }
 
 func TestSeedStoreErrors(t *testing.T) {
-	if err := seedStore(context.Background(), market.NewStore(nil), nil, nil, t.TempDir(), "peak", 0.05, 1); err == nil {
+	if err := seedStore(context.Background(), market.NewStore(nil), nil, nil, nil, t.TempDir(), "peak", 0.05, 1); err == nil {
 		t.Fatal("empty seed dir accepted")
 	}
 	dir := t.TempDir()
 	writeHouseCSV(t, filepath.Join(dir, "h.csv"), 2)
-	if err := seedStore(context.Background(), market.NewStore(nil), nil, nil, dir, "frequency", 0.05, 1); err == nil {
+	if err := seedStore(context.Background(), market.NewStore(nil), nil, nil, nil, dir, "frequency", 0.05, 1); err == nil {
 		t.Fatal("unsupported seed approach accepted")
 	}
 }

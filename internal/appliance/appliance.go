@@ -12,6 +12,8 @@ import (
 	"math"
 	"math/rand"
 	"time"
+
+	"repro/internal/num"
 )
 
 // Category groups appliances by their role in the household.
@@ -128,8 +130,7 @@ func (a *Appliance) Validate() error {
 		envMax += b.Max
 	}
 	// The run-energy range must be achievable within the envelope.
-	const eps = 1e-9
-	if a.MinRunEnergy < envMin-eps || a.MaxRunEnergy > envMax+eps {
+	if a.MinRunEnergy < envMin-num.DefaultTol || a.MaxRunEnergy > envMax+num.DefaultTol {
 		return fmt.Errorf("%w: %s run range [%v, %v] outside envelope range [%v, %v]",
 			ErrInvalid, a.Name, a.MinRunEnergy, a.MaxRunEnergy, envMin, envMax)
 	}

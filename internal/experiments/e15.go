@@ -82,13 +82,15 @@ func runE15Sized(w io.Writer, days int) error {
 			}
 		}
 	}
-	consumers := flexoffer.Set{
-		{
-			ID: "factory-shift", EarliestStart: day0.Add(6 * time.Hour),
-			LatestStart: day0.Add(18 * time.Hour),
-			Profile:     flexoffer.UniformProfile(16, 15*time.Minute, 2, 4),
-		},
+	factory := &flexoffer.FlexOffer{
+		ID: "factory-shift", EarliestStart: day0.Add(6 * time.Hour),
+		LatestStart: day0.Add(18 * time.Hour),
+		Profile:     flexoffer.UniformProfile(16, 15*time.Minute, 2, 4),
 	}
+	if err := factory.Validate(); err != nil {
+		return err
+	}
+	consumers := flexoffer.Set{factory}
 	schedule, err := (&sched.Scheduler{}).Schedule(consumers, demandHorizon, supply)
 	if err != nil {
 		return err

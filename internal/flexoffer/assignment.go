@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/num"
 	"repro/internal/timeseries"
 )
 
@@ -31,18 +32,17 @@ func (f *FlexOffer) Assign(start time.Time, energies []float64) (*Assignment, er
 		return nil, fmt.Errorf("%w: %d energies for %d slices (offer %s)",
 			ErrInfeasible, len(energies), len(f.Profile), f.ID)
 	}
-	const eps = 1e-9
 	var total float64
 	for i, e := range energies {
 		s := f.Profile[i]
-		if e < s.MinEnergy-eps || e > s.MaxEnergy+eps {
+		if !num.Within(e, s.MinEnergy, s.MaxEnergy, num.DefaultTol) {
 			return nil, fmt.Errorf("%w: slice %d energy %.4f outside [%.4f, %.4f] (offer %s)",
 				ErrInfeasible, i, e, s.MinEnergy, s.MaxEnergy, f.ID)
 		}
 		total += e
 	}
 	if c := f.TotalConstraint; c != nil {
-		if total < c.Min-eps || total > c.Max+eps {
+		if !num.Within(total, c.Min, c.Max, num.DefaultTol) {
 			return nil, fmt.Errorf("%w: total energy %.4f outside constraint [%.4f, %.4f] (offer %s)",
 				ErrInfeasible, total, c.Min, c.Max, f.ID)
 		}

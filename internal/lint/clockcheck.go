@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ClockCheck flags reads of the wall clock — time.Now, time.Since,
+// time.Until — in the replayable paths: the extraction pipeline, the core
+// extractors, and mirabeld's seeding. Those paths must draw time from the
+// injected clock (pipeline.Config.Clock, the market.NewStore clock), or
+// `mirabeld -clock` replays of historical datasets silently diverge from
+// live runs.
+var ClockCheck = &Analyzer{
+	Name: "clockcheck",
+	Doc:  "replayable paths must use the injected clock, not time.Now/Since/Until",
+	Paths: []string{
+		"internal/pipeline",
+		"internal/core",
+		"cmd/mirabeld",
+	},
+	Run: runClockCheck,
+}
+
+// wallClockFuncs are the time-package functions that read the wall clock.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runClockCheck(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !wallClockFuncs[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "time.%s in a replayable path; draw time from the injected clock (pipeline.Config.Clock / market.NewStore clock) so -clock replays stay deterministic", fn.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// DocCheck fails on exported identifiers without doc comments in the
+// packages that define this repository's public contracts: the
+// observability surface (internal/obs), the market store and HTTP API
+// (internal/market), the batch pipeline (internal/pipeline) and the
+// flex-offer model itself (internal/flexoffer). An undocumented exported
+// name there is an undocumented promise. It subsumes the former standalone
+// scripts/docscheck command.
+var DocCheck = &Analyzer{
+	Name: "doccheck",
+	Doc:  "exported identifiers in the contract packages must have doc comments",
+	Paths: []string{
+		"internal/obs",
+		"internal/market",
+		"internal/pipeline",
+		"internal/flexoffer",
+	},
+	Run: runDocCheck,
+}
+
+func runDocCheck(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			checkDeclDocs(pass, decl)
+		}
+	}
+}
+
+// checkDeclDocs reports the undocumented exported identifiers of one
+// declaration. A GenDecl comment covers every spec it groups (the usual
+// const/var block style).
+func checkDeclDocs(pass *Pass, decl ast.Decl) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !exportedReceiver(d) {
+			return
+		}
+		if d.Doc == nil {
+			what := "function"
+			if d.Recv != nil {
+				what = "method"
+			}
+			pass.Reportf(d.Name.Pos(), "exported %s %s has no doc comment", what, d.Name.Name)
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+					pass.Reportf(s.Name.Pos(), "exported type %s has no doc comment", s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				for _, name := range s.Names {
+					if name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						pass.Reportf(name.Pos(), "exported %s %s has no doc comment", d.Tok.String(), name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// exportedReceiver reports whether a method's receiver type is exported
+// (methods on unexported types are not part of the public surface).
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true // plain function
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch rt := t.(type) {
+		case *ast.StarExpr:
+			t = rt.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = rt.X
+		case *ast.IndexListExpr:
+			t = rt.X
+		case *ast.Ident:
+			return rt.IsExported()
+		default:
+			return true
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags direct == and != comparisons of floating-point values in
+// the numeric packages. Energy arithmetic accumulates rounding error
+// (subtractProportional, aggregation sums), so exact equality is almost
+// always a latent bug; the num package (internal/num) provides the
+// tolerance helpers, and math.IsNaN is the way to test for NaN.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "no == / != on float64 energy values; use the internal/num tolerance helpers",
+	Paths: []string{
+		"internal/core",
+		"internal/flexoffer",
+		"internal/agg",
+		"internal/eval",
+		"internal/timeseries",
+		"internal/num",
+	},
+	Run: runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass, be.X) && !isFloat(pass, be.Y) {
+				return true
+			}
+			// A fully constant comparison is folded at compile time and
+			// cannot mis-compare runtime energies.
+			if tv, ok := pass.Pkg.Info.Types[be]; ok && tv.Value != nil {
+				return true
+			}
+			pass.Reportf(be.OpPos, "%s on floating-point values; use num.Eq / num.EqTol (internal/num) or math.IsNaN instead of exact comparison", be.Op)
+			return true
+		})
+	}
+}
+
+// isFloat reports whether the expression has floating-point type.
+func isFloat(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LabelCard enforces the bounded-label-cardinality rule on the obs metric
+// vecs: every value passed to CounterVec.With / HistogramVec.With must be
+// provably bounded, or the metric family grows one child per distinct value
+// and an attacker-controlled string (a request path, a method name) becomes
+// an unbounded memory leak on /metrics.
+//
+// A value counts as bounded when it is a constant, a call to a function
+// whose every return is a constant (statusClass, State.String), or a local
+// variable assigned exactly once from a bounded expression. Anything else —
+// parameters, struct fields, arbitrary expressions — must either be routed
+// through such a normalising function or carry a //lint:ignore with the
+// reason the set is bounded by contract.
+var LabelCard = &Analyzer{
+	Name: "labelcard",
+	Doc:  "obs vec label values must come from a bounded set",
+	Run:  runLabelCard,
+}
+
+func runLabelCard(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				vec := vecWithCall(pass, call)
+				if vec == "" {
+					return true
+				}
+				for _, arg := range call.Args {
+					if !bounded(pass, fd.Body, arg, 0, make(map[types.Object]bool)) {
+						pass.Reportf(arg.Pos(), "unbounded label value passed to obs %s.With: route it through a normalising function with constant returns, or //lint:ignore labelcard with the reason the set is bounded (see docs/LINTING.md)", vec)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// vecWithCall reports the vec type name ("CounterVec"/"HistogramVec") when
+// call is a With call on an obs metric vec, else "".
+func vecWithCall(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "With" {
+		return ""
+	}
+	fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	named, ok := namedType(sig.Recv().Type())
+	if !ok {
+		return ""
+	}
+	for _, name := range []string{"CounterVec", "HistogramVec"} {
+		if namedMatches(named, "internal/obs", name) {
+			return name
+		}
+	}
+	return ""
+}
+
+// maxBoundDepth caps the recursion through helper functions and local
+// assignments when proving a label value bounded.
+const maxBoundDepth = 4
+
+// bounded reports whether the expression provably draws from a bounded set
+// of values. scope is the function body the expression appears in (used to
+// trace local variables).
+func bounded(pass *Pass, scope *ast.BlockStmt, e ast.Expr, depth int, visiting map[types.Object]bool) bool {
+	if depth > maxBoundDepth {
+		return false
+	}
+	e = ast.Unparen(e)
+	if tv, ok := pass.Pkg.Info.Types[e]; ok && tv.Value != nil {
+		return true // constant
+	}
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		return boundedCall(pass, e, depth, visiting)
+	case *ast.Ident:
+		obj := pass.Pkg.Info.Uses[e]
+		if obj == nil || visiting[obj] {
+			return false
+		}
+		if _, ok := obj.(*types.Var); !ok {
+			return false
+		}
+		visiting[obj] = true
+		defer delete(visiting, obj)
+		return boundedVar(pass, scope, obj, depth, visiting)
+	}
+	return false
+}
+
+// boundedCall reports whether a call's callee returns only constants (in
+// every return statement), looked up from the loaded source.
+func boundedCall(pass *Pass, call *ast.CallExpr, depth int, visiting map[types.Object]bool) bool {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	fn, ok := pass.Pkg.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	key := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		named, ok := namedType(sig.Recv().Type())
+		if !ok {
+			return false
+		}
+		key = named.Obj().Name() + "." + key
+	}
+	declPkg, decl := funcFor(pass.All, fn.Pkg().Path(), key)
+	if decl == nil || decl.Body == nil {
+		return false
+	}
+	declPass := &Pass{Analyzer: pass.Analyzer, Pkg: declPkg, All: pass.All}
+	sawReturn := false
+	allBounded := true
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested function returns are not this function's
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		sawReturn = true
+		if len(ret.Results) == 0 {
+			allBounded = false
+			return true
+		}
+		for _, res := range ret.Results {
+			if !bounded(declPass, decl.Body, res, depth+1, visiting) {
+				allBounded = false
+			}
+		}
+		return true
+	})
+	return sawReturn && allBounded
+}
+
+// boundedVar reports whether a local variable is assigned exactly once in
+// scope, from a bounded expression.
+func boundedVar(pass *Pass, scope *ast.BlockStmt, obj types.Object, depth int, visiting map[types.Object]bool) bool {
+	var sources []ast.Expr
+	ast.Inspect(scope, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				for _, lhs := range n.Lhs {
+					if identIs(pass, lhs, obj) {
+						sources = append(sources, nil) // multi-value: opaque
+					}
+				}
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if identIs(pass, lhs, obj) {
+					sources = append(sources, n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if pass.Pkg.Info.Defs[name] == obj {
+					if i < len(n.Values) {
+						sources = append(sources, n.Values[i])
+					} else {
+						sources = append(sources, nil)
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if identIs(pass, n.Key, obj) || identIs(pass, n.Value, obj) {
+				sources = append(sources, nil)
+			}
+		}
+		return true
+	})
+	if len(sources) != 1 || sources[0] == nil {
+		return false
+	}
+	return bounded(pass, scope, sources[0], depth+1, visiting)
+}
+
+// identIs reports whether e is an identifier defining or using obj.
+func identIs(pass *Pass, e ast.Expr, obj types.Object) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return pass.Pkg.Info.Defs[id] == obj || pass.Pkg.Info.Uses[id] == obj
+}

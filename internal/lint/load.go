@@ -1,0 +1,238 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package.
+type Package struct {
+	// Dir is the package directory on disk.
+	Dir string
+	// Path is the package's import path within the module.
+	Path string
+	// Fset positions every file of every package loaded by one Loader.
+	Fset *token.FileSet
+	// Files are the parsed non-test Go files, ordered by file name.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the type-checker's expression, definition and use maps.
+	Info *types.Info
+}
+
+// Loader parses and type-checks packages of the enclosing module. One
+// Loader shares a FileSet and a source importer across every Load call, so
+// the (expensive) from-source type-check of imported packages happens once.
+type Loader struct {
+	fset *token.FileSet
+	imp  types.Importer
+	// Root is the module root directory (where go.mod lives).
+	Root string
+	// Module is the module path declared in go.mod.
+	Module string
+}
+
+// NewLoader builds a loader for the module enclosing dir, walking upwards
+// until it finds go.mod.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	mod, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:   fset,
+		imp:    importer.ForCompiler(fset, "source", nil),
+		Root:   root,
+		Module: mod,
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(file string) (string, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", file)
+}
+
+// Load expands the patterns ("dir", "dir/...", "./...") into package
+// directories, then parses and type-checks each. Directories named testdata
+// or vendor and hidden directories are skipped by wildcard expansion but
+// may be named explicitly (the analyzer fixtures live under testdata).
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs, err := l.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// expand resolves patterns to a sorted list of package directories.
+func (l *Loader) expand(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		dir = filepath.Clean(dir)
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		if base, ok := strings.CutSuffix(pat, "..."); ok {
+			base = filepath.Clean(strings.TrimSuffix(base, "/"))
+			if base == "" || base == "." {
+				base = "."
+			}
+			err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != base && (name == "testdata" || name == "vendor" ||
+					strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				if hasGoFiles(path) {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if !hasGoFiles(pat) {
+			return nil, fmt.Errorf("lint: no Go files in %s", pat)
+		}
+		add(pat)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one non-test Go
+// file.
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if goSource(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// goSource reports whether the directory entry is a non-test Go file.
+func goSource(e os.DirEntry) bool {
+	name := e.Name()
+	return !e.IsDir() && strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".")
+}
+
+// loadDir parses and type-checks the package in one directory. Directories
+// without Go files yield nil.
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if !goSource(e) {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	path, err := l.importPath(dir)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return &Package{Dir: dir, Path: path, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// importPath derives the module-relative import path of a directory.
+func (l *Loader) importPath(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(l.Root, abs)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.Module, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module root %s", dir, l.Root)
+	}
+	return l.Module + "/" + filepath.ToSlash(rel), nil
+}

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// guardMarker is the field annotation the analyzer enforces. A struct field
+// whose doc or trailing comment contains it may only be read or written in
+// functions that acquire <receiver>.mu first.
+const guardMarker = "guarded by mu"
+
+// MutexGuard enforces the "guarded by mu" field annotations: any function
+// that touches an annotated field must lock (or read-lock) the same
+// receiver's mu earlier in the same function body. The check is
+// intra-procedural by design — the market store and the pipeline
+// accumulator keep every guarded access behind a method-local
+// Lock/RLock-defer-Unlock pair, and this analyzer keeps it that way.
+var MutexGuard = &Analyzer{
+	Name: "mutexguard",
+	Doc:  "fields annotated 'guarded by mu' must be accessed with the lock held in the same function",
+	Run:  runMutexGuard,
+}
+
+func runMutexGuard(pass *Pass) {
+	guarded := guardedFields(pass)
+	if len(guarded) == 0 {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGuardedAccesses(pass, fd, guarded)
+		}
+	}
+}
+
+// guardKey addresses one annotated field: the struct's named type and the
+// field name.
+type guardKey struct {
+	typ   *types.TypeName
+	field string
+}
+
+// guardedFields collects the annotated fields of the package's structs.
+func guardedFields(pass *Pass) map[guardKey]bool {
+	out := make(map[guardKey]bool)
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.Pkg.Info.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !strings.Contains(field.Doc.Text()+field.Comment.Text(), guardMarker) {
+					continue
+				}
+				for _, name := range field.Names {
+					out[guardKey{obj, name.Name}] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkGuardedAccesses walks one function: guarded field accesses must be
+// preceded (positionally) by a Lock or RLock of the same receiver's mu.
+func checkGuardedAccesses(pass *Pass, fd *ast.FuncDecl, guarded map[guardKey]bool) {
+	// locks[obj] is the earliest position at which obj.mu.Lock/RLock is
+	// called in this function.
+	locks := make(map[types.Object]token.Pos)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok || muSel.Sel.Name != "mu" {
+			return true
+		}
+		base, ok := ast.Unparen(muSel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Pkg.Info.Uses[base]
+		if obj == nil {
+			return true
+		}
+		if cur, ok := locks[obj]; !ok || call.Pos() < cur {
+			locks[obj] = call.Pos()
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.Pkg.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		named, ok := namedType(selection.Recv())
+		if !ok {
+			return true
+		}
+		key := guardKey{named.Obj(), sel.Sel.Name}
+		if !guarded[key] {
+			return true
+		}
+		base, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			pass.Reportf(sel.Sel.Pos(), "%s.%s is guarded by mu but accessed through a non-trivial receiver expression; hold a named receiver so the lock discipline is checkable", named.Obj().Name(), sel.Sel.Name)
+			return true
+		}
+		obj := pass.Pkg.Info.Uses[base]
+		lockPos, locked := locks[obj]
+		if obj == nil || !locked || sel.Pos() < lockPos {
+			pass.Reportf(sel.Sel.Pos(), "%s.%s is guarded by mu but accessed without %s.mu.Lock/RLock earlier in this function", named.Obj().Name(), sel.Sel.Name, base.Name)
+		}
+		return true
+	})
+}

@@ -1,0 +1,24 @@
+// Package core is a minimal stand-in for repro/internal/core in analyzer
+// fixtures: validatecheck matches the Params type by name and path suffix.
+package core
+
+import "errors"
+
+// Params is the fixture extraction parameter set.
+type Params struct {
+	// Threshold is the fixture's only knob.
+	Threshold float64
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.Threshold < 0 {
+		return errors.New("core: negative threshold")
+	}
+	return nil
+}
+
+// DefaultParams returns validated defaults.
+func DefaultParams() Params {
+	return Params{Threshold: 1}
+}

@@ -1,0 +1,36 @@
+// Package eval exercises the floatcmp analyzer: the path suffix
+// internal/eval puts this fixture inside the analyzer's numeric-package
+// scope.
+package eval
+
+func equalExact(a, b float64) bool {
+	return a == b // want:floatcmp
+}
+
+func notEqualZero(a float64) bool {
+	return a != 0 // want:floatcmp
+}
+
+func mixedConversion(a float64, n int) bool {
+	return float64(n) == a // want:floatcmp
+}
+
+// constFold is folded at compile time and cannot mis-compare runtime
+// energies, so floatcmp leaves it alone.
+func constFold() bool {
+	const half = 0.5
+	return half == 0.5
+}
+
+func intsAreFine(a, b int) bool {
+	return a == b
+}
+
+func orderingIsFine(a, b float64) bool {
+	return a < b
+}
+
+func suppressed(a, b float64) bool {
+	//lint:ignore floatcmp fixture demonstrates suppression with a reason
+	return a == b
+}

@@ -1,0 +1,23 @@
+// Package flexoffer is a minimal stand-in for repro/internal/flexoffer in
+// analyzer fixtures: validatecheck matches the FlexOffer type by name and
+// path suffix, so this tiny package stands in for the real model without
+// dragging its dependency tree into the tests.
+package flexoffer
+
+import "errors"
+
+// FlexOffer is the fixture flex-offer.
+type FlexOffer struct {
+	// ID identifies the offer.
+	ID string
+	// Slices is the profile length.
+	Slices int
+}
+
+// Validate checks the offer.
+func (f *FlexOffer) Validate() error {
+	if f.ID == "" {
+		return errors.New("flexoffer: missing id")
+	}
+	return nil
+}

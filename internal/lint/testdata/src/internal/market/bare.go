@@ -1,0 +1,5 @@
+package market
+
+var Value = 1
+
+const Threshold = 2

@@ -1,0 +1,23 @@
+// Package market exercises the doccheck analyzer: the path suffix
+// internal/market puts this fixture inside the contract-package scope.
+package market
+
+// Documented is a documented type.
+type Documented struct{}
+
+// DocumentedMethod has a doc comment.
+func (Documented) DocumentedMethod() {}
+
+type Undocumented struct{} // want:doccheck
+
+func Exported() {} // want:doccheck
+
+func (Documented) Method() {} // want:doccheck
+
+// hidden is unexported and needs no doc.
+func hidden() {}
+
+type internalOnly struct{}
+
+// Touch is a method on an unexported type — not part of the public surface.
+func (internalOnly) Touch() {}

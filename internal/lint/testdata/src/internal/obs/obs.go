@@ -1,0 +1,38 @@
+// Package obs is a minimal stand-in for repro/internal/obs in analyzer
+// fixtures: just enough surface for labelcard to recognise the metric vec
+// types. Fixtures import this instead of the real package so tests never
+// type-check net/http.
+package obs
+
+// Counter is a fixture counter.
+type Counter struct{}
+
+// Inc increments.
+func (c *Counter) Inc() {}
+
+// CounterVec is a fixture counter vec.
+type CounterVec struct{}
+
+// With returns the child counter for the label values.
+func (v *CounterVec) With(values ...string) *Counter { return &Counter{} }
+
+// Histogram is a fixture histogram.
+type Histogram struct{}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {}
+
+// HistogramVec is a fixture histogram vec.
+type HistogramVec struct{}
+
+// With returns the child histogram for the label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return &Histogram{} }
+
+// Label normalises a status code onto a constant label set; every return is
+// a constant, so labelcard proves calls to it bounded across packages.
+func Label(status int) string {
+	if status >= 400 {
+		return "err"
+	}
+	return "ok"
+}

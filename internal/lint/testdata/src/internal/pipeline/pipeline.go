@@ -1,0 +1,33 @@
+// Package pipeline exercises the clockcheck analyzer: the path suffix
+// internal/pipeline puts this fixture inside the analyzer's replayable-path
+// scope.
+package pipeline
+
+import "time"
+
+// Config carries the injected clock, the sanctioned time source.
+type Config struct {
+	// Clock supplies time; nil means live.
+	Clock func() time.Time
+}
+
+func bad() time.Duration {
+	start := time.Now()      // want:clockcheck
+	return time.Since(start) // want:clockcheck
+}
+
+func badUntil(t time.Time) time.Duration {
+	return time.Until(t) // want:clockcheck
+}
+
+func good(cfg Config) time.Time {
+	if cfg.Clock != nil {
+		return cfg.Clock()
+	}
+	return time.Date(2012, time.June, 4, 0, 0, 0, 0, time.UTC)
+}
+
+func suppressed() time.Time {
+	//lint:ignore clockcheck fixture demonstrates the sanctioned live default
+	return time.Now()
+}

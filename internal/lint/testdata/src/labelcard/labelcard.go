@@ -1,0 +1,61 @@
+// Package labelcard exercises the labelcard analyzer against the obs stub:
+// every value passed to a metric vec's With must be provably bounded.
+package labelcard
+
+import "repro/internal/lint/testdata/src/internal/obs"
+
+// metrics bundles the fixture vecs.
+type metrics struct {
+	requests *obs.CounterVec
+	latency  *obs.HistogramVec
+}
+
+// classOf normalises a status code onto a constant set in this package.
+func classOf(status int) string {
+	if status >= 500 {
+		return "5xx"
+	}
+	return "2xx"
+}
+
+// identity returns its argument unchanged — NOT bounded.
+func identity(s string) string {
+	return s
+}
+
+func badParameter(m *metrics, route string) {
+	m.requests.With(route).Inc() // want:labelcard
+}
+
+func badField(m *metrics, r struct{ Method string }) {
+	m.requests.With(r.Method).Inc() // want:labelcard
+}
+
+func badReassigned(m *metrics, status int) {
+	label := "a"
+	if status > 0 {
+		label = classOf(status)
+	}
+	m.requests.With(label).Inc() // want:labelcard
+}
+
+func badPassThrough(m *metrics, route string) {
+	m.requests.With(identity(route)).Inc() // want:labelcard
+}
+
+func badHistogram(m *metrics, route string) {
+	m.latency.With(route).Observe(1) // want:labelcard
+}
+
+func good(m *metrics, status int) {
+	m.requests.With("static").Inc()
+	m.requests.With(classOf(status)).Inc()
+	m.latency.With(obs.Label(status)).Observe(1)
+	label := classOf(status)
+	m.requests.With(label).Inc()
+}
+
+func suppressed(m *metrics, route string) {
+	//lint:ignore labelcard fixture demonstrates a contract-bounded label
+	m.requests.With(route).Inc()
+}

@@ -1,0 +1,61 @@
+// Package mutexguard exercises the guarded-field annotations: fields marked
+// "guarded by mu" must be accessed with the receiver's lock already taken in
+// the same function.
+package mutexguard
+
+import "sync"
+
+// counter is the fixture guarded struct.
+type counter struct {
+	mu sync.RWMutex
+	n  int      // guarded by mu
+	s  []string // guarded by mu
+	id string   // immutable, deliberately unguarded
+}
+
+func (c *counter) bad() int {
+	return c.n // want:mutexguard
+}
+
+func (c *counter) badBeforeLock() int {
+	v := c.n // want:mutexguard
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return v + c.n
+}
+
+func (c *counter) good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) goodRead() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]string(nil), c.s...)
+}
+
+func (c *counter) unguardedIsFine() string {
+	return c.id
+}
+
+func nonTrivial(get func() *counter) int {
+	get().mu.Lock()
+	return get().n // want:mutexguard
+}
+
+func (c *counter) suppressed() int {
+	//lint:ignore mutexguard fixture demonstrates suppression with a reason
+	return c.n
+}
+
+func (c *counter) suppressedAll() int {
+	//lint:ignore all fixture demonstrates the blanket form
+	return c.n
+}
+
+func (c *counter) malformedDirective() int {
+	//lint:ignore want:flexvet
+	return c.n // want:mutexguard
+}

@@ -1,0 +1,28 @@
+// Package validatecheck exercises the validatecheck analyzer: FlexOffer and
+// Params composite literals built outside their defining packages must be
+// validated before they travel.
+package validatecheck
+
+import (
+	"repro/internal/lint/testdata/src/internal/core"
+	"repro/internal/lint/testdata/src/internal/flexoffer"
+)
+
+// template at package scope can never be validated before use.
+var template = flexoffer.FlexOffer{ID: "t"} // want:validatecheck
+
+// submit stands in for a store/scheduler boundary the values travel across.
+func submit(f *flexoffer.FlexOffer, p core.Params) {}
+
+func badDirectOffer() {
+	submit(&flexoffer.FlexOffer{ID: "a"}, core.DefaultParams()) // want:validatecheck
+}
+
+func badDirectParams() {
+	submit(nil, core.Params{Threshold: 1}) // want:validatecheck
+}
+
+func badAssigned() {
+	f := &flexoffer.FlexOffer{ID: "b"} // want:validatecheck
+	submit(f, core.DefaultParams())
+}

@@ -1,0 +1,43 @@
+package validatecheck
+
+import (
+	"repro/internal/lint/testdata/src/internal/core"
+	"repro/internal/lint/testdata/src/internal/flexoffer"
+)
+
+func goodAssigned() error {
+	f := &flexoffer.FlexOffer{ID: "c"}
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	submit(f, core.DefaultParams())
+	return nil
+}
+
+func goodDirect() error {
+	return (&flexoffer.FlexOffer{ID: "d"}).Validate()
+}
+
+func goodParams() error {
+	p := core.Params{Threshold: 2}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	submit(nil, p)
+	return nil
+}
+
+func goodVarDecl() error {
+	var f = flexoffer.FlexOffer{ID: "e"}
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	submit(&f, core.DefaultParams())
+	return nil
+}
+
+func suppressed() {
+	//lint:ignore validatecheck fixture demonstrates suppression with a reason
+	f := &flexoffer.FlexOffer{ID: "f"}
+	submit(f, core.DefaultParams())
+}

@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// validatedTypes are the domain types whose composite literals must be
+// validated before they travel: an unvalidated FlexOffer or Params can
+// carry NaN energies or inverted windows deep into a pipeline worker or
+// the market store before anything notices.
+var validatedTypes = []struct {
+	pathPat string
+	name    string
+}{
+	{"internal/flexoffer", "FlexOffer"},
+	{"internal/core", "Params"},
+}
+
+// ValidateCheck flags composite literals of flexoffer.FlexOffer and
+// core.Params built outside their defining package without a Validate call
+// on the same value in the same function. Constructors (offerBuilder,
+// DefaultParams) and validated literals pass; everything else must either
+// call Validate before handing the value on or carry a //lint:ignore with a
+// reason.
+var ValidateCheck = &Analyzer{
+	Name: "validatecheck",
+	Doc:  "flex-offer and params literals outside their package must be validated in the constructing function",
+	Run:  runValidateCheck,
+}
+
+func runValidateCheck(pass *Pass) {
+	local := false
+	for _, t := range validatedTypes {
+		if PathMatches(pass.Pkg.Path, t.pathPat) {
+			local = true
+		}
+	}
+	if local {
+		// The defining packages own their invariants; their internals may
+		// build partially-initialised values freely.
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFuncLits(pass, fd.Body)
+				return false
+			}
+			// Package-level value: a target literal here can never be
+			// validated before use.
+			if lit, ok := n.(*ast.CompositeLit); ok && targetLit(pass, lit) != "" {
+				pass.Reportf(lit.Pos(), "composite literal of %s at package scope is never validated; build it in a constructor and call Validate", targetLit(pass, lit))
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// checkFuncLits analyses one function body: every target composite literal
+// must be validated within the body.
+func checkFuncLits(pass *Pass, body *ast.BlockStmt) {
+	// validatedObjs are variables with an x.Validate() call in this body;
+	// validatedLits are literals validated directly, (&T{...}).Validate().
+	validatedObjs := make(map[types.Object]bool)
+	validatedLits := make(map[*ast.CompositeLit]bool)
+	// litObj maps each target literal to the variable it initialises.
+	litObj := make(map[*ast.CompositeLit]types.Object)
+	var lits []*ast.CompositeLit
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			if targetLit(pass, n) != "" {
+				lits = append(lits, n)
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				break
+			}
+			for i, rhs := range n.Rhs {
+				lit := unwrapLit(rhs)
+				if lit == nil || targetLit(pass, lit) == "" {
+					continue
+				}
+				if id, ok := n.Lhs[i].(*ast.Ident); ok {
+					if obj := pass.Pkg.Info.Defs[id]; obj != nil {
+						litObj[lit] = obj
+					} else if obj := pass.Pkg.Info.Uses[id]; obj != nil {
+						litObj[lit] = obj
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, v := range n.Values {
+				lit := unwrapLit(v)
+				if lit == nil || targetLit(pass, lit) == "" || i >= len(n.Names) {
+					continue
+				}
+				if obj := pass.Pkg.Info.Defs[n.Names[i]]; obj != nil {
+					litObj[lit] = obj
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Validate" {
+				break
+			}
+			switch recv := ast.Unparen(sel.X).(type) {
+			case *ast.Ident:
+				if obj := pass.Pkg.Info.Uses[recv]; obj != nil {
+					validatedObjs[obj] = true
+				}
+			default:
+				if lit := unwrapLit(sel.X); lit != nil {
+					validatedLits[lit] = true
+				}
+			}
+		}
+		return true
+	})
+
+	for _, lit := range lits {
+		if validatedLits[lit] {
+			continue
+		}
+		if obj, ok := litObj[lit]; ok && validatedObjs[obj] {
+			continue
+		}
+		pass.Reportf(lit.Pos(), "composite literal of %s is not validated in this function; call Validate on it before it leaves (unvalidated offers must not reach the store or scheduler)", targetLit(pass, lit))
+	}
+}
+
+// unwrapLit peels parens and a leading & off an expression, returning the
+// composite literal underneath, or nil.
+func unwrapLit(e ast.Expr) *ast.CompositeLit {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok {
+		e = ast.Unparen(u.X)
+	}
+	if lit, ok := e.(*ast.CompositeLit); ok {
+		return lit
+	}
+	return nil
+}
+
+// targetLit reports the qualified name of the validated type the literal
+// builds ("flexoffer.FlexOffer"), or "" when the literal is not a target.
+func targetLit(pass *Pass, lit *ast.CompositeLit) string {
+	tv, ok := pass.Pkg.Info.Types[lit]
+	if !ok {
+		return ""
+	}
+	for _, t := range validatedTypes {
+		if named, ok := namedType(tv.Type); ok && namedMatches(named, t.pathPat, t.name) {
+			return named.Obj().Pkg().Name() + "." + t.name
+		}
+	}
+	return ""
+}
+
+// namedType unwraps pointers and aliases down to a named type.
+func namedType(t types.Type) (*types.Named, bool) {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Alias:
+			t = types.Unalias(tt)
+		case *types.Named:
+			return tt, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// namedMatches reports whether the named type is name declared in a package
+// matching pathPat.
+func namedMatches(named *types.Named, pathPat, name string) bool {
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Name() == name &&
+		PathMatches(obj.Pkg().Path(), pathPat)
+}

@@ -114,9 +114,9 @@ type Record struct {
 // Store is a concurrent-safe in-memory flex-offer store.
 type Store struct {
 	mu      sync.RWMutex
-	records map[string]*Record
-	order   []string // submission order, for deterministic listings
-	clock   func() time.Time
+	records map[string]*Record // guarded by mu
+	order   []string           // guarded by mu: submission order, for deterministic listings
+	clock   func() time.Time   // immutable after NewStore
 }
 
 // NewStore builds a store. clock defaults to time.Now when nil; tests and

@@ -1,0 +1,48 @@
+// Package num holds the floating-point tolerance helpers the numeric
+// packages share. Energy values in this codebase are sums and pro-rata
+// splits of kWh readings (subtractProportional, aggregation, assignment
+// feasibility), so exact == / != comparison is almost always a latent bug:
+// two quantities that are equal on paper differ by rounding error in
+// practice. The flexvet floatcmp analyzer rejects exact comparisons in the
+// numeric packages and points here.
+//
+// All helpers treat NaN as unequal to everything, including itself — a NaN
+// energy must never be mistaken for a legitimate zero.
+package num
+
+import "math"
+
+// DefaultTol is the absolute tolerance the helpers use by default: far
+// below any meaningful energy amount (1e-9 kWh is a microjoule-scale
+// quantity) yet far above the rounding error of kWh-scale arithmetic.
+const DefaultTol = 1e-9
+
+// Eq reports whether a and b are equal within DefaultTol.
+func Eq(a, b float64) bool { return EqTol(a, b, DefaultTol) }
+
+// EqTol reports whether a and b are equal within the absolute tolerance
+// tol. NaN is equal to nothing; infinities are equal only to themselves.
+func EqTol(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	//lint:ignore floatcmp the exact-hit shortcut is part of the tolerance helper itself
+	if a == b { // handles infinities and exact hits without overflow
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+// Zero reports whether v is zero within DefaultTol.
+func Zero(v float64) bool { return EqTol(v, 0, DefaultTol) }
+
+// Within reports whether v lies in the closed interval [lo, hi], widened
+// by tol on both ends — the standard feasibility check for energy bounds
+// (assignment energies against slice bounds, run energies against
+// envelopes).
+func Within(v, lo, hi, tol float64) bool {
+	if math.IsNaN(v) || math.IsNaN(lo) || math.IsNaN(hi) {
+		return false
+	}
+	return v >= lo-tol && v <= hi+tol
+}

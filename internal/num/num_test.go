@@ -1,0 +1,69 @@
+package num
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEq(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{1, 1, true},
+		{1, 1 + 1e-12, true},
+		{1, 1 + 1e-6, false},
+		{0, 0, true},
+		{0, 1e-10, true},
+		{0, 2e-9, false},
+		{math.NaN(), math.NaN(), false},
+		{math.NaN(), 0, false},
+		{math.Inf(1), math.Inf(1), true},
+		{math.Inf(1), math.Inf(-1), false},
+		{math.Inf(1), math.MaxFloat64, false},
+	}
+	for _, c := range cases {
+		if got := Eq(c.a, c.b); got != c.want {
+			t.Errorf("Eq(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEqTolNoOverflow(t *testing.T) {
+	// |a-b| overflows float64; EqTol must still answer false, not panic or
+	// return a garbage comparison against +Inf.
+	if EqTol(math.MaxFloat64, -math.MaxFloat64, 1) {
+		t.Error("EqTol(MaxFloat64, -MaxFloat64) = true")
+	}
+}
+
+func TestZero(t *testing.T) {
+	if !Zero(0) || !Zero(1e-12) || !Zero(-1e-12) {
+		t.Error("Zero rejects values inside the tolerance")
+	}
+	if Zero(1e-6) || Zero(math.NaN()) {
+		t.Error("Zero accepts a non-zero or NaN value")
+	}
+}
+
+func TestWithin(t *testing.T) {
+	cases := []struct {
+		v, lo, hi, tol float64
+		want           bool
+	}{
+		{5, 0, 10, 0, true},
+		{0, 0, 10, 0, true},
+		{10, 0, 10, 0, true},
+		{-1e-12, 0, 10, 1e-9, true},
+		{10 + 1e-12, 0, 10, 1e-9, true},
+		{-1e-6, 0, 10, 1e-9, false},
+		{11, 0, 10, 1e-9, false},
+		{math.NaN(), 0, 10, 1e-9, false},
+		{5, math.NaN(), 10, 1e-9, false},
+	}
+	for _, c := range cases {
+		if got := Within(c.v, c.lo, c.hi, c.tol); got != c.want {
+			t.Errorf("Within(%v, %v, %v, %v) = %v, want %v", c.v, c.lo, c.hi, c.tol, got, c.want)
+		}
+	}
+}

@@ -52,6 +52,31 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return r.ResponseWriter.Write(b)
 }
 
+// methodLabel normalises an HTTP method into a bounded label set: the
+// standard methods pass through, anything else — clients may send an
+// arbitrary method string — collapses to "other", so the request-counter
+// family cannot be grown one child per attacker-chosen method.
+func methodLabel(method string) string {
+	switch method {
+	case http.MethodGet:
+		return http.MethodGet
+	case http.MethodHead:
+		return http.MethodHead
+	case http.MethodPost:
+		return http.MethodPost
+	case http.MethodPut:
+		return http.MethodPut
+	case http.MethodPatch:
+		return http.MethodPatch
+	case http.MethodDelete:
+		return http.MethodDelete
+	case http.MethodOptions:
+		return http.MethodOptions
+	default:
+		return "other"
+	}
+}
+
 func statusClass(status int) string {
 	switch {
 	case status >= 500:
@@ -95,7 +120,9 @@ func Middleware(next http.Handler, m *HTTPMetrics, routeOf func(*http.Request) s
 			}
 			if m != nil {
 				m.InFlight.Dec()
-				m.Requests.With(route, r.Method, statusClass(rec.status)).Inc()
+				//lint:ignore labelcard route is bounded by contract: routeOf maps requests onto the server's fixed route inventory (market.Routes, docs/API.md)
+				m.Requests.With(route, methodLabel(r.Method), statusClass(rec.status)).Inc()
+				//lint:ignore labelcard route is bounded by contract: routeOf maps requests onto the server's fixed route inventory (market.Routes, docs/API.md)
 				m.Latency.With(route).Observe(elapsed.Seconds())
 			}
 			logger.Debug("request", "route", route, "method", r.Method, "path", r.URL.Path, "status", rec.status, "dur", elapsed)

@@ -24,7 +24,7 @@ func Figure1Offer() *flexoffer.FlexOffer {
 	const totalKWh = 50.0
 	per := totalKWh / slices
 	earliest := Day0.Add(22 * time.Hour) // 10 PM
-	return &flexoffer.FlexOffer{
+	f := &flexoffer.FlexOffer{
 		ID:             "fig1-ev",
 		ConsumerID:     "ev-owner",
 		Appliance:      "electric vehicle",
@@ -35,6 +35,12 @@ func Figure1Offer() *flexoffer.FlexOffer {
 		LatestStart:    Day0.Add(29 * time.Hour), // 5 AM next day
 		Profile:        flexoffer.UniformProfile(slices, 15*time.Minute, per*0.9, per*1.1),
 	}
+	if err := f.Validate(); err != nil {
+		// The figure's numbers are fixed; an invalid offer here is a
+		// programming error, not an input condition.
+		panic(err)
+	}
+	return f
 }
 
 // Figure5Peak describes one of the paper's annotated peaks.

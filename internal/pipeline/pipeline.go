@@ -115,6 +115,12 @@ type Config struct {
 	// started/succeeded/failed, per-stage durations, worker saturation)
 	// registered with NewTelemetry. Nil disables instrumentation.
 	Telemetry *Telemetry
+	// Clock supplies the pipeline's notion of time for the wall/busy/stage
+	// timings in Stats and Telemetry; nil means the live clock. Replays
+	// (mirabeld -clock) inject their pinned clock here so a replayed batch
+	// reports deterministic timings instead of mixing logical offer time
+	// with live wall time.
+	Clock func() time.Time
 }
 
 func (c Config) workers() int {
@@ -122,6 +128,15 @@ func (c Config) workers() int {
 		return c.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// now reads the configured clock.
+func (c Config) now() time.Time {
+	if c.Clock != nil {
+		return c.Clock()
+	}
+	//lint:ignore clockcheck the documented live default when no Clock is injected; every other wall-clock read in the pipeline goes through this accessor
+	return time.Now()
 }
 
 // Run drains the jobs channel through a pool of workers, streaming each
@@ -149,7 +164,7 @@ func Run(ctx context.Context, cfg Config, jobs <-chan Job, sink Sink) (Stats, er
 	defer cancel(nil)
 
 	acc := &accumulator{}
-	start := time.Now()
+	start := cfg.now()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -180,7 +195,7 @@ func Run(ctx context.Context, cfg Config, jobs <-chan Job, sink Sink) (Stats, er
 
 	stats := acc.snapshot()
 	stats.Workers = workers
-	stats.Wall = time.Since(start)
+	stats.Wall = cfg.now().Sub(start)
 	if ctx.Err() != nil {
 		return stats, context.Cause(ctx)
 	}
@@ -219,9 +234,9 @@ func RunJobs(ctx context.Context, cfg Config, jobs []Job, sink Sink) (Stats, err
 // IDs, account, and stream the output into the sink.
 func runJob(ctx context.Context, cfg Config, job Job, sink Sink, acc *accumulator, cancel context.CancelCauseFunc) {
 	cfg.Telemetry.jobStarted()
-	begin := time.Now()
+	begin := cfg.now()
 	res, err := extractOne(cfg, job)
-	elapsed := time.Since(begin)
+	elapsed := cfg.now().Sub(begin)
 	if err != nil {
 		panicked := errors.Is(err, ErrWorkerPanic)
 		cfg.Telemetry.jobDone(0, elapsed, err, panicked)
@@ -235,9 +250,9 @@ func runJob(ctx context.Context, cfg Config, job Job, sink Sink, acc *accumulato
 	}
 	cfg.Telemetry.jobDone(len(res.Offers), elapsed, nil, false)
 	acc.done(len(res.Offers), elapsed)
-	sinkBegin := time.Now()
+	sinkBegin := cfg.now()
 	err = sink.Put(ctx, Output{JobID: job.ID, Result: res, Elapsed: elapsed})
-	cfg.Telemetry.sinkPut(time.Since(sinkBegin))
+	cfg.Telemetry.sinkPut(cfg.now().Sub(sinkBegin))
 	if err != nil {
 		cancel(fmt.Errorf("pipeline: sink: %w", err))
 	}

@@ -46,12 +46,12 @@ func (s Stats) String() string {
 // accumulator gathers counters from concurrent workers.
 type accumulator struct {
 	mu        sync.Mutex
-	processed int
-	offers    int
-	errors    int
-	panics    int
-	busy      time.Duration
-	jobErrs   []JobError
+	processed int           // guarded by mu
+	offers    int           // guarded by mu
+	errors    int           // guarded by mu
+	panics    int           // guarded by mu
+	busy      time.Duration // guarded by mu
+	jobErrs   []JobError    // guarded by mu
 }
 
 func (a *accumulator) done(offers int, elapsed time.Duration) {

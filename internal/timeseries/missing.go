@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"repro/internal/num"
 )
 
 // CountMissing reports the number of NaN values in the series.
@@ -119,7 +121,7 @@ func (s *Series) DisaggregateWith(factor int, weights []float64) (*Series, error
 			}
 			continue
 		}
-		if wsum == 0 {
+		if num.Zero(wsum) {
 			share := v / float64(factor)
 			for k := 0; k < factor; k++ {
 				out = append(out, share)

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/num"
 )
 
 // Statistics in this file skip NaN (missing) observations. When every
@@ -133,7 +135,7 @@ func (s *Series) Autocorrelation(lag int) float64 {
 	if math.IsNaN(m) {
 		return math.NaN()
 	}
-	var num, den float64
+	var numer, den float64
 	for i := 0; i < n; i++ {
 		v := s.values[i]
 		if math.IsNaN(v) {
@@ -142,13 +144,13 @@ func (s *Series) Autocorrelation(lag int) float64 {
 		d := v - m
 		den += d * d
 		if i+lag < n && !math.IsNaN(s.values[i+lag]) {
-			num += d * (s.values[i+lag] - m)
+			numer += d * (s.values[i+lag] - m)
 		}
 	}
-	if den == 0 {
+	if num.Zero(den) {
 		return math.NaN()
 	}
-	return num / den
+	return numer / den
 }
 
 // Pearson reports the Pearson correlation coefficient between two aligned
@@ -190,7 +192,7 @@ func Pearson(a, b *Series) float64 {
 // (or extracted flexibility) is. Returns NaN for empty or zero-mean series.
 func (s *Series) PeakToAverage() float64 {
 	m := s.Mean()
-	if math.IsNaN(m) || m == 0 {
+	if math.IsNaN(m) || num.Zero(m) {
 		return math.NaN()
 	}
 	return s.Max() / m
@@ -213,7 +215,7 @@ func (s *Series) NormalizedEntropy() float64 {
 			total += v
 		}
 	}
-	if total == 0 {
+	if num.Zero(total) {
 		return 0
 	}
 	var h float64

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// fixture is a synthetic multi-file package seeded with one violation per
+// file; the driver must report exactly these, in this (sorted) order. It
+// sits at the internal/pipeline path suffix, so the same seeded time.Now()
+// would fail the scripts/verify.sh lint gate in a real package.
+const fixture = "testdata/src/internal/pipeline"
+
+var seeded = []struct {
+	file     string
+	line     int
+	analyzer string
+}{
+	{"testdata/src/internal/pipeline/clock.go", 11, "clockcheck"},
+	{"testdata/src/internal/pipeline/doc.go", 6, "doccheck"},
+	{"testdata/src/internal/pipeline/guard.go", 14, "mutexguard"},
+}
+
+func runDriver(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestSeededViolationsJSON(t *testing.T) {
+	code, out, errOut := runDriver(t, "-json", fixture)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, errOut)
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("output is not a JSON diagnostic array: %v\n%s", err, out)
+	}
+	if len(diags) != len(seeded) {
+		t.Fatalf("got %d diagnostics, want %d:\n%s", len(diags), len(seeded), out)
+	}
+	for i, want := range seeded {
+		d := diags[i]
+		if d.File != want.file || d.Line != want.line || d.Analyzer != want.analyzer {
+			t.Errorf("diag[%d] = %s:%d [%s], want %s:%d [%s]",
+				i, d.File, d.Line, d.Analyzer, want.file, want.line, want.analyzer)
+		}
+		if d.Col <= 0 || d.Message == "" {
+			t.Errorf("diag[%d] is missing its column or message: %+v", i, d)
+		}
+	}
+	if !strings.Contains(errOut, "3 finding(s)") {
+		t.Errorf("stderr summary missing finding count: %q", errOut)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	_, out, _ := runDriver(t, "-json", fixture)
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(diags); err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if buf.String() != out {
+		t.Errorf("decode/encode does not reproduce the driver output\n got:\n%s\nwant:\n%s", buf.String(), out)
+	}
+}
+
+func TestSeededViolationsText(t *testing.T) {
+	code, out, _ := runDriver(t, fixture)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != len(seeded) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), len(seeded), out)
+	}
+	for i, want := range seeded {
+		prefix := fmt.Sprintf("%s:%d:", want.file, want.line)
+		tag := "[" + want.analyzer + "]"
+		if !strings.HasPrefix(lines[i], prefix) || !strings.Contains(lines[i], tag) {
+			t.Errorf("line %d = %q, want prefix %q and tag %q", i, lines[i], prefix, tag)
+		}
+	}
+}
+
+func TestCleanPackage(t *testing.T) {
+	code, out, errOut := runDriver(t, "testdata/src/clean")
+	if code != 0 || out != "" || errOut != "" {
+		t.Errorf("clean run: exit=%d stdout=%q stderr=%q, want 0 with no output", code, out, errOut)
+	}
+	code, out, _ = runDriver(t, "-json", "testdata/src/clean")
+	if code != 0 || strings.TrimSpace(out) != "[]" {
+		t.Errorf("clean -json run: exit=%d stdout=%q, want 0 with an empty array", code, out)
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	code, out, _ := runDriver(t, "-json", "-enable", "doccheck", fixture)
+	if code != 1 {
+		t.Fatalf("-enable doccheck exit = %d, want 1", code)
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "doccheck" {
+		t.Errorf("-enable doccheck reported %v, want exactly the doccheck finding", diags)
+	}
+
+	code, out, _ = runDriver(t, "-json", "-disable", "doccheck", fixture)
+	if code != 1 {
+		t.Fatalf("-disable doccheck exit = %d, want 1", code)
+	}
+	diags = nil
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 || diags[0].Analyzer != "clockcheck" || diags[1].Analyzer != "mutexguard" {
+		t.Errorf("-disable doccheck reported %v, want the clockcheck and mutexguard findings", diags)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, errOut := runDriver(t, "-enable", "bogus", fixture); code != 2 || !strings.Contains(errOut, "unknown analyzer") {
+		t.Errorf("unknown analyzer: exit=%d stderr=%q, want 2 with an explanation", code, errOut)
+	}
+	if code, _, _ := runDriver(t, "-disable", "bogus", fixture); code != 2 {
+		t.Errorf("unknown -disable analyzer must exit 2, got %d", code)
+	}
+	if code, _, _ := runDriver(t, "no/such/dir"); code != 2 {
+		t.Errorf("missing package dir must exit 2, got %d", code)
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	code, out, _ := runDriver(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exit = %d, want 0", code)
+	}
+	for _, a := range lint.All() {
+		if !strings.Contains(out, a.Name) || !strings.Contains(out, a.Doc) {
+			t.Errorf("-list output is missing analyzer %s", a.Name)
+		}
+	}
+}

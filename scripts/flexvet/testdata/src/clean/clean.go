@@ -1,0 +1,5 @@
+// Package clean is the driver-test fixture with nothing to report.
+package clean
+
+// Answer is documented and harmless.
+const Answer = 42

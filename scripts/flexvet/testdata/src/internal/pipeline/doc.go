@@ -1,0 +1,6 @@
+package pipeline
+
+// The exported function below has no doc comment — the seeded doccheck
+// violation. (This comment is detached by the blank line.)
+
+func Exported() {}

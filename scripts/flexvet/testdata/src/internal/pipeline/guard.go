@@ -1,0 +1,15 @@
+package pipeline
+
+import "sync"
+
+// registry is the seeded mutexguard fixture struct.
+type registry struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// read touches the guarded field without holding the lock — the seeded
+// mutexguard violation.
+func (r *registry) read() int {
+	return r.n
+}

@@ -1,8 +1,9 @@
 #!/bin/sh
 # verify.sh — the full pre-merge check: formatting, vet, doc coverage of
-# the contract packages, build, test, then the race detector over the
-# packages with real concurrency (the pipeline worker pool and the market
-# store). Run from the repository root, or via `make verify`.
+# the contract packages, the flexvet domain lints, build, test, then the
+# race detector over the packages with real concurrency (the pipeline
+# worker pool and the market store). Run from the repository root, or via
+# `make verify`.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -18,8 +19,11 @@ fi
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> docscheck (internal/obs internal/market)"
-go run ./scripts/docscheck ./internal/obs ./internal/market
+echo "==> flexvet doccheck (contract packages)"
+go run ./scripts/flexvet -enable doccheck ./...
+
+echo "==> flexvet (all analyzers)"
+go run ./scripts/flexvet ./...
 
 echo "==> go build ./..."
 go build ./...
