@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check docs-check lint bench fuzz fuzz-smoke verify
+.PHONY: build test race vet fmt-check docs-check lint bench fuzz fuzz-smoke soak verify
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,7 @@ fuzz:
 	$(GO) test -run XXX -fuzz FuzzParamsValidate -fuzztime 30s ./internal/core
 	$(GO) test -run XXX -fuzz FuzzOfferValidate -fuzztime 30s ./internal/flexoffer
 	$(GO) test -run XXX -fuzz FuzzReadJSON -fuzztime 30s ./internal/flexoffer
+	$(GO) test -run XXX -fuzz FuzzSubmitBatch -fuzztime 30s ./internal/market
 
 # Short fuzz pass for CI: 10 seconds per target, enough to catch a freshly
 # introduced panic without stalling the workflow.
@@ -49,6 +50,12 @@ fuzz-smoke:
 	$(GO) test -run XXX -fuzz FuzzParamsValidate -fuzztime 10s ./internal/core
 	$(GO) test -run XXX -fuzz FuzzOfferValidate -fuzztime 10s ./internal/flexoffer
 	$(GO) test -run XXX -fuzz FuzzReadJSON -fuzztime 10s ./internal/flexoffer
+	$(GO) test -run XXX -fuzz FuzzSubmitBatch -fuzztime 10s ./internal/market
+
+# Soak: the end-to-end extraction→market loop under fault injection and
+# the race detector (see docs/TESTING.md).
+soak:
+	$(GO) test -race -timeout 5m -run TestSoak ./cmd/flexload
 
 verify:
 	sh scripts/verify.sh

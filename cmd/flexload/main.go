@@ -1,0 +1,293 @@
+// Command flexload is a closed-loop load generator for the mirabeld
+// flex-offer API. Each of -c workers drives the full offer lifecycle
+// against a running daemon — submit, accept, assign, with periodic list
+// and stats reads — as fast as the server answers, for -duration.
+// Latencies are recorded per operation in internal/obs histograms and a
+// machine-readable JSON report (p50/p95/p99 per op, overall throughput)
+// is written to -report.
+//
+// Usage:
+//
+//	flexload -base http://127.0.0.1:7654 -c 8 -duration 30s -seed 42 -report BENCH_4.json
+//
+// Offer construction is seeded: worker w derives its generator from
+// -seed+w, so two runs with the same seed and concurrency submit the
+// same offer stream. Against a fault-injecting server (mirabeld
+// -fault-profile), the error counts in the report measure how much of
+// the injected fault rate the client side observed.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/flexoffer"
+	"repro/internal/market"
+	"repro/internal/obs"
+)
+
+func main() {
+	cfg := config{}
+	flag.StringVar(&cfg.BaseURL, "base", "http://127.0.0.1:7654", "mirabeld base URL")
+	flag.IntVar(&cfg.Concurrency, "c", 4, "concurrent workers")
+	flag.DurationVar(&cfg.Duration, "duration", 10*time.Second, "how long to drive load")
+	flag.Int64Var(&cfg.Seed, "seed", 1, "offer-stream seed (worker w uses seed+w)")
+	report := flag.String("report", "-", `report output path ("-" = stdout)`)
+	flag.Parse()
+
+	rep, err := run(context.Background(), cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flexload: %v\n", err)
+		os.Exit(1)
+	}
+	out := os.Stdout
+	if *report != "-" {
+		f, err := os.Create(*report)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flexload: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "flexload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// config parameterises one load run.
+type config struct {
+	// BaseURL is the target daemon's root URL.
+	BaseURL string
+	// Concurrency is the number of closed-loop workers.
+	Concurrency int
+	// Duration bounds the run.
+	Duration time.Duration
+	// Seed derives each worker's offer stream (worker w uses Seed+w).
+	Seed int64
+	// HTTPClient overrides the transport (tests inject the httptest
+	// server's client); nil means a 10s-timeout default client.
+	HTTPClient *http.Client
+}
+
+// OpStats summarises one operation's latency distribution in the report.
+type OpStats struct {
+	Count  uint64  `json:"count"`
+	Errors uint64  `json:"errors"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+// Report is flexload's machine-readable result — the schema committed as
+// BENCH_4.json and tracked across PRs.
+type Report struct {
+	BaseURL             string             `json:"base_url"`
+	Seed                int64              `json:"seed"`
+	Concurrency         int                `json:"concurrency"`
+	DurationSeconds     float64            `json:"duration_seconds"`
+	Ops                 map[string]OpStats `json:"ops"`
+	TotalOps            uint64             `json:"total_ops"`
+	TotalErrors         uint64             `json:"total_errors"`
+	ThroughputOpsPerSec float64            `json:"throughput_ops_per_sec"`
+	OffersSubmitted     uint64             `json:"offers_submitted"`
+	OffersAccepted      uint64             `json:"offers_accepted"`
+	OffersAssigned      uint64             `json:"offers_assigned"`
+}
+
+// opNames are the operations a worker performs, in lifecycle order.
+var opNames = []string{"submit", "accept", "assign", "list", "stats"}
+
+// opLabel bounds the metric label set to the known operations, keeping
+// the per-op vec families at fixed cardinality.
+func opLabel(op string) string {
+	switch op {
+	case "submit":
+		return "submit"
+	case "accept":
+		return "accept"
+	case "assign":
+		return "assign"
+	case "list":
+		return "list"
+	case "stats":
+		return "stats"
+	default:
+		return "other"
+	}
+}
+
+// run drives the closed loop and assembles the report. It is the testable
+// core of the command: the soak test calls it against an httptest server.
+func run(ctx context.Context, cfg config) (Report, error) {
+	if cfg.Concurrency <= 0 {
+		return Report{}, fmt.Errorf("concurrency must be positive, got %d", cfg.Concurrency)
+	}
+	if cfg.Duration <= 0 {
+		return Report{}, fmt.Errorf("duration must be positive, got %v", cfg.Duration)
+	}
+	httpClient := cfg.HTTPClient
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 10 * time.Second}
+	}
+
+	reg := obs.NewRegistry()
+	latency := reg.NewHistogramVec("flexload_op_seconds", "per-operation latency", nil, "op")
+	errs := reg.NewCounterVec("flexload_op_errors_total", "per-operation errors", "op")
+	var submitted, accepted, assigned obs.Counter
+
+	ctx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			worker{
+				client:    &market.Client{BaseURL: cfg.BaseURL, HTTPClient: httpClient},
+				rng:       rand.New(rand.NewSource(cfg.Seed + int64(w))),
+				id:        fmt.Sprintf("load-%d-w%d", cfg.Seed, w),
+				latency:   latency,
+				errs:      errs,
+				submitted: &submitted,
+				accepted:  &accepted,
+				assigned:  &assigned,
+			}.loop(ctx)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := Report{
+		BaseURL:         cfg.BaseURL,
+		Seed:            cfg.Seed,
+		Concurrency:     cfg.Concurrency,
+		DurationSeconds: elapsed.Seconds(),
+		Ops:             make(map[string]OpStats, len(opNames)),
+		OffersSubmitted: submitted.Value(),
+		OffersAccepted:  accepted.Value(),
+		OffersAssigned:  assigned.Value(),
+	}
+	for _, op := range opNames {
+		snap := latency.With(opLabel(op)).Snapshot()
+		st := OpStats{
+			Count:  snap.Count,
+			Errors: errs.With(opLabel(op)).Value(),
+			P50Ms:  snap.Quantile(0.50) * 1000,
+			P95Ms:  snap.Quantile(0.95) * 1000,
+			P99Ms:  snap.Quantile(0.99) * 1000,
+		}
+		rep.Ops[op] = st
+		rep.TotalOps += st.Count
+		rep.TotalErrors += st.Errors
+	}
+	if elapsed > 0 {
+		rep.ThroughputOpsPerSec = float64(rep.TotalOps) / elapsed.Seconds()
+	}
+	return rep, nil
+}
+
+// worker is one closed-loop driver: it owns a seeded offer generator and
+// pushes offers through the full lifecycle until the context ends.
+type worker struct {
+	client    *market.Client
+	rng       *rand.Rand
+	id        string
+	latency   *obs.HistogramVec
+	errs      *obs.CounterVec
+	submitted *obs.Counter
+	accepted  *obs.Counter
+	assigned  *obs.Counter
+}
+
+func (w worker) loop(ctx context.Context) {
+	for i := 0; ctx.Err() == nil; i++ {
+		offer := w.makeOffer(i)
+		if !w.timed(ctx, "submit", func() error { return w.client.Submit(offer) }) {
+			continue
+		}
+		w.submitted.Inc()
+		if !w.timed(ctx, "accept", func() error { return w.client.Accept(offer.ID) }) {
+			continue
+		}
+		w.accepted.Inc()
+		energies := make([]float64, len(offer.Profile))
+		for k, s := range offer.Profile {
+			energies[k] = (s.MinEnergy + s.MaxEnergy) / 2
+		}
+		if w.timed(ctx, "assign", func() error {
+			return w.client.Assign(offer.ID, offer.EarliestStart, energies)
+		}) {
+			w.assigned.Inc()
+		}
+		// Sprinkle reads across the write stream at a fixed ratio.
+		if i%10 == 5 {
+			w.timed(ctx, "stats", func() error { _, err := w.client.Stats(); return err })
+		}
+		if i%25 == 12 {
+			w.timed(ctx, "list", func() error { _, err := w.client.List("assigned"); return err })
+		}
+	}
+}
+
+// timed runs op, records its latency and outcome, and reports success.
+// Calls that fail because the run's deadline expired mid-flight are not
+// counted as errors — they are the shutdown, not the server.
+func (w worker) timed(ctx context.Context, op string, fn func() error) bool {
+	t0 := time.Now()
+	err := fn()
+	w.latency.With(opLabel(op)).Observe(time.Since(t0).Seconds())
+	if err != nil {
+		if ctx.Err() != nil {
+			return false
+		}
+		w.errs.With(opLabel(op)).Inc()
+		return false
+	}
+	return true
+}
+
+// makeOffer builds the i-th offer of this worker's deterministic stream:
+// 2–8 slices of 15 minutes with randomised energy bounds, deadlines far
+// enough out that they never lapse during a run.
+func (w worker) makeOffer(i int) *flexoffer.FlexOffer {
+	now := time.Now().UTC().Truncate(time.Second)
+	slices := 2 + w.rng.Intn(7)
+	profile := make([]flexoffer.Slice, slices)
+	for k := range profile {
+		lo := 0.1 + w.rng.Float64()
+		profile[k] = flexoffer.Slice{
+			Duration:  15 * time.Minute,
+			MinEnergy: lo,
+			MaxEnergy: lo + w.rng.Float64(),
+		}
+	}
+	fo := &flexoffer.FlexOffer{
+		ID:             fmt.Sprintf("%s-%06d", w.id, i),
+		ConsumerID:     w.id,
+		CreationTime:   now,
+		AcceptanceTime: now.Add(time.Hour),
+		AssignmentTime: now.Add(2 * time.Hour),
+		EarliestStart:  now.Add(3 * time.Hour),
+		LatestStart:    now.Add(8 * time.Hour),
+		Profile:        profile,
+	}
+	if err := fo.Validate(); err != nil {
+		// The generator produces valid offers by construction; a failure
+		// here is a flexload bug, not a server condition to measure.
+		panic(fmt.Sprintf("flexload: generated invalid offer: %v", err))
+	}
+	return fo
+}

@@ -1,0 +1,242 @@
+package main
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/market"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/timeseries"
+)
+
+// The soak tests drive the full extraction→market path under a nonzero
+// fault profile and the race detector (make soak / CI soak-short). The
+// contract under test is zero lost offers: every extracted offer lands in
+// the store (accepted or semantically rejected) or in the dead-letter
+// set; nothing vanishes inside the retry machinery.
+
+var soakStart = time.Date(2012, 6, 4, 0, 0, 0, 0, time.UTC)
+
+// soakProfile is the reference fault profile: ~32% of sink operations are
+// perturbed, spread over every fault kind.
+const soakProfile = "seed=42,error=0.15,latency=0.02:2ms,panic=0.05,partial=0.1"
+
+// soakSeries builds a peaky household series the peak extractor finds
+// offers in.
+func soakSeries(days int, phase float64) *timeseries.Series {
+	res := 15 * time.Minute
+	perDay := int((24 * time.Hour) / res)
+	vals := make([]float64, days*perDay)
+	for i := range vals {
+		frac := float64(i%perDay) / float64(perDay) * 24
+		vals[i] = 0.2 + 0.6*math.Exp(-(frac-19-phase)*(frac-19-phase)/6)
+	}
+	return timeseries.MustNew(soakStart, res, vals)
+}
+
+func soakJobs(n int) []pipeline.Job {
+	jobs := make([]pipeline.Job, n)
+	for i := range jobs {
+		jobs[i] = pipeline.Job{
+			ID:     "soak-" + string(rune('a'+i%26)) + string(rune('0'+i/26)),
+			Series: soakSeries(2, float64(i%5)/2),
+		}
+	}
+	return jobs
+}
+
+func soakExtractor(j pipeline.Job) core.Extractor {
+	p := core.DefaultParams()
+	p.ConsumerID = j.ID
+	p.Seed = int64(len(j.ID)) + int64(j.ID[len(j.ID)-1])
+	return &core.PeakExtractor{Params: p}
+}
+
+// soakPolicy keeps retry backoffs fast enough for a test loop.
+func soakPolicy() pipeline.RetryPolicy {
+	return pipeline.RetryPolicy{
+		MaxAttempts:    4,
+		BaseBackoff:    time.Millisecond,
+		MaxBackoff:     5 * time.Millisecond,
+		Jitter:         0.2,
+		JitterSeed:     42,
+		AttemptTimeout: time.Second,
+	}
+}
+
+// pipelinePhase runs one extraction batch through a faulty store sink and
+// returns the full accounting.
+type phaseResult struct {
+	stats      pipeline.Stats
+	submitted  int
+	rejected   int
+	dead       int
+	retries    int
+	faultTotal uint64
+	faults     map[string]uint64
+}
+
+func runPipelinePhase(t *testing.T, jobs []pipeline.Job, workers int) phaseResult {
+	t.Helper()
+	prof, err := faultinject.ParseProfile(soakProfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedule := faultinject.NewSchedule(prof)
+	// Logical clock before every extracted deadline, as a replay
+	// deployment would pin it.
+	clock := soakStart.Add(-48 * time.Hour)
+	store := market.NewStore(func() time.Time { return clock })
+	storeSink := &pipeline.StoreSink{Store: store}
+	resilient := pipeline.NewResilientSink(faultinject.WrapSink(storeSink, schedule), soakPolicy(), nil)
+
+	stats, err := pipeline.RunJobs(context.Background(),
+		pipeline.Config{Workers: workers, NewExtractor: soakExtractor}, jobs, resilient)
+	if err != nil {
+		t.Fatalf("RunJobs: %v", err)
+	}
+	submitted, rejected := storeSink.Counts()
+	faults := schedule.Counts()
+	return phaseResult{
+		stats:      stats,
+		submitted:  submitted,
+		rejected:   rejected,
+		dead:       resilient.DeadLetteredOffers(),
+		retries:    resilient.Retries(),
+		faultTotal: faults["total"],
+		faults:     faults,
+	}
+}
+
+// TestSoakPipelineZeroLostOffers runs extractor → pipeline → faulty store
+// and closes the books: emitted == stored + rejected + dead-lettered.
+func TestSoakPipelineZeroLostOffers(t *testing.T) {
+	nJobs := 24
+	if testing.Short() {
+		nJobs = 8
+	}
+	res := runPipelinePhase(t, soakJobs(nJobs), 4)
+
+	if res.stats.OffersEmitted == 0 {
+		t.Fatal("extraction emitted no offers; the soak exercised nothing")
+	}
+	if res.faultTotal == 0 || res.faults[faultinject.Error.String()] == 0 {
+		t.Fatalf("fault schedule idle: %v", res.faults)
+	}
+	if got := res.submitted + res.rejected + res.dead; got != res.stats.OffersEmitted {
+		t.Fatalf("lost offers: emitted %d, accounted %d (stored %d + rejected %d + dead %d)",
+			res.stats.OffersEmitted, got, res.submitted, res.rejected, res.dead)
+	}
+	if res.stats.DeadLettered != res.dead || res.stats.SinkRetries != res.retries {
+		t.Fatalf("Stats (%d dead, %d retries) disagrees with sink (%d, %d)",
+			res.stats.DeadLettered, res.stats.SinkRetries, res.dead, res.retries)
+	}
+	if res.retries == 0 {
+		t.Fatal("no retries under a 32% fault rate; the resilient path was bypassed")
+	}
+	if counts := res.stats.OffersEmitted; res.dead > counts/2 {
+		t.Fatalf("%d of %d offers dead-lettered; retry budget too small for the profile", res.dead, counts)
+	}
+}
+
+// TestSoakFaultReplayDeterminism runs the same single-worker batch twice
+// with the same fault-schedule seed and requires identical fault
+// sequences and identical delivery accounting — the property that makes
+// a soak failure reproducible from its seed.
+func TestSoakFaultReplayDeterminism(t *testing.T) {
+	nJobs := 12
+	if testing.Short() {
+		nJobs = 6
+	}
+	first := runPipelinePhase(t, soakJobs(nJobs), 1)
+	second := runPipelinePhase(t, soakJobs(nJobs), 1)
+
+	if !reflect.DeepEqual(first.faults, second.faults) {
+		t.Fatalf("fault sequences diverged for one seed:\n  first:  %v\n  second: %v", first.faults, second.faults)
+	}
+	if first.submitted != second.submitted || first.rejected != second.rejected ||
+		first.dead != second.dead || first.retries != second.retries {
+		t.Fatalf("delivery accounting diverged for one seed:\n  first:  %+v\n  second: %+v", first, second)
+	}
+}
+
+// TestSoakHTTPLoadUnderFaults drives the flexload closed loop against a
+// fault-injecting market server and checks (a) the client observed the
+// injected faults and (b) the store holds exactly the offers the clients
+// saw succeed — the zero-lost-offers contract on the HTTP path.
+func TestSoakHTTPLoadUnderFaults(t *testing.T) {
+	prof, err := faultinject.ParseProfile("seed=7,error=0.1,latency=0.05:2ms,panic=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedule := faultinject.NewSchedule(prof)
+	store := market.NewStore(nil)
+	reg := obs.NewRegistry()
+	metrics := obs.NewHTTPMetrics(reg, "soak")
+	srv := httptest.NewServer(market.NewServer(store,
+		market.WithObservability(metrics, nil),
+		market.WithMiddleware(func(next http.Handler) http.Handler {
+			return faultinject.Middleware(next, schedule)
+		}),
+	))
+	defer srv.Close()
+
+	duration := 4 * time.Second
+	if testing.Short() {
+		duration = 1500 * time.Millisecond
+	}
+	rep, err := run(context.Background(), config{
+		BaseURL:     srv.URL,
+		Concurrency: 4,
+		Duration:    duration,
+		Seed:        42,
+		HTTPClient:  srv.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.TotalOps == 0 || rep.ThroughputOpsPerSec <= 0 {
+		t.Fatalf("load loop idle: %+v", rep)
+	}
+	if rep.OffersSubmitted == 0 {
+		t.Fatal("no offers submitted")
+	}
+	if rep.TotalErrors == 0 {
+		t.Fatalf("no client-side errors under a 20%% fault profile (faults: %v)", schedule.Counts())
+	}
+	if schedule.Counts()["total"] == 0 {
+		t.Fatal("fault middleware never consulted the schedule")
+	}
+	// Recovered injected panics must be visible in the server metrics —
+	// the middleware composition under test.
+	if schedule.Counts()[faultinject.Panic.String()] > 0 && metrics.Panics.Value() == 0 {
+		t.Fatal("injected panics not recovered/counted by the obs middleware")
+	}
+	// Zero lost offers over HTTP: the store holds exactly the submissions
+	// the clients saw succeed.
+	if got := len(store.List()); got != int(rep.OffersSubmitted) {
+		t.Fatalf("store holds %d offers, clients saw %d submissions succeed", got, rep.OffersSubmitted)
+	}
+	counts := store.Stats()
+	total := counts.Offered + counts.Accepted + counts.Rejected + counts.Assigned + counts.Expired
+	if total != int(rep.OffersSubmitted) {
+		t.Fatalf("store states sum to %d, want %d", total, rep.OffersSubmitted)
+	}
+	if counts.Assigned != int(rep.OffersAssigned) {
+		t.Fatalf("store assigned %d, clients completed %d assignments", counts.Assigned, rep.OffersAssigned)
+	}
+	// The latency percentiles the report carries must be populated.
+	sub := rep.Ops["submit"]
+	if sub.Count == 0 || math.IsNaN(sub.P50Ms) || sub.P50Ms <= 0 {
+		t.Fatalf("submit stats unpopulated: %+v", sub)
+	}
+}

@@ -22,6 +22,19 @@
 // the store's logical clock for such replays:
 //
 //	mirabeld -seed-dir data/ -clock 2012-06-04T00:00:00Z
+//
+// For resilience testing, -fault-profile injects a deterministic, seeded
+// fault schedule (internal/faultinject) into both the HTTP routes and the
+// startup seeding path — errors, latency, panics and partial batches at
+// configured rates, replayable from the seed:
+//
+//	mirabeld -fault-profile 'seed=42,error=0.1,latency=0.05:20ms,panic=0.01'
+//
+// Injected faults flow through the observability middleware, so they are
+// visible on /metrics (faultinject_decisions, request counters, recovered
+// panics) like organic failures; the seeding path rides the pipeline's
+// resilient sink, so faulted submissions are retried and anything that
+// exhausts the budget is dead-lettered and logged rather than lost.
 package main
 
 import (
@@ -40,6 +53,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/market"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
@@ -56,6 +70,7 @@ type config struct {
 	seedFlexPct  float64
 	seedJobs     int
 	pprof        bool
+	faultProfile string
 }
 
 func main() {
@@ -68,6 +83,7 @@ func main() {
 	flag.Float64Var(&cfg.seedFlexPct, "seed-flexpct", 0.05, "flexible share for -seed-dir extraction")
 	flag.IntVar(&cfg.seedJobs, "seed-jobs", 0, "worker count for -seed-dir extraction (0 = GOMAXPROCS)")
 	flag.BoolVar(&cfg.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
+	flag.StringVar(&cfg.faultProfile, "fault-profile", "", `inject seeded faults into HTTP routes and seeding (e.g. "seed=42,error=0.1,latency=0.05:20ms"; empty disables)`)
 	logLevel := flag.String("log-level", "info", "minimum log level (debug | info | warn | error)")
 	flag.Parse()
 
@@ -107,8 +123,20 @@ func run(cfg config, logger *obs.Logger) error {
 	storeMetrics := market.RegisterStoreMetrics(reg, store)
 	telemetry := pipeline.NewTelemetry(reg)
 
+	faults, err := faultSchedule(cfg.faultProfile, reg)
+	if err != nil {
+		return err
+	}
+	apiOpts := []market.ServerOption{market.WithObservability(httpMetrics, logger)}
+	if faults != nil {
+		logger.Warn("fault injection active", "profile", cfg.faultProfile)
+		apiOpts = append(apiOpts, market.WithMiddleware(func(next http.Handler) http.Handler {
+			return faultinject.Middleware(next, faults)
+		}))
+	}
+
 	var ready atomic.Bool
-	api := market.NewServer(store, market.WithObservability(httpMetrics, logger))
+	api := market.NewServer(store, apiOpts...)
 	handler := newHandler(api, reg, &ready, cfg.pprof)
 
 	srv := &http.Server{Addr: cfg.addr, Handler: handler}
@@ -125,7 +153,7 @@ func run(cfg config, logger *obs.Logger) error {
 	seedc := make(chan error, 1)
 	go func() {
 		if cfg.seedDir != "" {
-			if err := seedStore(ctx, store, telemetry, logger, clock, cfg.seedDir, cfg.seedApproach, cfg.seedFlexPct, cfg.seedJobs); err != nil {
+			if err := seedStore(ctx, store, telemetry, logger, clock, faults, cfg.seedDir, cfg.seedApproach, cfg.seedFlexPct, cfg.seedJobs); err != nil {
 				seedc <- fmt.Errorf("seed: %w", err)
 				return
 			}
@@ -158,6 +186,21 @@ func run(cfg config, logger *obs.Logger) error {
 	}
 }
 
+// faultSchedule parses -fault-profile into a live schedule registered on
+// reg, or (nil, nil) when the flag is empty.
+func faultSchedule(profile string, reg *obs.Registry) (*faultinject.Schedule, error) {
+	if profile == "" {
+		return nil, nil
+	}
+	prof, err := faultinject.ParseProfile(profile)
+	if err != nil {
+		return nil, fmt.Errorf("-fault-profile: %w", err)
+	}
+	schedule := faultinject.NewSchedule(prof)
+	faultinject.RegisterMetrics(reg, schedule)
+	return schedule, nil
+}
+
 // shutdown drains the server gracefully, bounded by a five-second timeout.
 func shutdown(srv *http.Server, logger *obs.Logger) error {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -187,11 +230,14 @@ func sweeper(ctx context.Context, store *market.Store, interval time.Duration, m
 }
 
 // seedStore bulk-extracts every *.csv under dir through the concurrent
-// pipeline and submits the resulting offers straight into the store.
-// telemetry and logger may be nil; clock is the store's logical clock (nil
-// for live), injected into the pipeline so -clock replays report
-// deterministic batch timings.
-func seedStore(ctx context.Context, store *market.Store, telemetry *pipeline.Telemetry, logger *obs.Logger, clock func() time.Time, dir, approach string, flexPct float64, jobs int) error {
+// pipeline and submits the resulting offers into the store over the
+// resilient sink: transient submission failures retry with backoff, and
+// offers that exhaust the budget are dead-lettered and logged, never
+// silently dropped. faults, when non-nil, injects the -fault-profile
+// schedule between the retry layer and the store. telemetry and logger may
+// be nil; clock is the store's logical clock (nil for live), injected into
+// the pipeline so -clock replays report deterministic batch timings.
+func seedStore(ctx context.Context, store *market.Store, telemetry *pipeline.Telemetry, logger *obs.Logger, clock func() time.Time, faults *faultinject.Schedule, dir, approach string, flexPct float64, jobs int) error {
 	all, err := filepath.Glob(filepath.Join(dir, "*.csv"))
 	if err != nil {
 		return err
@@ -245,7 +291,12 @@ func seedStore(ctx context.Context, store *market.Store, telemetry *pipeline.Tel
 		seedOf[j.ID] = int64(i + 1)
 	}
 
-	sink := &pipeline.StoreSink{Store: store}
+	storeSink := &pipeline.StoreSink{Store: store}
+	var inner pipeline.Sink = storeSink
+	if faults != nil {
+		inner = faultinject.WrapSink(storeSink, faults)
+	}
+	sink := pipeline.NewResilientSink(inner, pipeline.DefaultRetryPolicy(), telemetry)
 	cfg := pipeline.Config{
 		Workers:   jobs,
 		Telemetry: telemetry,
@@ -266,14 +317,18 @@ func seedStore(ctx context.Context, store *market.Store, telemetry *pipeline.Tel
 	for _, je := range stats.JobErrors {
 		logger.Warn("seed job failed", "job", je.JobID, "err", je.Err)
 	}
-	submitted, rejected := sink.Counts()
+	for _, dl := range sink.DeadLetters() {
+		logger.Warn("seed offers dead-lettered", "job", dl.JobID, "offers", len(dl.Offers), "attempts", dl.Attempts, "err", dl.Err)
+	}
+	submitted, rejected := storeSink.Counts()
 	logger.Info("seed done",
 		"offers", submitted, "series", stats.SeriesProcessed, "batch", len(batch),
 		"rejected", rejected, "extract_errors", stats.Errors,
+		"retries", stats.SinkRetries, "dead_lettered", stats.DeadLettered,
 		"wall", stats.Wall.Round(time.Millisecond), "speedup", fmt.Sprintf("%.2fx", stats.Speedup()),
 		"workers", stats.Workers)
 	if rejected > 0 {
-		return fmt.Errorf("%d offers rejected by the store (first: %v); historical data may need -clock", rejected, sink.FirstErr())
+		return fmt.Errorf("%d offers rejected by the store (first: %v); historical data may need -clock", rejected, storeSink.FirstErr())
 	}
 	if stats.Errors > 0 && stats.SeriesProcessed == 0 {
 		return errors.New("every series failed extraction")

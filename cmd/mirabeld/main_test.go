@@ -9,7 +9,9 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/market"
+	"repro/internal/obs"
 	"repro/internal/timeseries"
 )
 
@@ -44,7 +46,7 @@ func TestSeedStoreBulkSubmits(t *testing.T) {
 	// Replay clock before the historical deadlines, as -clock would set.
 	clock := seedStart.Add(-48 * time.Hour)
 	store := market.NewStore(func() time.Time { return clock })
-	if err := seedStore(context.Background(), store, nil, nil, nil, dir, "peak", 0.05, 4); err != nil {
+	if err := seedStore(context.Background(), store, nil, nil, nil, nil, dir, "peak", 0.05, 4); err != nil {
 		t.Fatal(err)
 	}
 	counts := store.Stats()
@@ -73,7 +75,7 @@ func TestSeedStoreLiveClockRejectsHistoricalOffers(t *testing.T) {
 	dir := t.TempDir()
 	writeHouseCSV(t, filepath.Join(dir, "old.csv"), 2)
 	store := market.NewStore(nil) // live clock: 2012 deadlines lapsed long ago
-	err := seedStore(context.Background(), store, nil, nil, nil, dir, "peak", 0.05, 2)
+	err := seedStore(context.Background(), store, nil, nil, nil, nil, dir, "peak", 0.05, 2)
 	if err == nil {
 		t.Fatal("historical offers accepted under a live clock")
 	}
@@ -83,12 +85,57 @@ func TestSeedStoreLiveClockRejectsHistoricalOffers(t *testing.T) {
 }
 
 func TestSeedStoreErrors(t *testing.T) {
-	if err := seedStore(context.Background(), market.NewStore(nil), nil, nil, nil, t.TempDir(), "peak", 0.05, 1); err == nil {
+	if err := seedStore(context.Background(), market.NewStore(nil), nil, nil, nil, nil, t.TempDir(), "peak", 0.05, 1); err == nil {
 		t.Fatal("empty seed dir accepted")
 	}
 	dir := t.TempDir()
 	writeHouseCSV(t, filepath.Join(dir, "h.csv"), 2)
-	if err := seedStore(context.Background(), market.NewStore(nil), nil, nil, nil, dir, "frequency", 0.05, 1); err == nil {
+	if err := seedStore(context.Background(), market.NewStore(nil), nil, nil, nil, nil, dir, "frequency", 0.05, 1); err == nil {
 		t.Fatal("unsupported seed approach accepted")
+	}
+}
+
+func TestSeedStoreSurvivesFaultInjection(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"a", "b", "c"} {
+		writeHouseCSV(t, filepath.Join(dir, name+".csv"), 2)
+	}
+	prof, err := faultinject.ParseProfile("seed=11,error=0.3,panic=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := faultinject.NewSchedule(prof)
+	clock := seedStart.Add(-48 * time.Hour)
+	store := market.NewStore(func() time.Time { return clock })
+	if err := seedStore(context.Background(), store, nil, nil, nil, faults, dir, "peak", 0.05, 2); err != nil {
+		t.Fatal(err)
+	}
+	if faults.Counts()["total"] == 0 {
+		t.Fatal("fault schedule never consulted")
+	}
+	if store.Stats().Offered == 0 {
+		t.Fatal("fault injection emptied the store; the resilient sink did not retry")
+	}
+}
+
+func TestFaultScheduleFlag(t *testing.T) {
+	reg := obs.NewRegistry()
+	if s, err := faultSchedule("", reg); s != nil || err != nil {
+		t.Fatalf("empty profile: schedule %v, err %v", s, err)
+	}
+	if _, err := faultSchedule("error=2.0", reg); err == nil || !strings.Contains(err.Error(), "-fault-profile") {
+		t.Fatalf("invalid profile error = %v, want -fault-profile context", err)
+	}
+	s, err := faultSchedule("seed=5,error=0.5", reg)
+	if err != nil || s == nil {
+		t.Fatalf("valid profile: %v, %v", s, err)
+	}
+	s.Next()
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "faultinject_decisions") {
+		t.Fatal("fault decisions not registered on /metrics registry")
 	}
 }

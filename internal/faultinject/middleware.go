@@ -1,0 +1,44 @@
+package faultinject
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// FaultHeader names the response header the middleware sets on every
+// request it perturbed, carrying the fault kind — load generators count it
+// to separate injected failures from real ones.
+const FaultHeader = "X-Fault-Injected"
+
+// Middleware wraps next with scheduled request faults: errors answer 503
+// with a JSON error envelope before the handler runs, latency delays the
+// handler (honouring request-context cancellation), and panics escape
+// mid-request — install this middleware *inside* obs.Middleware (e.g. via
+// market.WithMiddleware) so the panic is recovered into a counted 500 and
+// every injected fault shows up in the request metrics. Partial decisions
+// have no batch to split at the request level and degrade to errors.
+func Middleware(next http.Handler, s *Schedule) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d := s.Next()
+		switch d.Kind {
+		case Error, Partial:
+			w.Header().Set(FaultHeader, Error.String())
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": ErrInjected.Error()})
+			return
+		case Latency:
+			w.Header().Set(FaultHeader, Latency.String())
+			if err := sleepCtx(r.Context(), d.Latency); err != nil {
+				// The client went away while we stalled; nothing left
+				// to serve.
+				return
+			}
+		case Panic:
+			w.Header().Set(FaultHeader, Panic.String())
+			panic(fmt.Sprintf("%v: request panic", ErrInjected))
+		}
+		next.ServeHTTP(w, r)
+	})
+}

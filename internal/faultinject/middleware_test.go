@@ -1,0 +1,70 @@
+package faultinject
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+}
+
+func TestMiddlewareInjectsError(t *testing.T) {
+	h := Middleware(okHandler(), NewSchedule(Profile{Seed: 1, ErrorRate: 1}))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/offers", nil))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", rr.Code)
+	}
+	if rr.Header().Get(FaultHeader) != "error" {
+		t.Fatalf("%s = %q, want error", FaultHeader, rr.Header().Get(FaultHeader))
+	}
+	if !strings.Contains(rr.Body.String(), "injected fault") {
+		t.Fatalf("body %q missing injected-fault envelope", rr.Body.String())
+	}
+}
+
+func TestMiddlewareLatencyStillServes(t *testing.T) {
+	h := Middleware(okHandler(), NewSchedule(Profile{Seed: 1, LatencyRate: 1, MaxLatency: 10 * time.Millisecond}))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/offers", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200", rr.Code)
+	}
+	if rr.Header().Get(FaultHeader) != "latency" {
+		t.Fatalf("%s = %q, want latency", FaultHeader, rr.Header().Get(FaultHeader))
+	}
+}
+
+// TestMiddlewareComposesWithObs is the composition contract from the
+// mirabeld wiring: faults injected *inside* obs.Middleware surface in the
+// request metrics — an injected panic becomes a recovered, counted 500.
+func TestMiddlewareComposesWithObs(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := obs.NewHTTPMetrics(reg, "test")
+	faulty := Middleware(okHandler(), NewSchedule(Profile{Seed: 1, PanicRate: 1}))
+	h := obs.Middleware(faulty, m, nil, nil)
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/offers", nil))
+	if rr.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500 from recovered injected panic", rr.Code)
+	}
+	if got := m.Panics.Value(); got != 1 {
+		t.Fatalf("panic counter %d, want 1", got)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `test_http_requests_total{route="/offers",method="GET",status="5xx"} 1`) {
+		t.Fatalf("injected fault missing from request metrics:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,84 @@
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+// Sink injects scheduled faults in front of any pipeline.Sink: errors fail
+// the Put, latency delays it (honouring context cancellation), panics
+// escape mid-Put — a ResilientSink contains them — and partial faults
+// deliver only the first half of the output's offers, failing the rest
+// with a pipeline.PartialError so a retry path can resubmit exactly the
+// undelivered remainder.
+type Sink struct {
+	// Inner is the sink faults are injected in front of.
+	Inner pipeline.Sink
+	// Schedule supplies the fault decisions.
+	Schedule *Schedule
+}
+
+// WrapSink builds a fault-injecting sink around inner.
+func WrapSink(inner pipeline.Sink, s *Schedule) *Sink {
+	return &Sink{Inner: inner, Schedule: s}
+}
+
+// Put implements pipeline.Sink.
+func (f *Sink) Put(ctx context.Context, out pipeline.Output) error {
+	d := f.Schedule.Next()
+	switch d.Kind {
+	case Error:
+		return fmt.Errorf("%w: sink error", ErrInjected)
+	case Latency:
+		if err := sleepCtx(ctx, d.Latency); err != nil {
+			return err
+		}
+	case Panic:
+		panic(fmt.Sprintf("%v: sink panic", ErrInjected))
+	case Partial:
+		return f.putPartial(ctx, out)
+	}
+	return f.Inner.Put(ctx, out)
+}
+
+// putPartial delivers the first half of the output's offers to the inner
+// sink and fails the second half. Outputs too small to split degrade to a
+// plain injected error.
+func (f *Sink) putPartial(ctx context.Context, out pipeline.Output) error {
+	var n int
+	if out.Result != nil {
+		n = len(out.Result.Offers)
+	}
+	if n < 2 {
+		return fmt.Errorf("%w: sink error (batch too small for partial fault)", ErrInjected)
+	}
+	offers := out.Result.Offers
+	delivered := *out.Result
+	delivered.Offers = offers[:n/2]
+	partial := out
+	partial.Result = &delivered
+	if err := f.Inner.Put(ctx, partial); err != nil {
+		// The inner sink rejected even the prefix: nothing landed, the
+		// whole batch remains undelivered.
+		return &pipeline.PartialError{Remaining: offers, Cause: err}
+	}
+	return &pipeline.PartialError{
+		Remaining: offers[n/2:],
+		Cause:     fmt.Errorf("%w: partial delivery", ErrInjected),
+	}
+}
+
+// sleepCtx sleeps for d unless the context ends first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

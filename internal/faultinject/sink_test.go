@@ -1,0 +1,105 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/flexoffer"
+	"repro/internal/pipeline"
+)
+
+// output builds a pipeline output carrying n offers.
+func output(n int) pipeline.Output {
+	offers := make(flexoffer.Set, n)
+	for i := range offers {
+		offers[i] = &flexoffer.FlexOffer{ID: string(rune('a' + i))}
+	}
+	return pipeline.Output{JobID: "job", Result: &core.Result{Offers: offers}}
+}
+
+func TestSinkInjectsError(t *testing.T) {
+	collect := &pipeline.CollectSink{}
+	f := WrapSink(collect, NewSchedule(Profile{Seed: 1, ErrorRate: 1}))
+	err := f.Put(context.Background(), output(3))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if got := len(collect.Outputs()); got != 0 {
+		t.Fatalf("inner sink saw %d outputs despite injected error", got)
+	}
+}
+
+func TestSinkInjectsPanic(t *testing.T) {
+	f := WrapSink(pipeline.Discard, NewSchedule(Profile{Seed: 1, PanicRate: 1}))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Put did not panic")
+		}
+	}()
+	_ = f.Put(context.Background(), output(2))
+}
+
+func TestSinkInjectsLatency(t *testing.T) {
+	const lat = 30 * time.Millisecond
+	collect := &pipeline.CollectSink{}
+	f := WrapSink(collect, NewSchedule(Profile{Seed: 1, LatencyRate: 1, MaxLatency: lat}))
+
+	// Latency delays but still delivers.
+	start := time.Now()
+	if err := f.Put(context.Background(), output(2)); err != nil {
+		t.Fatal(err)
+	}
+	if len(collect.Outputs()) != 1 {
+		t.Fatal("delayed output never reached the inner sink")
+	}
+	_ = start // the delay itself is probabilistic in (0, lat]; delivery is the contract
+
+	// A cancelled context cuts the sleep short with the context error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := f.Put(ctx, output(2)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled latency Put = %v, want context.Canceled", err)
+	}
+}
+
+func TestSinkPartialDeliversPrefix(t *testing.T) {
+	collect := &pipeline.CollectSink{}
+	f := WrapSink(collect, NewSchedule(Profile{Seed: 1, PartialRate: 1}))
+	err := f.Put(context.Background(), output(5))
+	var pe *pipeline.PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want PartialError", err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("partial cause %v does not unwrap to ErrInjected", err)
+	}
+	if len(pe.Remaining) != 3 {
+		t.Fatalf("remaining %d offers, want 3", len(pe.Remaining))
+	}
+	outs := collect.Outputs()
+	if len(outs) != 1 || len(outs[0].Result.Offers) != 2 {
+		t.Fatalf("inner sink received %+v, want one output with the 2-offer prefix", outs)
+	}
+	// Delivered prefix + failed remainder must partition the original set.
+	got := append(flexoffer.Set{}, outs[0].Result.Offers...)
+	got = append(got, pe.Remaining...)
+	if len(got) != 5 {
+		t.Fatalf("prefix+remainder holds %d offers, want 5", len(got))
+	}
+}
+
+func TestSinkPartialOnTinyBatchDegradesToError(t *testing.T) {
+	collect := &pipeline.CollectSink{}
+	f := WrapSink(collect, NewSchedule(Profile{Seed: 1, PartialRate: 1}))
+	err := f.Put(context.Background(), output(1))
+	var pe *pipeline.PartialError
+	if errors.As(err, &pe) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want plain ErrInjected", err)
+	}
+	if len(collect.Outputs()) != 0 {
+		t.Fatal("tiny batch partially delivered")
+	}
+}

@@ -19,6 +19,7 @@ var DocCheck = &Analyzer{
 		"internal/market",
 		"internal/pipeline",
 		"internal/flexoffer",
+		"internal/faultinject",
 	},
 	Run: runDocCheck,
 }

@@ -1,0 +1,117 @@
+package market
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/flexoffer"
+)
+
+// FuzzSubmitBatch fuzzes the bulk ingest path with hostile batches —
+// duplicate IDs (within the batch and against the store), nil offers,
+// zero-slice profiles, lapsed acceptance deadlines — and checks the
+// accounting invariants the retry path depends on: every offer is either
+// accepted or named in Failures exactly once, failure indices stay
+// in-range and sorted, and resubmitting the same batch accepts nothing
+// new.
+func FuzzSubmitBatch(f *testing.F) {
+	f.Add(8, 3, int64(time.Hour), 4, uint8(0))
+	f.Add(0, 0, int64(0), 0, uint8(0))          // empty batch
+	f.Add(5, 1, int64(time.Hour), 4, uint8(1))  // every ID collides
+	f.Add(6, 2, int64(-time.Hour), 4, uint8(2)) // lapsed deadlines
+	f.Add(7, 3, int64(time.Hour), 0, uint8(4))  // zero-slice profiles
+	f.Add(16, 4, int64(time.Minute), 2, uint8(7))
+	f.Add(3, 2, int64(time.Hour), 1, uint8(8)) // nil offers sprinkled in
+
+	f.Fuzz(func(t *testing.T, n, dupEvery int, leadNs int64, slices int, mutate uint8) {
+		if n < 0 || n > 64 || slices < 0 || slices > 32 {
+			return // batch shape is under caller control; bound the allocation
+		}
+		origin := time.Date(2012, 6, 4, 0, 0, 0, 0, time.UTC)
+		store := NewStore(func() time.Time { return origin })
+
+		batch := make(flexoffer.Set, 0, n)
+		for i := 0; i < n; i++ {
+			if mutate&8 != 0 && i%5 == 4 {
+				batch = append(batch, nil)
+				continue
+			}
+			id := "fuzz"
+			if dupEvery <= 0 || i%max(dupEvery, 1) != 0 {
+				id = "fuzz-" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+			}
+			if mutate&2 != 0 && i%3 == 0 {
+				// Lapsed acceptance deadline relative to the fixed clock.
+				batch = append(batch, fuzzOffer(id, origin.Add(-24*time.Hour), time.Duration(leadNs), slices))
+				continue
+			}
+			fo := fuzzOffer(id, origin, time.Duration(leadNs), slices)
+			if mutate&4 != 0 && i%4 == 2 {
+				fo.Profile = nil // zero slices: must be rejected, never panic
+			}
+			batch = append(batch, fo)
+		}
+
+		res := store.SubmitBatch(batch)
+
+		if res.Submitted != len(batch) {
+			t.Fatalf("Submitted = %d, batch has %d", res.Submitted, len(batch))
+		}
+		if res.Accepted+len(res.Failures) != len(batch) {
+			t.Fatalf("accepted %d + failures %d != %d", res.Accepted, len(res.Failures), len(batch))
+		}
+		seen := make(map[int]bool, len(res.Failures))
+		for i, fl := range res.Failures {
+			if fl.Index < 0 || fl.Index >= len(batch) {
+				t.Fatalf("failure index %d out of range [0,%d)", fl.Index, len(batch))
+			}
+			if seen[fl.Index] {
+				t.Fatalf("index %d failed twice", fl.Index)
+			}
+			seen[fl.Index] = true
+			if i > 0 && res.Failures[i-1].Index >= fl.Index {
+				t.Fatalf("failures out of submission order: %+v", res.Failures)
+			}
+			if fl.Err == nil {
+				t.Fatalf("failure %d carries nil error", fl.Index)
+			}
+			if batch[fl.Index] != nil && fl.ID != batch[fl.Index].ID {
+				t.Fatalf("failure %d attributed to %q, offer is %q", fl.Index, fl.ID, batch[fl.Index].ID)
+			}
+		}
+		if got := len(res.FailedOffers(batch)); got != len(res.Failures) {
+			t.Fatalf("FailedOffers returned %d offers for %d failures", got, len(res.Failures))
+		}
+		if got := len(store.List()); got != res.Accepted {
+			t.Fatalf("store holds %d records, result says %d accepted", got, res.Accepted)
+		}
+		stats := store.Stats()
+		if stats.Offered != res.Accepted {
+			t.Fatalf("Stats.Offered = %d, want %d", stats.Offered, res.Accepted)
+		}
+
+		// Resubmitting the identical batch must accept nothing new: every
+		// previously accepted ID is now a duplicate.
+		again := store.SubmitBatch(batch)
+		if again.Accepted != 0 {
+			t.Fatalf("resubmission accepted %d offers", again.Accepted)
+		}
+		if got := len(store.List()); got != res.Accepted {
+			t.Fatalf("resubmission changed store size: %d, want %d", got, res.Accepted)
+		}
+	})
+}
+
+// fuzzOffer builds an offer whose deadlines sit lead after origin; the
+// result may be invalid (negative lead, zero slices) by design.
+func fuzzOffer(id string, origin time.Time, lead time.Duration, slices int) *flexoffer.FlexOffer {
+	return &flexoffer.FlexOffer{
+		ID:             id,
+		CreationTime:   origin,
+		AcceptanceTime: origin.Add(lead),
+		AssignmentTime: origin.Add(lead),
+		EarliestStart:  origin.Add(lead + time.Hour),
+		LatestStart:    origin.Add(lead + 5*time.Hour),
+		Profile:        flexoffer.UniformProfile(slices, 15*time.Minute, 0.5, 1.0),
+	}
+}

@@ -29,6 +29,7 @@ type Server struct {
 	handler http.Handler
 	metrics *obs.HTTPMetrics
 	logger  *obs.Logger
+	wrap    func(http.Handler) http.Handler
 }
 
 // ServerOption configures a Server at construction time.
@@ -45,6 +46,14 @@ func WithObservability(m *obs.HTTPMetrics, logger *obs.Logger) ServerOption {
 	}
 }
 
+// WithMiddleware wraps the route mux with wrap. The wrapper sits inside
+// the observability middleware (when both are configured), so anything it
+// does to a request — fault injection's errors, delays and panics
+// included — is counted and timed like organic traffic.
+func WithMiddleware(wrap func(http.Handler) http.Handler) ServerOption {
+	return func(s *Server) { s.wrap = wrap }
+}
+
 // NewServer wraps a store.
 func NewServer(store *Store, opts ...ServerOption) *Server {
 	s := &Server{store: store, mux: http.NewServeMux()}
@@ -56,8 +65,11 @@ func NewServer(store *Store, opts ...ServerOption) *Server {
 		opt(s)
 	}
 	s.handler = s.mux
+	if s.wrap != nil {
+		s.handler = s.wrap(s.handler)
+	}
 	if s.metrics != nil || s.logger != nil {
-		s.handler = obs.Middleware(s.mux, s.metrics, RouteLabel, s.logger)
+		s.handler = obs.Middleware(s.handler, s.metrics, RouteLabel, s.logger)
 	}
 	return s
 }

@@ -154,14 +154,68 @@ func (s *Store) Submit(f *flexoffer.FlexOffer) error {
 	return nil
 }
 
+// BatchFailure attributes one rejected offer within a SubmitBatch call to
+// its position in the submitted set, so retry paths can resubmit exactly
+// the failures.
+type BatchFailure struct {
+	// Index is the offer's position in the submitted set.
+	Index int
+	// ID is the rejected offer's ID ("" for a nil offer).
+	ID string
+	// Err is why the offer was rejected; never nil.
+	Err error
+}
+
+// BatchResult reports a SubmitBatch outcome: how many offers the store
+// accepted and exactly which ones it did not.
+type BatchResult struct {
+	// Submitted is the size of the submitted set.
+	Submitted int
+	// Accepted is the number of offers collected into the store.
+	Accepted int
+	// Failures lists the rejected offers in submission order; empty when
+	// the whole batch was accepted.
+	Failures []BatchFailure
+}
+
+// Rejected reports the number of failed offers.
+func (r BatchResult) Rejected() int { return len(r.Failures) }
+
+// FirstErr returns the first failure's error, or nil when the whole batch
+// was accepted.
+func (r BatchResult) FirstErr() error {
+	if len(r.Failures) == 0 {
+		return nil
+	}
+	return r.Failures[0].Err
+}
+
+// FailedOffers maps the failures back onto the submitted set: the subset
+// of offers that did not land, in submission order. offers must be the
+// same set that was passed to SubmitBatch.
+func (r BatchResult) FailedOffers(offers flexoffer.Set) flexoffer.Set {
+	if len(r.Failures) == 0 {
+		return nil
+	}
+	failed := make(flexoffer.Set, 0, len(r.Failures))
+	for _, f := range r.Failures {
+		if f.Index >= 0 && f.Index < len(offers) {
+			failed = append(failed, offers[f.Index])
+		}
+	}
+	return failed
+}
+
 // SubmitBatch collects many offers under a single lock acquisition — the
 // bulk ingest path used by the extraction pipeline. Validation runs outside
 // the lock; insertion is atomic per offer, not per batch: each offer is
-// accepted or rejected independently. It returns the number accepted and
-// one error slot per input offer (nil for accepted ones), so callers can
-// attribute rejections.
-func (s *Store) SubmitBatch(offers flexoffer.Set) (int, []error) {
-	errs := make([]error, len(offers))
+// accepted or rejected independently, and the result names every failure
+// by index so callers can resubmit only what did not land.
+func (s *Store) SubmitBatch(offers flexoffer.Set) BatchResult {
+	res := BatchResult{Submitted: len(offers)}
+	fail := func(i int, id string, err error) {
+		res.Failures = append(res.Failures, BatchFailure{Index: i, ID: id, Err: err})
+	}
 	type pending struct {
 		i int
 		f *flexoffer.FlexOffer
@@ -170,12 +224,12 @@ func (s *Store) SubmitBatch(offers flexoffer.Set) (int, []error) {
 	for i, f := range offers {
 		switch {
 		case f == nil:
-			errs[i] = fmt.Errorf("%w: nil offer", ErrBadRequest)
+			fail(i, "", fmt.Errorf("%w: nil offer", ErrBadRequest))
 		case f.ID == "":
-			errs[i] = fmt.Errorf("%w: empty offer id", ErrBadRequest)
+			fail(i, "", fmt.Errorf("%w: empty offer id", ErrBadRequest))
 		default:
 			if err := f.Validate(); err != nil {
-				errs[i] = fmt.Errorf("%w: %v", ErrBadRequest, err)
+				fail(i, f.ID, fmt.Errorf("%w: %v", ErrBadRequest, err))
 			} else {
 				ok = append(ok, pending{i, f})
 			}
@@ -184,22 +238,24 @@ func (s *Store) SubmitBatch(offers flexoffer.Set) (int, []error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	now := s.clock()
-	accepted := 0
 	for _, p := range ok {
 		f := p.f
 		if !f.AcceptanceTime.IsZero() && now.After(f.AcceptanceTime) {
-			errs[p.i] = fmt.Errorf("%w: acceptance deadline %v already passed", ErrDeadline, f.AcceptanceTime)
+			fail(p.i, f.ID, fmt.Errorf("%w: acceptance deadline %v already passed", ErrDeadline, f.AcceptanceTime))
 			continue
 		}
 		if _, dup := s.records[f.ID]; dup {
-			errs[p.i] = fmt.Errorf("%w: %s", ErrDuplicate, f.ID)
+			fail(p.i, f.ID, fmt.Errorf("%w: %s", ErrDuplicate, f.ID))
 			continue
 		}
 		s.records[f.ID] = &Record{Offer: f.Clone(), State: Offered, SubmittedAt: now}
 		s.order = append(s.order, f.ID)
-		accepted++
+		res.Accepted++
 	}
-	return accepted, errs
+	// Failures accumulate in two passes (validation, then insertion), so
+	// restore submission order for callers that walk them.
+	sort.Slice(res.Failures, func(i, j int) bool { return res.Failures[i].Index < res.Failures[j].Index })
+	return res
 }
 
 // Accept moves an offered flex-offer to Accepted, enforcing the acceptance

@@ -221,19 +221,18 @@ func TestStoreConcurrentSubmitBatch(t *testing.T) {
 				}
 				set = append(set, stressOffer(id, stressStart, time.Hour))
 			}
-			accepted, errs := store.SubmitBatch(set)
-			acceptedTotal.Add(int64(accepted))
-			var failed int
-			for _, err := range errs {
-				if err != nil {
-					failed++
-					if !errors.Is(err, ErrDuplicate) {
-						t.Errorf("batch %d: %v", b, err)
-					}
+			res := store.SubmitBatch(set)
+			acceptedTotal.Add(int64(res.Accepted))
+			for _, f := range res.Failures {
+				if !errors.Is(f.Err, ErrDuplicate) {
+					t.Errorf("batch %d offer %d: %v", b, f.Index, f.Err)
+				}
+				if f.ID != set[f.Index].ID {
+					t.Errorf("batch %d failure %d attributed to %q, offer is %q", b, f.Index, f.ID, set[f.Index].ID)
 				}
 			}
-			if accepted+failed != batchSize {
-				t.Errorf("batch %d: accepted %d + failed %d != %d", b, accepted, failed, batchSize)
+			if res.Accepted+res.Rejected() != batchSize {
+				t.Errorf("batch %d: accepted %d + failed %d != %d", b, res.Accepted, res.Rejected(), batchSize)
 			}
 		}(b)
 	}
@@ -251,20 +250,149 @@ func TestSubmitBatchValidation(t *testing.T) {
 	invalid := stressOffer("invalid", stressStart, time.Hour)
 	invalid.Profile = nil
 	batch := flexoffer.Set{good, nil, invalid, lapsed, good.Clone()}
-	accepted, errs := store.SubmitBatch(batch)
-	if accepted != 1 {
-		t.Fatalf("accepted %d, want 1", accepted)
+	res := store.SubmitBatch(batch)
+	if res.Accepted != 1 || res.Submitted != len(batch) {
+		t.Fatalf("accepted %d of %d, want 1 of %d", res.Accepted, res.Submitted, len(batch))
 	}
-	if errs[0] != nil {
-		t.Fatalf("good offer rejected: %v", errs[0])
+	// Failures are indexed: each rejection names the offending slot.
+	byIndex := make(map[int]BatchFailure, len(res.Failures))
+	for i, f := range res.Failures {
+		byIndex[f.Index] = f
+		if i > 0 && res.Failures[i-1].Index >= f.Index {
+			t.Fatalf("failures out of submission order: %+v", res.Failures)
+		}
 	}
-	if !errors.Is(errs[1], ErrBadRequest) || !errors.Is(errs[2], ErrBadRequest) {
-		t.Fatalf("nil/invalid offers: %v, %v", errs[1], errs[2])
+	if _, ok := byIndex[0]; ok {
+		t.Fatalf("good offer rejected: %v", byIndex[0].Err)
 	}
-	if !errors.Is(errs[3], ErrDeadline) {
-		t.Fatalf("lapsed offer: %v", errs[3])
+	if !errors.Is(byIndex[1].Err, ErrBadRequest) || !errors.Is(byIndex[2].Err, ErrBadRequest) {
+		t.Fatalf("nil/invalid offers: %+v, %+v", byIndex[1], byIndex[2])
 	}
-	if !errors.Is(errs[4], ErrDuplicate) {
-		t.Fatalf("duplicate within batch: %v", errs[4])
+	if !errors.Is(byIndex[3].Err, ErrDeadline) || byIndex[3].ID != "lapsed" {
+		t.Fatalf("lapsed offer: %+v", byIndex[3])
+	}
+	if !errors.Is(byIndex[4].Err, ErrDuplicate) || byIndex[4].ID != "good" {
+		t.Fatalf("duplicate within batch: %+v", byIndex[4])
+	}
+	// FailedOffers maps the failures back onto the submitted set.
+	failed := res.FailedOffers(batch)
+	if len(failed) != 4 || failed[1] != invalid || failed[2] != lapsed {
+		t.Fatalf("FailedOffers = %v", failed)
+	}
+	if err := res.FirstErr(); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("FirstErr = %v, want the nil-offer rejection", err)
+	}
+}
+
+// TestStoreConcurrentBatchLifecycle is the mixed-operation stress test:
+// N goroutines run SubmitBatch while others Accept, Assign and
+// ExpireOverdue the same ID space, and Stats must account every accepted
+// offer exactly once — none counted twice, none dropped.
+func TestStoreConcurrentBatchLifecycle(t *testing.T) {
+	var nowNanos atomic.Int64
+	nowNanos.Store(stressStart.UnixNano())
+	clock := func() time.Time { return time.Unix(0, nowNanos.Load()).UTC() }
+	store := NewStore(clock)
+
+	const (
+		submitters = 6
+		batches    = 8
+		batchSize  = 20
+		nearLead   = 30 * time.Minute
+		farLead    = 1000 * time.Hour
+	)
+	var acceptedIntoStore atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				set := make(flexoffer.Set, 0, batchSize)
+				for i := 0; i < batchSize; i++ {
+					lead := farLead
+					if i%4 == 0 {
+						lead = nearLead // expirable by the sweeper's clock jumps
+					}
+					set = append(set, stressOffer(fmt.Sprintf("s%d-b%d-%02d", w, b, i), clock(), lead))
+				}
+				res := store.SubmitBatch(set)
+				acceptedIntoStore.Add(int64(res.Accepted))
+				if res.Accepted+res.Rejected() != len(set) {
+					t.Errorf("submitter %d: accepted %d + rejected %d != %d", w, res.Accepted, res.Rejected(), len(set))
+				}
+				for _, f := range res.Failures {
+					// The only legal rejection here is a deadline racing a
+					// sweeper clock jump; IDs are unique by construction.
+					if !errors.Is(f.Err, ErrDeadline) {
+						t.Errorf("submitter %d: %v", w, f.Err)
+					}
+				}
+			}
+		}(w)
+	}
+	// Deciders: accept offered records and assign accepted ones, racing
+	// the submitters and the sweeper.
+	for d := 0; d < 3; d++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, rec := range store.List(Offered) {
+					_ = store.Accept(rec.Offer.ID)
+				}
+				for _, rec := range store.List(Accepted) {
+					es := make([]float64, len(rec.Offer.Profile))
+					for k := range es {
+						es[k] = 0.75
+					}
+					_, _ = store.Assign(rec.Offer.ID, rec.Offer.EarliestStart, es)
+				}
+			}
+		}()
+	}
+	// Sweeper: jump the clock past the near deadlines and expire.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 12; i++ {
+			nowNanos.Add(int64(nearLead))
+			store.ExpireOverdue()
+		}
+	}()
+
+	// Wait for the submitters and sweeper; then stop the deciders.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	go func() {
+		// Deciders loop until told to stop; give the submitters a moment.
+		time.Sleep(50 * time.Millisecond)
+		close(stop)
+	}()
+	<-done
+
+	counts := store.Stats()
+	total := counts.Offered + counts.Accepted + counts.Rejected + counts.Assigned + counts.Expired
+	if int64(total) != acceptedIntoStore.Load() {
+		t.Fatalf("Stats sums to %d states, SubmitBatch accepted %d — an offer was dropped or double-counted",
+			total, acceptedIntoStore.Load())
+	}
+	records := store.List()
+	if len(records) != total {
+		t.Fatalf("List holds %d records, Stats counted %d", len(records), total)
+	}
+	seen := make(map[string]bool, len(records))
+	for _, r := range records {
+		if seen[r.Offer.ID] {
+			t.Fatalf("offer %s counted twice", r.Offer.ID)
+		}
+		seen[r.Offer.ID] = true
 	}
 }

@@ -118,6 +118,49 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) of the observed
+// distribution by linear interpolation inside the bucket the quantile
+// falls in — the same estimate Prometheus's histogram_quantile computes.
+// Observations in the +Inf bucket clamp to the highest finite bound, and
+// an empty histogram reports NaN.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// +Inf bucket: no upper bound to interpolate toward.
+			if len(s.Bounds) == 0 {
+				return math.NaN()
+			}
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = s.Bounds[i-1]
+		}
+		upper := s.Bounds[i]
+		// Position of the rank within this bucket's count.
+		frac := (rank - (cum - float64(c))) / float64(c)
+		return lower + (upper-lower)*frac
+	}
+	if len(s.Bounds) == 0 {
+		return math.NaN()
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
 // Label is one name/value pair attached to a metric child.
 type Label struct {
 	// Name is the label name (e.g. "route").

@@ -118,3 +118,43 @@ func TestDuplicateFamilyPanics(t *testing.T) {
 	}()
 	reg.NewGauge("dup_total", "second")
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogram("q_seconds", "test", []float64{1, 2, 4, 8})
+	// 10 observations spread one per unit across (0,1] and (1,2], then a
+	// tail: buckets get 4, 4, 1, 1 observations and +Inf gets 0.
+	for i := 0; i < 4; i++ {
+		h.Observe(0.5)
+		h.Observe(1.5)
+	}
+	h.Observe(3)
+	h.Observe(7)
+	s := h.Snapshot()
+
+	if got := s.Quantile(0.5); got != 1.25 {
+		// rank 5 lands 1 observation into the (1,2] bucket of 4: 1 + 1/4.
+		t.Errorf("p50 = %v, want 1.25", got)
+	}
+	if got := s.Quantile(0); got != 0 {
+		t.Errorf("p0 = %v, want 0", got)
+	}
+	if got := s.Quantile(1); got != 8 {
+		t.Errorf("p100 = %v, want 8", got)
+	}
+	if got := s.Quantile(0.95); got < 4 || got > 8 {
+		t.Errorf("p95 = %v, want within (4,8]", got)
+	}
+
+	// Observations beyond the last bound clamp to it.
+	h.Observe(100)
+	if got := h.Snapshot().Quantile(1); got != 8 {
+		t.Errorf("p100 with +Inf tail = %v, want clamp to 8", got)
+	}
+
+	// Empty histogram: NaN.
+	empty := reg.NewHistogram("empty_seconds", "test", []float64{1}).Snapshot()
+	if got := empty.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty quantile = %v, want NaN", got)
+	}
+}

@@ -196,6 +196,12 @@ func Run(ctx context.Context, cfg Config, jobs <-chan Job, sink Sink) (Stats, er
 	stats := acc.snapshot()
 	stats.Workers = workers
 	stats.Wall = cfg.now().Sub(start)
+	// A resilient submit path carries its own loss accounting; fold it
+	// into the batch summary so callers see retries and dead-lettered
+	// offers next to the extraction counters.
+	if rs, ok := sink.(interface{ retryStats() (int, int) }); ok {
+		stats.SinkRetries, stats.DeadLettered = rs.retryStats()
+	}
 	if ctx.Err() != nil {
 		return stats, context.Cause(ctx)
 	}

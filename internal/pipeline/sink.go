@@ -91,19 +91,18 @@ type StoreSink struct {
 	firstErr  error
 }
 
-// Put implements Sink.
+// Put implements Sink. Store rejections are semantic verdicts (duplicate
+// IDs, lapsed deadlines) — retrying them cannot succeed — so they are
+// counted here rather than surfaced as errors for a ResilientSink to
+// retry.
 func (s *StoreSink) Put(_ context.Context, out Output) error {
-	accepted, errs := s.Store.SubmitBatch(out.Result.Offers)
+	res := s.Store.SubmitBatch(out.Result.Offers)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.submitted += accepted
-	for _, err := range errs {
-		if err != nil {
-			s.rejected++
-			if s.firstErr == nil {
-				s.firstErr = err
-			}
-		}
+	s.submitted += res.Accepted
+	s.rejected += res.Rejected()
+	if s.firstErr == nil {
+		s.firstErr = res.FirstErr()
 	}
 	return nil
 }

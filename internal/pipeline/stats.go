@@ -26,6 +26,13 @@ type Stats struct {
 	Busy time.Duration
 	// JobErrors lists the individual job failures, in completion order.
 	JobErrors []JobError
+	// SinkRetries counts sink Put retries made by a resilient submit
+	// path. Populated only when the batch's sink is a *ResilientSink.
+	SinkRetries int
+	// DeadLettered counts offers that exhausted the retry budget and were
+	// recorded in the dead-letter set instead of reaching the inner sink.
+	// Populated only when the batch's sink is a *ResilientSink.
+	DeadLettered int
 }
 
 // Speedup reports the achieved parallelism, Busy/Wall (1.0 means no
@@ -39,8 +46,8 @@ func (s Stats) Speedup() float64 {
 
 // String implements fmt.Stringer with a one-line, log-friendly summary.
 func (s Stats) String() string {
-	return fmt.Sprintf("pipeline[%d workers: %d series, %d offers, %d errors (%d panics), wall %v, busy %v, speedup %.2fx]",
-		s.Workers, s.SeriesProcessed, s.OffersEmitted, s.Errors, s.Panics, s.Wall, s.Busy, s.Speedup())
+	return fmt.Sprintf("pipeline[%d workers: %d series, %d offers, %d errors (%d panics), %d retries, %d dead-lettered, wall %v, busy %v, speedup %.2fx]",
+		s.Workers, s.SeriesProcessed, s.OffersEmitted, s.Errors, s.Panics, s.SinkRetries, s.DeadLettered, s.Wall, s.Busy, s.Speedup())
 }
 
 // accumulator gathers counters from concurrent workers.

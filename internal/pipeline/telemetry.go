@@ -34,6 +34,11 @@ type Telemetry struct {
 	WorkersBusy *obs.Gauge
 	// Workers gauges the resolved pool size of the most recent Run.
 	Workers *obs.Gauge
+	// SinkRetries counts sink Put retries made by resilient sinks.
+	SinkRetries *obs.Counter
+	// DeadLettered counts offers recorded in dead-letter sets after the
+	// retry budget was exhausted — offers that never reached their sink.
+	DeadLettered *obs.Counter
 }
 
 // NewTelemetry registers the pipeline instruments on reg under pipeline_*.
@@ -48,6 +53,8 @@ func NewTelemetry(reg *obs.Registry) *Telemetry {
 		SinkSeconds:    reg.NewHistogram("pipeline_sink_seconds", "Per-output sink Put duration in seconds.", nil),
 		WorkersBusy:    reg.NewGauge("pipeline_workers_busy", "Workers currently executing a job."),
 		Workers:        reg.NewGauge("pipeline_workers", "Resolved worker-pool size of the most recent batch."),
+		SinkRetries:    reg.NewCounter("pipeline_sink_retries_total", "Sink Put retries made by resilient sinks."),
+		DeadLettered:   reg.NewCounter("pipeline_dead_letter_offers_total", "Offers dead-lettered after the sink retry budget was exhausted."),
 	}
 }
 
@@ -81,6 +88,20 @@ func (t *Telemetry) sinkPut(elapsed time.Duration) {
 		return
 	}
 	t.SinkSeconds.Observe(elapsed.Seconds())
+}
+
+func (t *Telemetry) sinkRetry() {
+	if t == nil {
+		return
+	}
+	t.SinkRetries.Inc()
+}
+
+func (t *Telemetry) deadLettered(offers int) {
+	if t == nil {
+		return
+	}
+	t.DeadLettered.Add(uint64(offers))
 }
 
 func (t *Telemetry) setWorkers(n int) {
