@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check docs-check lint bench fuzz fuzz-smoke soak verify
+.PHONY: build test race vet fmt-check docs-check lint bench fuzz fuzz-smoke soak crash verify
 
 build:
 	$(GO) build ./...
@@ -9,9 +9,10 @@ test:
 	$(GO) test ./...
 
 # Race-detect the packages with real concurrency: the batch-extraction
-# worker pool and the market store (plus the commands that drive them).
+# worker pool, the market store and its write-ahead journal (plus the
+# commands that drive them).
 race:
-	$(GO) test -race ./internal/pipeline ./internal/market ./cmd/flexextract ./cmd/mirabeld
+	$(GO) test -race ./internal/pipeline ./internal/market ./internal/wal ./cmd/flexextract ./cmd/mirabeld
 
 race-all:
 	$(GO) test -race ./...
@@ -43,6 +44,7 @@ fuzz:
 	$(GO) test -run XXX -fuzz FuzzOfferValidate -fuzztime 30s ./internal/flexoffer
 	$(GO) test -run XXX -fuzz FuzzReadJSON -fuzztime 30s ./internal/flexoffer
 	$(GO) test -run XXX -fuzz FuzzSubmitBatch -fuzztime 30s ./internal/market
+	$(GO) test -run XXX -fuzz FuzzWALReplay -fuzztime 30s ./internal/wal
 
 # Short fuzz pass for CI: 10 seconds per target, enough to catch a freshly
 # introduced panic without stalling the workflow.
@@ -51,11 +53,18 @@ fuzz-smoke:
 	$(GO) test -run XXX -fuzz FuzzOfferValidate -fuzztime 10s ./internal/flexoffer
 	$(GO) test -run XXX -fuzz FuzzReadJSON -fuzztime 10s ./internal/flexoffer
 	$(GO) test -run XXX -fuzz FuzzSubmitBatch -fuzztime 10s ./internal/market
+	$(GO) test -run XXX -fuzz FuzzWALReplay -fuzztime 10s ./internal/wal
 
 # Soak: the end-to-end extraction→market loop under fault injection and
 # the race detector (see docs/TESTING.md).
 soak:
 	$(GO) test -race -timeout 5m -run TestSoak ./cmd/flexload
+
+# Crash: the kill-and-recover suite under the race detector — seeded disk
+# faults tear the journal mid-append and recovery must rebuild exactly
+# the acknowledged state (see docs/TESTING.md).
+crash:
+	$(GO) test -race -timeout 5m -run 'TestCrash|TestJournaled|TestDiskFault|TestTornTail|TestCorrupt' ./internal/wal ./internal/faultinject ./internal/market
 
 verify:
 	sh scripts/verify.sh

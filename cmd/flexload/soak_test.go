@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -238,5 +240,69 @@ func TestSoakHTTPLoadUnderFaults(t *testing.T) {
 	sub := rep.Ops["submit"]
 	if sub.Count == 0 || math.IsNaN(sub.P50Ms) || sub.P50Ms <= 0 {
 		t.Fatalf("submit stats unpopulated: %+v", sub)
+	}
+}
+
+// TestSoakJournaledStoreSurvivesRestart is the recovery-aware soak: the
+// full flexload closed loop runs against a journaled store (fsync on
+// every append, automatic snapshots), the daemon "restarts" by closing
+// and reopening the journal, and the recovered store must hold exactly
+// the lifecycle state the clients saw acknowledged — zero lost offers
+// across a restart, not just across faults.
+func TestSoakJournaledStoreSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	store, journal, err := market.OpenJournaled(market.JournalOptions{Dir: dir, SnapshotEvery: 64})
+	if err != nil {
+		t.Fatalf("OpenJournaled: %v", err)
+	}
+	srv := httptest.NewServer(market.NewServer(store))
+
+	duration := 2 * time.Second
+	if testing.Short() {
+		duration = time.Second
+	}
+	rep, err := run(context.Background(), config{
+		BaseURL:     srv.URL,
+		Concurrency: 4,
+		Duration:    duration,
+		Seed:        7,
+		HTTPClient:  srv.Client(),
+	})
+	srv.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OffersSubmitted == 0 {
+		t.Fatal("load loop submitted nothing; the restart test exercised nothing")
+	}
+	before, err := json.Marshal(store.List())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := journal.Close(); err != nil {
+		t.Fatalf("journal close: %v", err)
+	}
+
+	store2, journal2, err := market.OpenJournaled(market.JournalOptions{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer journal2.Close()
+	after, err := json.Marshal(store2.List())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("recovered store state differs from the state at shutdown")
+	}
+	if got := len(store2.List()); got != int(rep.OffersSubmitted) {
+		t.Fatalf("recovered %d offers, clients saw %d submissions succeed", got, rep.OffersSubmitted)
+	}
+	if counts := store2.Stats(); counts.Assigned != int(rep.OffersAssigned) {
+		t.Fatalf("recovered %d assignments, clients completed %d", counts.Assigned, rep.OffersAssigned)
+	}
+	rec := journal2.Recovery()
+	if rec.Offers != int(rep.OffersSubmitted) {
+		t.Fatalf("recovery reports %d offers, want %d", rec.Offers, rep.OffersSubmitted)
 	}
 }

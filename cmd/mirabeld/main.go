@@ -58,19 +58,23 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/timeseries"
+	"repro/internal/wal"
 )
 
 // config gathers the daemon's flags so run stays testable.
 type config struct {
-	addr         string
-	sweep        time.Duration
-	clockAt      string
-	seedDir      string
-	seedApproach string
-	seedFlexPct  float64
-	seedJobs     int
-	pprof        bool
-	faultProfile string
+	addr          string
+	sweep         time.Duration
+	clockAt       string
+	seedDir       string
+	seedApproach  string
+	seedFlexPct   float64
+	seedJobs      int
+	pprof         bool
+	faultProfile  string
+	dataDir       string
+	fsync         string
+	snapshotEvery int
 }
 
 func main() {
@@ -84,6 +88,9 @@ func main() {
 	flag.IntVar(&cfg.seedJobs, "seed-jobs", 0, "worker count for -seed-dir extraction (0 = GOMAXPROCS)")
 	flag.BoolVar(&cfg.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.StringVar(&cfg.faultProfile, "fault-profile", "", `inject seeded faults into HTTP routes and seeding (e.g. "seed=42,error=0.1,latency=0.05:20ms"; empty disables)`)
+	flag.StringVar(&cfg.dataDir, "data-dir", "", "journal every offer transition to this directory and recover state from it on boot (empty = in-memory only)")
+	flag.StringVar(&cfg.fsync, "fsync", "always", "journal fsync policy: always (durable per write), interval (bounded loss window), never (OS decides)")
+	flag.IntVar(&cfg.snapshotEvery, "snapshot-every", 4096, "journaled events between automatic snapshots (0 disables; a final snapshot is always taken on shutdown)")
 	logLevel := flag.String("log-level", "info", "minimum log level (debug | info | warn | error)")
 	flag.Parse()
 
@@ -111,7 +118,45 @@ func run(cfg config, logger *obs.Logger) error {
 		}
 		clock = func() time.Time { return at }
 	}
-	store := market.NewStore(clock)
+
+	// With -data-dir, all state is recovered synchronously here — before
+	// the listener starts and long before /readyz can flip healthy — and
+	// every later transition is journaled before it is acknowledged.
+	var store *market.Store
+	var journal *market.Journal
+	if cfg.dataDir != "" {
+		policy, err := wal.ParseSyncPolicy(cfg.fsync)
+		if err != nil {
+			return fmt.Errorf("-fsync: %w", err)
+		}
+		store, journal, err = market.OpenJournaled(market.JournalOptions{
+			Dir:           cfg.dataDir,
+			Policy:        policy,
+			SnapshotEvery: cfg.snapshotEvery,
+			Clock:         clock,
+		})
+		if err != nil {
+			return fmt.Errorf("-data-dir %s: %w", cfg.dataDir, err)
+		}
+		// The deferred close takes the final snapshot on every exit path,
+		// including graceful SIGINT/SIGTERM shutdown.
+		defer func() {
+			if err := journal.Close(); err != nil {
+				logger.Warn("journal close", "err", err)
+			}
+		}()
+		rec := journal.Recovery()
+		logger.Info("state recovered",
+			"dir", cfg.dataDir, "fsync", policy, "offers", rec.Offers,
+			"snapshot_used", rec.SnapshotUsed, "events_replayed", rec.EventsReplayed,
+			"duration", rec.Duration.Round(time.Millisecond))
+		if rec.WAL.TornTail {
+			logger.Warn("journal had a torn final record; truncated",
+				"bytes", rec.WAL.TornBytes)
+		}
+	} else {
+		store = market.NewStore(clock)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -121,6 +166,9 @@ func run(cfg config, logger *obs.Logger) error {
 	reg := obs.NewRegistry()
 	httpMetrics := obs.NewHTTPMetrics(reg, "mirabeld")
 	storeMetrics := market.RegisterStoreMetrics(reg, store)
+	if journal != nil {
+		market.RegisterJournalMetrics(reg, journal)
+	}
 	telemetry := pipeline.NewTelemetry(reg)
 
 	faults, err := faultSchedule(cfg.faultProfile, reg)
@@ -221,9 +269,14 @@ func sweeper(ctx context.Context, store *market.Store, interval time.Duration, m
 		case <-ctx.Done():
 			return
 		case <-ticker.C:
-			if n := store.ExpireOverdue(); n > 0 {
+			n, err := store.ExpireOverdue()
+			if err != nil {
+				logger.Warn("sweep failed", "err", err)
+				continue
+			}
+			if n > 0 {
 				metrics.SweeperExpired.Add(uint64(n))
-				logger.Info("sweep expired overdue offers", "expired", n)
+				logger.Debug("sweep expired overdue offers", "expired", n)
 			}
 		}
 	}
@@ -272,6 +325,12 @@ func seedStore(ctx context.Context, store *market.Store, telemetry *pipeline.Tel
 
 	batch := make([]pipeline.Job, 0, len(files))
 	for _, path := range files {
+		// The per-file check keeps a large seed responsive to SIGINT: the
+		// extraction pipeline below is already cancellable, but without
+		// this a shutdown would still wait for every CSV to be read first.
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("seeding cancelled: %w", err)
+		}
 		f, err := os.Open(path)
 		if err != nil {
 			return err

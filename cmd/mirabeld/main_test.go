@@ -2,6 +2,8 @@ package main
 
 import (
 	"context"
+	"errors"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
@@ -115,6 +117,53 @@ func TestSeedStoreSurvivesFaultInjection(t *testing.T) {
 	}
 	if store.Stats().Offered == 0 {
 		t.Fatal("fault injection emptied the store; the resilient sink did not retry")
+	}
+}
+
+func TestSeedStoreCancelled(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"a", "b", "c"} {
+		writeHouseCSV(t, filepath.Join(dir, name+".csv"), 2)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // shutdown arrives before seeding starts reading files
+	store := market.NewStore(nil)
+	err := seedStore(ctx, store, nil, nil, nil, nil, dir, "peak", 0.05, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled seed = %v, want context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "seeding cancelled") {
+		t.Fatalf("err = %v, want a seeding-cancelled message", err)
+	}
+	if got := len(store.List()); got != 0 {
+		t.Fatalf("cancelled seed still submitted %d offers", got)
+	}
+}
+
+// quietLogger builds a logger that swallows output for run() error paths.
+func quietLogger(t *testing.T) *obs.Logger {
+	t.Helper()
+	level, err := obs.ParseLevel("error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obs.NewLogger(io.Discard, level)
+}
+
+func TestRunRejectsBadJournalConfig(t *testing.T) {
+	logger := quietLogger(t)
+	err := run(config{dataDir: t.TempDir(), fsync: "sometimes"}, logger)
+	if err == nil || !strings.Contains(err.Error(), "-fsync") {
+		t.Fatalf("bad fsync policy: %v, want -fsync context", err)
+	}
+	// A -data-dir that collides with a regular file cannot be created.
+	clash := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(clash, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run(config{dataDir: filepath.Join(clash, "wal"), fsync: "always"}, logger)
+	if err == nil || !strings.Contains(err.Error(), "-data-dir") {
+		t.Fatalf("unusable data dir: %v, want -data-dir context", err)
 	}
 }
 

@@ -1,0 +1,117 @@
+package faultinject
+
+import (
+	"fmt"
+	iofs "io/fs"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// WrapFS wraps a wal.FS so that writes and fsyncs on files opened for
+// writing draw fault decisions from the schedule — the disk-level sibling
+// of WrapSink. Read paths (recovery, replay, directory scans) pass through
+// untouched, so injected damage is always inflicted by the write path and
+// observed by a clean reopen, the same asymmetry a real crash has.
+//
+// Decision kinds map onto disk failure modes:
+//
+//   - Error: a write fails cleanly with nothing persisted, or an fsync
+//     reports failure — the classic EIO.
+//   - Latency: the write or fsync completes after the drawn delay.
+//   - Partial: a short write — only half the buffer reaches the file
+//     before the error. The caller's rollback (truncate) still works.
+//   - Panic: a crash mid-append — the write tears like Partial, and the
+//     subsequent rollback truncate fails too, so the torn bytes stay on
+//     disk for recovery to repair at the next open.
+func WrapFS(fs wal.FS, s *Schedule) wal.FS {
+	return &faultFS{inner: fs, sched: s}
+}
+
+// faultFS injects scheduled faults into the write-side file operations of
+// an inner wal.FS.
+type faultFS struct {
+	inner wal.FS
+	sched *Schedule
+}
+
+func (f *faultFS) MkdirAll(path string, perm iofs.FileMode) error {
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *faultFS) OpenFile(name string, flag int, perm iofs.FileMode) (wal.File, error) {
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil || flag&(os.O_WRONLY|os.O_RDWR) == 0 {
+		return file, err
+	}
+	return &faultFile{inner: file, sched: f.sched}, nil
+}
+
+func (f *faultFS) ReadDir(name string) ([]iofs.DirEntry, error) { return f.inner.ReadDir(name) }
+
+func (f *faultFS) Rename(oldpath, newpath string) error { return f.inner.Rename(oldpath, newpath) }
+
+func (f *faultFS) Remove(name string) error { return f.inner.Remove(name) }
+
+// faultFile perturbs one writable file's Write/Sync/Truncate calls.
+type faultFile struct {
+	inner wal.File
+	sched *Schedule
+
+	mu sync.Mutex
+	// tearArmed fails the next Truncate — set by a Panic write so the
+	// rollback of the torn record fails and the tear survives on disk.
+	tearArmed bool
+}
+
+func (f *faultFile) Read(p []byte) (int, error) { return f.inner.Read(p) }
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	d := f.sched.Next()
+	switch d.Kind {
+	case Error:
+		return 0, fmt.Errorf("%w: disk write failed", ErrInjected)
+	case Latency:
+		time.Sleep(d.Latency)
+	case Partial, Panic:
+		n := len(p) / 2
+		if d.Kind == Panic {
+			f.mu.Lock()
+			f.tearArmed = true
+			f.mu.Unlock()
+		}
+		if n > 0 {
+			if wn, err := f.inner.Write(p[:n]); err != nil {
+				return wn, err
+			}
+		}
+		return n, fmt.Errorf("%w: short disk write (%d of %d bytes)", ErrInjected, n, len(p))
+	}
+	return f.inner.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	d := f.sched.Next()
+	switch d.Kind {
+	case Error, Partial, Panic:
+		return fmt.Errorf("%w: fsync failed", ErrInjected)
+	case Latency:
+		time.Sleep(d.Latency)
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	f.mu.Lock()
+	armed := f.tearArmed
+	f.tearArmed = false
+	f.mu.Unlock()
+	if armed {
+		return fmt.Errorf("%w: truncate failed, torn bytes left on disk", ErrInjected)
+	}
+	return f.inner.Truncate(size)
+}
+
+func (f *faultFile) Close() error { return f.inner.Close() }

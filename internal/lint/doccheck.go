@@ -7,7 +7,8 @@ import (
 // DocCheck fails on exported identifiers without doc comments in the
 // packages that define this repository's public contracts: the
 // observability surface (internal/obs), the market store and HTTP API
-// (internal/market), the batch pipeline (internal/pipeline) and the
+// (internal/market), the batch pipeline (internal/pipeline), the
+// write-ahead log behind the durable store (internal/wal) and the
 // flex-offer model itself (internal/flexoffer). An undocumented exported
 // name there is an undocumented promise. It subsumes the former standalone
 // scripts/docscheck command.
@@ -20,6 +21,7 @@ var DocCheck = &Analyzer{
 		"internal/pipeline",
 		"internal/flexoffer",
 		"internal/faultinject",
+		"internal/wal",
 	},
 	Run: runDocCheck,
 }

@@ -161,6 +161,10 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusGone
 	case errors.Is(err, ErrBadRequest):
 		status = http.StatusBadRequest
+	case errors.Is(err, ErrJournal):
+		// The transition was refused because it could not be made durable;
+		// the client may retry once the disk recovers.
+		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
@@ -261,5 +265,10 @@ func (s *Server) handleExpire(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusMethodNotAllowed)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]int{"expired": s.store.ExpireOverdue()})
+	n, err := s.store.ExpireOverdue()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"expired": n})
 }

@@ -1,0 +1,421 @@
+package market
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/flexoffer"
+	"repro/internal/obs"
+	"repro/internal/wal"
+)
+
+// eventKind names one journaled store transition.
+type eventKind string
+
+const (
+	// evSubmit records offers entering the store (Submit and the accepted
+	// subset of SubmitBatch).
+	evSubmit eventKind = "submit"
+	// evDecide records a single-offer state change: accept, reject, or a
+	// deadline expiry observed during accept/assign.
+	evDecide eventKind = "decide"
+	// evAssign records a successful assignment; replay re-derives the
+	// Assignment from the stored start and energies.
+	evAssign eventKind = "assign"
+	// evExpire records one ExpireOverdue sweep with every expired ID.
+	evExpire eventKind = "expire"
+)
+
+// event is one journaled transition. It records the applied outcome —
+// including the clock value the store used — not the request, so replay
+// reconstructs state without re-evaluating deadlines against a new clock.
+type event struct {
+	Kind eventKind `json:"kind"`
+	At   time.Time `json:"at"`
+	// Offers carries the submitted offers of an evSubmit.
+	Offers flexoffer.Set `json:"offers,omitempty"`
+	// ID addresses the offer of an evDecide or evAssign.
+	ID string `json:"id,omitempty"`
+	// To is the target state of an evDecide.
+	To State `json:"to,omitempty"`
+	// Start and Energies reproduce an evAssign's assignment.
+	Start    time.Time `json:"start,omitempty"`
+	Energies []float64 `json:"energies,omitempty"`
+	// IDs lists the offers expired by an evExpire sweep.
+	IDs []string `json:"ids,omitempty"`
+}
+
+// applyEvent replays one journaled event onto the store, bypassing clock
+// and deadline checks: the event records an outcome that was already
+// acknowledged, so replay must reproduce it verbatim. Errors mean the
+// journal does not match the state it claims to extend — corruption, not
+// a lifecycle violation.
+func (s *Store) applyEvent(ev event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch ev.Kind {
+	case evSubmit:
+		for _, f := range ev.Offers {
+			if f == nil || f.ID == "" {
+				return errors.New("submit event with empty offer")
+			}
+			if _, dup := s.records[f.ID]; dup {
+				return fmt.Errorf("submit event duplicates offer %s", f.ID)
+			}
+			s.records[f.ID] = &Record{Offer: f, State: Offered, SubmittedAt: ev.At}
+			s.order = append(s.order, f.ID)
+		}
+	case evDecide:
+		r, ok := s.records[ev.ID]
+		if !ok {
+			return fmt.Errorf("decide event for unknown offer %s", ev.ID)
+		}
+		r.State = ev.To
+		r.DecidedAt = ev.At
+	case evAssign:
+		r, ok := s.records[ev.ID]
+		if !ok {
+			return fmt.Errorf("assign event for unknown offer %s", ev.ID)
+		}
+		asg, err := r.Offer.Assign(ev.Start, ev.Energies)
+		if err != nil {
+			return fmt.Errorf("assign event for %s does not replay: %v", ev.ID, err)
+		}
+		r.State = Assigned
+		r.DecidedAt = ev.At
+		r.Assignment = asg
+	case evExpire:
+		for _, id := range ev.IDs {
+			r, ok := s.records[id]
+			if !ok {
+				return fmt.Errorf("expire event for unknown offer %s", id)
+			}
+			r.State = Expired
+			r.DecidedAt = ev.At
+		}
+	default:
+		return fmt.Errorf("unknown event kind %q", ev.Kind)
+	}
+	return nil
+}
+
+// storeSnapshot is the JSON shape of a full store image. encoding/json
+// emits map keys sorted, so marshalling the same logical state always
+// yields the same bytes — the property the byte-identical recovery tests
+// pin.
+type storeSnapshot struct {
+	Order   []string           `json:"order"`
+	Records map[string]*Record `json:"records"`
+}
+
+// marshalState serialises the full store state.
+func (s *Store) marshalState() ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return json.Marshal(storeSnapshot{Order: s.order, Records: s.records})
+}
+
+// restoreState replaces the store's contents with a marshalState image.
+func (s *Store) restoreState(data []byte) error {
+	var snap storeSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return err
+	}
+	if snap.Records == nil {
+		snap.Records = make(map[string]*Record)
+	}
+	if len(snap.Order) != len(snap.Records) {
+		return fmt.Errorf("snapshot lists %d ordered ids for %d records", len(snap.Order), len(snap.Records))
+	}
+	for _, id := range snap.Order {
+		r, ok := snap.Records[id]
+		if !ok || r.Offer == nil {
+			return fmt.Errorf("snapshot order references missing or empty record %s", id)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.records = snap.Records
+	s.order = snap.Order
+	return nil
+}
+
+// JournalOptions configures OpenJournaled.
+type JournalOptions struct {
+	// Dir is the journal directory (the daemon's -data-dir).
+	Dir string
+	// Policy selects when appends are fsynced; the zero value is
+	// wal.SyncAlways.
+	Policy wal.SyncPolicy
+	// SyncInterval is the background fsync cadence under wal.SyncEvery.
+	SyncInterval time.Duration
+	// SnapshotEvery triggers an automatic snapshot after that many
+	// journaled events; zero disables automatic snapshots (Close still
+	// takes a final one).
+	SnapshotEvery int
+	// SegmentBytes overrides the WAL segment-rotation threshold.
+	SegmentBytes int64
+	// FS overrides the filesystem (tests and fault injection).
+	FS wal.FS
+	// Clock is the store clock, as in NewStore.
+	Clock func() time.Time
+}
+
+// RecoveryStats describes what OpenJournaled found on disk and how the
+// state was rebuilt.
+type RecoveryStats struct {
+	// WAL is the log-level recovery outcome (segments, torn tail).
+	WAL wal.RecoveryInfo
+	// SnapshotUsed reports whether a snapshot seeded the state.
+	SnapshotUsed bool
+	// SnapshotLSN is the LSN the used snapshot covered up to.
+	SnapshotLSN uint64
+	// EventsReplayed is the number of journal events applied after the
+	// snapshot.
+	EventsReplayed uint64
+	// Offers is the number of offers in the recovered store.
+	Offers int
+	// Duration is the wall-clock time recovery took.
+	Duration time.Duration
+}
+
+// Journal is the durability attachment of a Store: it owns the write-ahead
+// log, appends one event per acknowledged transition, and snapshots the
+// full state periodically and on Close.
+type Journal struct {
+	log   *wal.Log
+	store *Store
+	every uint64 // events between automatic snapshots; 0 = never
+
+	mu        sync.Mutex
+	sinceSnap uint64 // guarded by mu: events since the last snapshot trigger
+	closed    bool   // guarded by mu
+	snapErrs  uint64 // guarded by mu: failed snapshot attempts
+	lastErr   error  // guarded by mu: last snapshot failure
+
+	recovery RecoveryStats // immutable after OpenJournaled
+	snapc    chan struct{} // nil unless automatic snapshots are on
+	donec    chan struct{}
+}
+
+// OpenJournaled opens (or creates) a journaled store: it recovers the
+// state persisted in opts.Dir — newest valid snapshot plus WAL tail — and
+// returns the store with the journal attached, so every subsequent
+// transition is durable before it is acknowledged. A torn final WAL
+// record is repaired silently (RecoveryStats.WAL says so); interior
+// corruption fails with wal.ErrCorrupt rather than dropping acknowledged
+// transitions.
+func OpenJournaled(opts JournalOptions) (*Store, *Journal, error) {
+	t0 := time.Now()
+	log, walInfo, err := wal.Open(wal.Options{
+		Dir:          opts.Dir,
+		SegmentBytes: opts.SegmentBytes,
+		Policy:       opts.Policy,
+		Interval:     opts.SyncInterval,
+		FS:           opts.FS,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	store := NewStore(opts.Clock)
+	j := &Journal{log: log, store: store, every: uint64(max(opts.SnapshotEvery, 0))}
+
+	rec := RecoveryStats{WAL: walInfo}
+	from := uint64(0)
+	payload, snapLSN, err := log.LatestSnapshot()
+	switch {
+	case err == nil:
+		if err := store.restoreState(payload); err != nil {
+			log.Close()
+			return nil, nil, fmt.Errorf("market: restore snapshot at lsn %d: %w", snapLSN, err)
+		}
+		from = snapLSN
+		rec.SnapshotUsed = true
+		rec.SnapshotLSN = snapLSN
+	case errors.Is(err, wal.ErrNoSnapshot):
+		// Fresh directory or never snapshotted: replay from the start.
+	default:
+		log.Close()
+		return nil, nil, fmt.Errorf("market: load snapshot: %w", err)
+	}
+	if err := log.ReplayFrom(from, func(lsn uint64, payload []byte) error {
+		var ev event
+		if err := json.Unmarshal(payload, &ev); err != nil {
+			return fmt.Errorf("event at lsn %d: %v", lsn, err)
+		}
+		if err := store.applyEvent(ev); err != nil {
+			return fmt.Errorf("event at lsn %d: %v", lsn, err)
+		}
+		rec.EventsReplayed++
+		return nil
+	}); err != nil {
+		log.Close()
+		return nil, nil, fmt.Errorf("market: replay journal: %w", err)
+	}
+	rec.Offers = len(store.List())
+	rec.Duration = time.Since(t0)
+	j.recovery = rec
+
+	store.journal = j.append
+	if j.every > 0 {
+		j.snapc = make(chan struct{}, 1)
+		j.donec = make(chan struct{})
+		go j.snapshotLoop()
+	}
+	return store, j, nil
+}
+
+// append journals one event. It runs with the store's write lock held, so
+// WAL append order is exactly store mutation order.
+func (j *Journal) append(ev event) error {
+	payload, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Errorf("encode event: %v", err)
+	}
+	if _, err := j.log.Append(payload); err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.sinceSnap++
+	if j.snapc != nil && !j.closed && j.sinceSnap >= j.every {
+		// Non-blocking: if a snapshot is already pending, this event is
+		// covered by it anyway.
+		select {
+		case j.snapc <- struct{}{}:
+			j.sinceSnap = 0
+		default:
+		}
+	}
+	return nil
+}
+
+// snapshotLoop services automatic snapshot requests in the background, so
+// snapshot writes never sit on the request path.
+func (j *Journal) snapshotLoop() {
+	defer close(j.donec)
+	for range j.snapc {
+		j.Snapshot()
+	}
+}
+
+// Snapshot captures the current store state into a durable snapshot and
+// compacts WAL segments the snapshot made redundant. Failures are
+// recorded in Stats and returned; the journal keeps appending either way.
+func (j *Journal) Snapshot() error {
+	s := j.store
+	// Holding the store's read lock while reading NextLSN pins the pair:
+	// appends mutate both under the write lock, so the image is exactly
+	// the state produced by every record below lsn.
+	s.mu.RLock()
+	lsn := j.log.NextLSN()
+	payload, err := json.Marshal(storeSnapshot{Order: s.order, Records: s.records})
+	s.mu.RUnlock()
+	if err == nil {
+		err = j.log.WriteSnapshot(lsn, payload)
+	}
+	if err == nil {
+		_, err = j.log.Compact(lsn)
+	}
+	if err != nil {
+		j.mu.Lock()
+		j.snapErrs++
+		j.lastErr = err
+		j.mu.Unlock()
+		return fmt.Errorf("market: snapshot: %w", err)
+	}
+	return nil
+}
+
+// JournalStats is a point-in-time view of the journal's counters, the
+// source of the wal_* and snapshot_* metric families.
+type JournalStats struct {
+	// WAL carries the log-level counters (appends, fsyncs, bytes,
+	// segments, snapshots).
+	WAL wal.Stats
+	// SnapshotErrors counts failed snapshot attempts.
+	SnapshotErrors uint64
+	// LastSnapshotError is the most recent snapshot failure, nil when all
+	// succeeded.
+	LastSnapshotError error
+}
+
+// Stats snapshots the journal's counters.
+func (j *Journal) Stats() JournalStats {
+	st := JournalStats{WAL: j.log.Stats()}
+	j.mu.Lock()
+	st.SnapshotErrors = j.snapErrs
+	st.LastSnapshotError = j.lastErr
+	j.mu.Unlock()
+	return st
+}
+
+// Recovery reports how the store's state was rebuilt at open.
+func (j *Journal) Recovery() RecoveryStats { return j.recovery }
+
+// Close takes a final snapshot and closes the log. It is idempotent; the
+// store refuses further transitions once the log is closed (ErrJournal).
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	j.closed = true
+	if j.snapc != nil {
+		close(j.snapc)
+	}
+	j.mu.Unlock()
+	if j.donec != nil {
+		<-j.donec
+	}
+	err := j.Snapshot()
+	if cerr := j.log.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// RegisterJournalMetrics exports the journal's durability counters on reg:
+//
+//	wal_appends_total         counter: journaled events appended
+//	wal_fsyncs_total          counter: fsync calls issued by the log
+//	wal_bytes_total           counter: record bytes written
+//	wal_segments              gauge: live WAL segment files
+//	snapshot_writes_total     counter: snapshots taken since open
+//	snapshot_errors_total     counter: snapshot attempts that failed
+//	snapshot_last_lsn         gauge: LSN covered by the newest snapshot
+//	recovery_duration_seconds gauge: wall-clock time boot recovery took
+//	recovery_events_replayed  gauge: WAL events replayed at boot
+func RegisterJournalMetrics(reg *obs.Registry, j *Journal) {
+	reg.NewCounterFunc("wal_appends_total", "Journaled events appended to the write-ahead log.", func() uint64 {
+		return j.Stats().WAL.Appends
+	})
+	reg.NewCounterFunc("wal_fsyncs_total", "Fsync calls issued by the write-ahead log.", func() uint64 {
+		return j.Stats().WAL.Fsyncs
+	})
+	reg.NewCounterFunc("wal_bytes_total", "Record bytes written to the write-ahead log.", func() uint64 {
+		return j.Stats().WAL.Bytes
+	})
+	reg.NewGaugeFunc("wal_segments", "Live write-ahead log segment files.", func() float64 {
+		return float64(j.Stats().WAL.Segments)
+	})
+	reg.NewCounterFunc("snapshot_writes_total", "Store snapshots written since open.", func() uint64 {
+		return j.Stats().WAL.Snapshots
+	})
+	reg.NewCounterFunc("snapshot_errors_total", "Store snapshot attempts that failed.", func() uint64 {
+		return j.Stats().SnapshotErrors
+	})
+	reg.NewGaugeFunc("snapshot_last_lsn", "LSN covered by the newest snapshot.", func() float64 {
+		return float64(j.Stats().WAL.SnapshotLSN)
+	})
+	reg.NewGaugeFunc("recovery_duration_seconds", "Wall-clock time the boot recovery took.", func() float64 {
+		return j.recovery.Duration.Seconds()
+	})
+	reg.NewGaugeFunc("recovery_events_replayed", "Write-ahead log events replayed at boot.", func() float64 {
+		return float64(j.recovery.EventsReplayed)
+	})
+}

@@ -1,0 +1,372 @@
+package market
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/flexoffer"
+	"repro/internal/obs"
+	"repro/internal/wal"
+)
+
+// openTestJournaled opens a journaled store over dir with the shared fake
+// clock and registers cleanup.
+func openTestJournaled(t *testing.T, dir string, clock *fakeClock, opts JournalOptions) (*Store, *Journal) {
+	t.Helper()
+	opts.Dir = dir
+	opts.Clock = clock.Now
+	s, j, err := OpenJournaled(opts)
+	if err != nil {
+		t.Fatalf("OpenJournaled: %v", err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return s, j
+}
+
+// driveLifecycle pushes a deterministic mix of transitions through the
+// store: submits, accepts, a reject, one assignment, and an expiry sweep.
+func driveLifecycle(t *testing.T, s *Store, clock *fakeClock) {
+	t.Helper()
+	for i := 0; i < 8; i++ {
+		if err := s.Submit(testOffer(fmt.Sprintf("offer-%d", i))); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.Accept(fmt.Sprintf("offer-%d", i)); err != nil {
+			t.Fatalf("Accept %d: %v", i, err)
+		}
+	}
+	if err := s.Reject("offer-4"); err != nil {
+		t.Fatalf("Reject: %v", err)
+	}
+	if _, err := s.Assign("offer-0", t0.Add(6*time.Hour), midEnergies()); err != nil {
+		t.Fatalf("Assign: %v", err)
+	}
+	clock.Advance(3 * time.Hour) // past the acceptance deadline
+	if n, err := s.ExpireOverdue(); err != nil || n == 0 {
+		t.Fatalf("ExpireOverdue = (%d, %v), want expiries", n, err)
+	}
+}
+
+// midEnergies builds the midpoint energy vector for testOffer profiles.
+func midEnergies() []float64 {
+	f := testOffer("template")
+	energies := make([]float64, len(f.Profile))
+	for k, sl := range f.Profile {
+		energies[k] = (sl.MinEnergy + sl.MaxEnergy) / 2
+	}
+	return energies
+}
+
+// stateImage captures the full store state deterministically.
+func stateImage(t *testing.T, s *Store) []byte {
+	t.Helper()
+	img, err := s.marshalState()
+	if err != nil {
+		t.Fatalf("marshalState: %v", err)
+	}
+	return img
+}
+
+// segmentFiles lists the WAL segment files under dir, oldest first.
+func segmentFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no WAL segments in %s (%v)", dir, err)
+	}
+	sort.Strings(segs)
+	return segs
+}
+
+func TestJournaledStoreRecoversFullLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	clock := &fakeClock{now: t0}
+	s1, j1 := openTestJournaled(t, dir, clock, JournalOptions{})
+	driveLifecycle(t, s1, clock)
+	before := stateImage(t, s1)
+	if err := j1.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, j2 := openTestJournaled(t, dir, clock, JournalOptions{})
+	if got := stateImage(t, s2); !bytes.Equal(got, before) {
+		t.Fatalf("recovered state differs from the state at shutdown:\n got %s\nwant %s", got, before)
+	}
+	rec := j2.Recovery()
+	// Close wrote a final snapshot, so recovery is snapshot-only.
+	if !rec.SnapshotUsed || rec.EventsReplayed != 0 {
+		t.Fatalf("recovery after clean shutdown = %+v, want snapshot and no replay", rec)
+	}
+	if rec.Offers != 8 {
+		t.Fatalf("recovered %d offers, want 8", rec.Offers)
+	}
+	// The recovered store keeps enforcing lifecycle rules and journaling.
+	clock.Advance(-3 * time.Hour) // back before the acceptance deadline
+	if err := s2.Submit(testOffer("offer-0")); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("resubmitting a recovered offer = %v, want ErrDuplicate", err)
+	}
+	clock.Advance(3 * time.Hour)
+	if err := s2.Submit(testOffer("offer-9")); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("submit past the advanced clock = %v, want ErrDeadline", err)
+	}
+}
+
+func TestJournaledStoreReplaysWALTailWithoutSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	clock := &fakeClock{now: t0}
+	s1, j1 := openTestJournaled(t, dir, clock, JournalOptions{})
+	driveLifecycle(t, s1, clock)
+	before := stateImage(t, s1)
+	// Close the log directly, without a snapshot, as a crash would:
+	// recovery must come entirely from the WAL tail.
+	if err := j1.log.Close(); err != nil {
+		t.Fatalf("close log: %v", err)
+	}
+
+	s2, j2 := openTestJournaled(t, dir, clock, JournalOptions{})
+	if got := stateImage(t, s2); !bytes.Equal(got, before) {
+		t.Fatalf("WAL-only recovery differs:\n got %s\nwant %s", got, before)
+	}
+	rec := j2.Recovery()
+	if rec.SnapshotUsed || rec.EventsReplayed == 0 {
+		t.Fatalf("recovery = %+v, want replay without snapshot", rec)
+	}
+}
+
+func TestAutomaticSnapshotsCompactTheLog(t *testing.T) {
+	dir := t.TempDir()
+	clock := &fakeClock{now: t0}
+	// Tiny segments plus a snapshot every 4 events force both rotation
+	// and background snapshots during a short lifecycle.
+	s1, j1 := openTestJournaled(t, dir, clock, JournalOptions{SnapshotEvery: 4, SegmentBytes: 256})
+	driveLifecycle(t, s1, clock)
+	deadline := time.Now().Add(5 * time.Second)
+	for j1.Stats().WAL.Snapshots == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no automatic snapshot was taken")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	before := stateImage(t, s1)
+	if err := j1.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, _ := openTestJournaled(t, dir, clock, JournalOptions{SnapshotEvery: 4, SegmentBytes: 256})
+	if got := stateImage(t, s2); !bytes.Equal(got, before) {
+		t.Fatalf("recovery after auto-snapshots differs:\n got %s\nwant %s", got, before)
+	}
+}
+
+// failingJournal is a journal hook that refuses every event.
+func failingJournal(event) error { return errors.New("disk on fire") }
+
+func TestJournalFailureLeavesStoreUnchanged(t *testing.T) {
+	clock := &fakeClock{now: t0}
+	s := NewStore(clock.Now)
+	if err := s.Submit(testOffer("pre")); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := s.Accept("pre"); err != nil {
+		t.Fatalf("Accept: %v", err)
+	}
+	before := stateImage(t, s)
+
+	s.journal = failingJournal
+	if err := s.Submit(testOffer("a")); !errors.Is(err, ErrJournal) {
+		t.Fatalf("Submit = %v, want ErrJournal", err)
+	}
+	if _, err := s.Assign("pre", t0.Add(6*time.Hour), midEnergies()); !errors.Is(err, ErrJournal) {
+		t.Fatalf("Assign = %v, want ErrJournal", err)
+	}
+	clock.Advance(5 * time.Hour) // past the assignment deadline, so "pre" is overdue
+	if _, err := s.ExpireOverdue(); !errors.Is(err, ErrJournal) {
+		t.Fatalf("ExpireOverdue = %v, want ErrJournal", err)
+	}
+	// The deadline-expiry side path of Accept must not apply either.
+	if err := s.Accept("a2"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Accept unknown = %v, want ErrNotFound", err)
+	}
+	clock.Advance(-5 * time.Hour)
+	if err := s.Reject("pre"); !errors.Is(err, ErrTransition) {
+		// "pre" is Accepted; Reject fails before journaling.
+		t.Fatalf("Reject accepted = %v, want ErrTransition", err)
+	}
+	if got := stateImage(t, s); !bytes.Equal(got, before) {
+		t.Fatalf("journal failures mutated the store:\n got %s\nwant %s", got, before)
+	}
+}
+
+func TestSubmitBatchJournalFailureFailsWholeBatch(t *testing.T) {
+	clock := &fakeClock{now: t0}
+	s := NewStore(clock.Now)
+	s.journal = failingJournal
+	batch := flexoffer.Set{testOffer("b0"), testOffer("b1"), testOffer("b2")}
+	res := s.SubmitBatch(batch)
+	if res.Accepted != 0 || len(res.Failures) != len(batch) {
+		t.Fatalf("BatchResult = %+v, want every offer failed", res)
+	}
+	if err := res.FirstErr(); !errors.Is(err, ErrJournal) {
+		t.Fatalf("FirstErr = %v, want ErrJournal", err)
+	}
+	if failed := res.FailedOffers(batch); len(failed) != len(batch) {
+		t.Fatalf("FailedOffers returned %d of %d", len(failed), len(batch))
+	}
+	if got := s.Stats(); got.Offered != 0 {
+		t.Fatalf("store not empty after journal-failed batch: %+v", got)
+	}
+}
+
+func TestStoreRefusesTransitionsAfterJournalClose(t *testing.T) {
+	dir := t.TempDir()
+	clock := &fakeClock{now: t0}
+	s, j := openTestJournaled(t, dir, clock, JournalOptions{})
+	if err := s.Submit(testOffer("a")); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := s.Submit(testOffer("b")); !errors.Is(err, ErrJournal) {
+		t.Fatalf("Submit after Close = %v, want ErrJournal", err)
+	}
+	// Reads keep working on the frozen state.
+	if _, ok := s.Get("a"); !ok {
+		t.Fatal("Get after Close lost the record")
+	}
+}
+
+func TestApplyEventRejectsCorruptEvents(t *testing.T) {
+	cases := map[string]event{
+		"unknown kind":        {Kind: "explode"},
+		"decide unknown id":   {Kind: evDecide, ID: "ghost", To: Accepted},
+		"assign unknown id":   {Kind: evAssign, ID: "ghost"},
+		"expire unknown id":   {Kind: evExpire, IDs: []string{"ghost"}},
+		"submit nil offer":    {Kind: evSubmit, Offers: flexoffer.Set{nil}},
+		"assign infeasible":   {Kind: evAssign, ID: "a", Start: t0.Add(6 * time.Hour), Energies: []float64{999}},
+		"submit duplicate id": {Kind: evSubmit, Offers: flexoffer.Set{testOffer("a")}},
+	}
+	for name, ev := range cases {
+		t.Run(name, func(t *testing.T) {
+			clock := &fakeClock{now: t0}
+			s := NewStore(clock.Now)
+			if err := s.Submit(testOffer("a")); err != nil {
+				t.Fatalf("Submit: %v", err)
+			}
+			if err := s.applyEvent(ev); err == nil {
+				t.Fatalf("applyEvent(%s) accepted a corrupt event", name)
+			}
+		})
+	}
+	// An empty submit event is a harmless no-op, not corruption.
+	s := NewStore(nil)
+	if err := s.applyEvent(event{Kind: evSubmit}); err != nil {
+		t.Fatalf("applyEvent(empty submit) = %v", err)
+	}
+}
+
+func TestRestoreStateRejectsInconsistentSnapshots(t *testing.T) {
+	s := NewStore(nil)
+	for name, data := range map[string]string{
+		"not json":        "{",
+		"order too long":  `{"order":["a"],"records":{}}`,
+		"order missing":   `{"order":["a"],"records":{"b":{"offer":null,"state":"offered"}}}`,
+		"record no offer": `{"order":["a"],"records":{"a":{"offer":null,"state":"offered"}}}`,
+	} {
+		if err := s.restoreState([]byte(data)); err == nil {
+			t.Errorf("restoreState(%s) accepted a bad snapshot", name)
+		}
+	}
+}
+
+func TestCorruptInteriorJournalRefusedTornTailRepaired(t *testing.T) {
+	dir := t.TempDir()
+	clock := &fakeClock{now: t0}
+	s1, j1 := openTestJournaled(t, dir, clock, JournalOptions{})
+	for i := 0; i < 5; i++ {
+		if err := s1.Submit(testOffer(fmt.Sprintf("offer-%d", i))); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	// Crash without snapshot.
+	if err := j1.log.Close(); err != nil {
+		t.Fatalf("close log: %v", err)
+	}
+	segs := segmentFiles(t, dir)
+	last := segs[len(segs)-1]
+	data, err := os.ReadFile(last)
+	if err != nil {
+		t.Fatalf("read segment: %v", err)
+	}
+
+	t.Run("torn tail repaired", func(t *testing.T) {
+		if err := os.WriteFile(last, data[:len(data)-5], 0o644); err != nil {
+			t.Fatalf("tear segment: %v", err)
+		}
+		s2, j2 := openTestJournaled(t, dir, clock, JournalOptions{})
+		rec := j2.Recovery()
+		if !rec.WAL.TornTail || rec.Offers != 4 {
+			t.Fatalf("recovery = %+v, want torn tail and 4 offers", rec)
+		}
+		if _, ok := s2.Get("offer-3"); !ok {
+			t.Fatal("offer-3 lost")
+		}
+		if _, ok := s2.Get("offer-4"); ok {
+			t.Fatal("the torn, unacknowledgeable record was resurrected")
+		}
+		j2.Close()
+	})
+
+	t.Run("interior corruption refused", func(t *testing.T) {
+		mangled := append([]byte(nil), data...)
+		mangled[12] ^= 0xff // inside the first record's payload
+		if err := os.WriteFile(last, mangled, 0o644); err != nil {
+			t.Fatalf("corrupt segment: %v", err)
+		}
+		_, _, err := OpenJournaled(JournalOptions{Dir: dir, Clock: clock.Now})
+		if !errors.Is(err, wal.ErrCorrupt) {
+			t.Fatalf("OpenJournaled on corrupt journal = %v, want wal.ErrCorrupt", err)
+		}
+	})
+}
+
+func TestJournalMetricsExposed(t *testing.T) {
+	dir := t.TempDir()
+	clock := &fakeClock{now: t0}
+	s, j := openTestJournaled(t, dir, clock, JournalOptions{})
+	if err := s.Submit(testOffer("a")); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := j.Snapshot(); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	reg := obs.NewRegistry()
+	RegisterJournalMetrics(reg, j)
+	RegisterStoreMetrics(reg, s)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"wal_appends_total 1", "wal_fsyncs_total", "wal_bytes_total",
+		"wal_segments 1", "snapshot_writes_total 1", "snapshot_errors_total 0",
+		"snapshot_last_lsn 1", "recovery_duration_seconds", "recovery_events_replayed 0",
+		"offers_expired_total 0",
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -19,10 +19,18 @@ type StoreMetrics struct {
 //	market_offers{state=...}        gauge: offers per lifecycle state
 //	market_flexible_energy_kwh     gauge: summed flexible energy on offer
 //	market_sweeper_expired_total   counter: offers expired by the sweeper
+//	offers_expired_total           counter: offers expired by any path
 //
 // The gauges are computed from a store snapshot at scrape time, so they
-// never drift from the store's actual contents.
+// never drift from the store's actual contents. offers_expired_total is
+// sampled the same way: Expired is terminal and records are never
+// deleted, so the current count is the all-time total regardless of
+// whether the sweeper, POST /expire, or a lapsed accept/assign deadline
+// expired the offer.
 func RegisterStoreMetrics(reg *obs.Registry, store *Store) *StoreMetrics {
+	reg.NewCounterFunc("offers_expired_total", "Offers moved to Expired by any path (sweeper, POST /expire, lapsed deadlines).", func() uint64 {
+		return uint64(store.Stats().Expired)
+	})
 	reg.NewSampledGauge("market_offers", "Collected flex-offers by lifecycle state.", func() []obs.Sample {
 		c := store.Stats()
 		return []obs.Sample{

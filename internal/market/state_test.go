@@ -1,0 +1,115 @@
+package market
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro/internal/flexoffer"
+)
+
+func TestStateJSONRoundTrip(t *testing.T) {
+	for st := Offered; st <= Expired; st++ {
+		data, err := json.Marshal(st)
+		if err != nil {
+			t.Fatalf("Marshal(%v): %v", st, err)
+		}
+		var back State
+		if err := json.Unmarshal(data, &back); err != nil || back != st {
+			t.Errorf("round trip %v via %s: %v, %v", st, data, back, err)
+		}
+	}
+	// The numeric legacy form still decodes.
+	var st State
+	if err := json.Unmarshal([]byte("3"), &st); err != nil || st != Assigned {
+		t.Errorf("numeric state: %v, %v", st, err)
+	}
+}
+
+func TestStateJSONErrorPaths(t *testing.T) {
+	for name, data := range map[string]string{
+		"unknown name":   `"pondering"`,
+		"wrong type":     `{"state": 1}`,
+		"bool":           `true`,
+		"negative":       `-1`,
+		"past the enum":  `99`,
+		"fractional":     `1.5`,
+		"unquoted chars": `offered`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			var st State
+			err := json.Unmarshal([]byte(data), &st)
+			if err == nil {
+				t.Fatalf("Unmarshal(%s) accepted a bad state (got %v)", data, st)
+			}
+			// Everything except raw syntax errors carries ErrBadRequest so
+			// the HTTP layer maps it to 400.
+			if json.Valid([]byte(data)) && !errors.Is(err, ErrBadRequest) {
+				t.Errorf("Unmarshal(%s) = %v, want ErrBadRequest", data, err)
+			}
+		})
+	}
+}
+
+func TestParseStateErrors(t *testing.T) {
+	for _, bad := range []string{"", "Offered", "OFFERED", "offered ", "unknown", "5"} {
+		if st, err := ParseState(bad); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("ParseState(%q) = %v, %v, want ErrBadRequest", bad, st, err)
+		}
+	}
+}
+
+func TestBatchResultFailedOffersOutOfRange(t *testing.T) {
+	offers := flexoffer.Set{testOffer("x0"), testOffer("x1"), testOffer("x2")}
+	res := BatchResult{
+		Submitted: len(offers),
+		Failures: []BatchFailure{
+			{Index: -1, Err: ErrBadRequest},
+			{Index: 1, ID: "x1", Err: ErrDuplicate},
+			{Index: 99, Err: ErrBadRequest},
+		},
+	}
+	// Out-of-range indices are dropped rather than panicking; in-range
+	// failures still map back onto the submitted set.
+	failed := res.FailedOffers(offers)
+	if len(failed) != 1 || failed[0].ID != "x1" {
+		t.Fatalf("FailedOffers = %v, want just x1", failed)
+	}
+	if res.Rejected() != 3 {
+		t.Errorf("Rejected = %d, want 3", res.Rejected())
+	}
+	if err := res.FirstErr(); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("FirstErr = %v", err)
+	}
+	// An all-success result maps to no failed offers and a nil first error.
+	ok := BatchResult{Submitted: 2, Accepted: 2}
+	if got := ok.FailedOffers(offers); got != nil {
+		t.Errorf("FailedOffers on success = %v", got)
+	}
+	if err := ok.FirstErr(); err != nil {
+		t.Errorf("FirstErr on success = %v", err)
+	}
+}
+
+func TestSubmitBatchMixedFailuresIndexOrder(t *testing.T) {
+	s, _ := newTestStore()
+	if err := s.Submit(testOffer("dup")); err != nil {
+		t.Fatal(err)
+	}
+	bad := testOffer("bad")
+	bad.Profile = nil
+	batch := flexoffer.Set{testOffer("a"), bad, testOffer("dup"), nil, testOffer("b")}
+	res := s.SubmitBatch(batch)
+	if res.Accepted != 2 || res.Rejected() != 3 {
+		t.Fatalf("result = %+v", res)
+	}
+	for i := 1; i < len(res.Failures); i++ {
+		if res.Failures[i-1].Index >= res.Failures[i].Index {
+			t.Fatalf("failures out of index order: %+v", res.Failures)
+		}
+	}
+	failed := res.FailedOffers(batch)
+	if len(failed) != 3 {
+		t.Fatalf("FailedOffers = %d offers, want 3", len(failed))
+	}
+}

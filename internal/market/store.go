@@ -100,6 +100,11 @@ var (
 	ErrDeadline   = errors.New("market: lifecycle deadline passed")
 	ErrTransition = errors.New("market: invalid state transition")
 	ErrBadRequest = errors.New("market: bad request")
+	// ErrJournal reports that a state transition could not be made durable:
+	// the write-ahead journal refused the event, so the store did not apply
+	// the transition. The in-memory state is unchanged and still consistent
+	// with what the journal holds.
+	ErrJournal = errors.New("market: journal write failed")
 )
 
 // Record is one collected offer with its lifecycle state.
@@ -111,12 +116,20 @@ type Record struct {
 	Assignment  *flexoffer.Assignment `json:"assignment,omitempty"`
 }
 
-// Store is a concurrent-safe in-memory flex-offer store.
+// Store is a concurrent-safe flex-offer store. By itself it is purely
+// in-memory; OpenJournaled (journal.go) attaches a write-ahead journal so
+// every lifecycle transition is made durable before it is acknowledged.
 type Store struct {
 	mu      sync.RWMutex
 	records map[string]*Record // guarded by mu
 	order   []string           // guarded by mu: submission order, for deterministic listings
 	clock   func() time.Time   // immutable after NewStore
+	// journal, when non-nil, persists an event before the mutation it
+	// describes is applied; a journal error aborts the transition with
+	// ErrJournal. Attached by OpenJournaled before the store serves
+	// requests; immutable afterwards. Always invoked with mu held, so the
+	// journal's event order is the store's mutation order.
+	journal func(ev event) error
 }
 
 // NewStore builds a store. clock defaults to time.Now when nil; tests and
@@ -149,8 +162,25 @@ func (s *Store) Submit(f *flexoffer.FlexOffer) error {
 	if _, dup := s.records[f.ID]; dup {
 		return fmt.Errorf("%w: %s", ErrDuplicate, f.ID)
 	}
-	s.records[f.ID] = &Record{Offer: f.Clone(), State: Offered, SubmittedAt: now}
+	offer := f.Clone()
+	if err := s.journalEvent(event{Kind: evSubmit, At: now, Offers: flexoffer.Set{offer}}); err != nil {
+		return err
+	}
+	s.records[f.ID] = &Record{Offer: offer, State: Offered, SubmittedAt: now}
 	s.order = append(s.order, f.ID)
+	return nil
+}
+
+// journalEvent persists ev through the attached journal, if any. Callers
+// hold s.mu and apply the mutation ev describes only on nil return — the
+// write-ahead contract: nothing is acknowledged that is not durable first.
+func (s *Store) journalEvent(ev event) error {
+	if s.journal == nil {
+		return nil
+	}
+	if err := s.journal(ev); err != nil {
+		return fmt.Errorf("%w: %v", ErrJournal, err)
+	}
 	return nil
 }
 
@@ -238,19 +268,44 @@ func (s *Store) SubmitBatch(offers flexoffer.Set) BatchResult {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	now := s.clock()
+	// Decide which offers will land before mutating anything, so the
+	// journal can record exactly the accepted subset ahead of the insert.
+	accepted := make([]pending, 0, len(ok))
+	batch := make(flexoffer.Set, 0, len(ok))
+	seen := make(map[string]bool, len(ok))
 	for _, p := range ok {
 		f := p.f
 		if !f.AcceptanceTime.IsZero() && now.After(f.AcceptanceTime) {
 			fail(p.i, f.ID, fmt.Errorf("%w: acceptance deadline %v already passed", ErrDeadline, f.AcceptanceTime))
 			continue
 		}
-		if _, dup := s.records[f.ID]; dup {
+		_, dup := s.records[f.ID]
+		if dup || seen[f.ID] {
 			fail(p.i, f.ID, fmt.Errorf("%w: %s", ErrDuplicate, f.ID))
 			continue
 		}
-		s.records[f.ID] = &Record{Offer: f.Clone(), State: Offered, SubmittedAt: now}
-		s.order = append(s.order, f.ID)
-		res.Accepted++
+		seen[f.ID] = true
+		clone := f.Clone()
+		accepted = append(accepted, pending{p.i, clone})
+		batch = append(batch, clone)
+	}
+	insert := true
+	if len(batch) > 0 {
+		if err := s.journalEvent(event{Kind: evSubmit, At: now, Offers: batch}); err != nil {
+			// Nothing was applied; surface the journal failure per offer so
+			// retry paths resubmit the whole accepted subset.
+			for _, p := range accepted {
+				fail(p.i, p.f.ID, err)
+			}
+			insert = false
+		}
+	}
+	if insert {
+		for _, p := range accepted {
+			s.records[p.f.ID] = &Record{Offer: p.f, State: Offered, SubmittedAt: now}
+			s.order = append(s.order, p.f.ID)
+			res.Accepted++
+		}
 	}
 	// Failures accumulate in two passes (validation, then insertion), so
 	// restore submission order for callers that walk them.
@@ -281,9 +336,15 @@ func (s *Store) decide(id string, to State) error {
 	}
 	now := s.clock()
 	if to == Accepted && !r.Offer.AcceptanceTime.IsZero() && now.After(r.Offer.AcceptanceTime) {
+		if err := s.journalEvent(event{Kind: evDecide, At: now, ID: id, To: Expired}); err != nil {
+			return err
+		}
 		r.State = Expired
 		r.DecidedAt = now
 		return fmt.Errorf("%w: acceptance deadline %v passed", ErrDeadline, r.Offer.AcceptanceTime)
+	}
+	if err := s.journalEvent(event{Kind: evDecide, At: now, ID: id, To: to}); err != nil {
+		return err
 	}
 	r.State = to
 	r.DecidedAt = now
@@ -304,6 +365,9 @@ func (s *Store) Assign(id string, start time.Time, energies []float64) (*flexoff
 	}
 	now := s.clock()
 	if !r.Offer.AssignmentTime.IsZero() && now.After(r.Offer.AssignmentTime) {
+		if err := s.journalEvent(event{Kind: evDecide, At: now, ID: id, To: Expired}); err != nil {
+			return nil, err
+		}
 		r.State = Expired
 		r.DecidedAt = now
 		return nil, fmt.Errorf("%w: assignment deadline %v passed", ErrDeadline, r.Offer.AssignmentTime)
@@ -311,6 +375,9 @@ func (s *Store) Assign(id string, start time.Time, energies []float64) (*flexoff
 	asg, err := r.Offer.Assign(start, energies)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if err := s.journalEvent(event{Kind: evAssign, At: now, ID: id, Start: start, Energies: energies}); err != nil {
+		return nil, err
 	}
 	r.State = Assigned
 	r.DecidedAt = now
@@ -350,29 +417,41 @@ func (s *Store) List(states ...State) []Record {
 
 // ExpireOverdue sweeps the store: offered records past their acceptance
 // deadline and accepted records past their assignment deadline become
-// Expired. The number of expired records is returned.
-func (s *Store) ExpireOverdue() int {
+// Expired. The number of expired records is returned. On a journaled
+// store the sweep is durable before it applies; a journal failure leaves
+// every record untouched and returns ErrJournal.
+func (s *Store) ExpireOverdue() (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	now := s.clock()
-	var n int
-	for _, r := range s.records {
+	// Collect in submission order so the journaled event is deterministic
+	// for a given store state, then expire in one batch.
+	var overdue []string
+	for _, id := range s.order {
+		r := s.records[id]
 		switch r.State {
 		case Offered:
 			if !r.Offer.AcceptanceTime.IsZero() && now.After(r.Offer.AcceptanceTime) {
-				r.State = Expired
-				r.DecidedAt = now
-				n++
+				overdue = append(overdue, id)
 			}
 		case Accepted:
 			if !r.Offer.AssignmentTime.IsZero() && now.After(r.Offer.AssignmentTime) {
-				r.State = Expired
-				r.DecidedAt = now
-				n++
+				overdue = append(overdue, id)
 			}
 		}
 	}
-	return n
+	if len(overdue) == 0 {
+		return 0, nil
+	}
+	if err := s.journalEvent(event{Kind: evExpire, At: now, IDs: overdue}); err != nil {
+		return 0, err
+	}
+	for _, id := range overdue {
+		r := s.records[id]
+		r.State = Expired
+		r.DecidedAt = now
+	}
+	return len(overdue), nil
 }
 
 // Counts summarises the store by state.

@@ -250,16 +250,16 @@ func TestExpireOverdue(t *testing.T) {
 	if err := s.Accept("accepted"); err != nil {
 		t.Fatal(err)
 	}
-	if n := s.ExpireOverdue(); n != 0 {
-		t.Errorf("premature expiry: %d", n)
+	if n, err := s.ExpireOverdue(); err != nil || n != 0 {
+		t.Errorf("premature expiry: %d (err %v)", n, err)
 	}
 	clock.Advance(3 * time.Hour) // past acceptance, before assignment deadline
-	if n := s.ExpireOverdue(); n != 1 {
-		t.Errorf("expired = %d, want 1 (the offered one)", n)
+	if n, err := s.ExpireOverdue(); err != nil || n != 1 {
+		t.Errorf("expired = %d (err %v), want 1 (the offered one)", n, err)
 	}
 	clock.Advance(2 * time.Hour) // past assignment deadline
-	if n := s.ExpireOverdue(); n != 1 {
-		t.Errorf("expired = %d, want 1 (the accepted one)", n)
+	if n, err := s.ExpireOverdue(); err != nil || n != 1 {
+		t.Errorf("expired = %d (err %v), want 1 (the accepted one)", n, err)
 	}
 	counts := s.Stats()
 	if counts.Expired != 2 {

@@ -29,6 +29,7 @@ type family struct {
 
 	// Exactly one of these is set.
 	counter      *Counter
+	counterFunc  func() uint64
 	counterVec   *CounterVec
 	gauge        *Gauge
 	gaugeFunc    func() float64
@@ -66,6 +67,13 @@ func (r *Registry) NewCounter(name, help string) *Counter {
 	c := new(Counter)
 	r.register(&family{name: name, help: help, typ: "counter", counter: c})
 	return c
+}
+
+// NewCounterFunc registers a counter whose value is read from fn at render
+// time — for monotonic totals someone else already counts (e.g. a WAL's
+// append statistics), mirroring NewGaugeFunc for counters.
+func (r *Registry) NewCounterFunc(name, help string, fn func() uint64) {
+	r.register(&family{name: name, help: help, typ: "counter", counterFunc: fn})
 }
 
 // NewCounterVec registers and returns a labelled counter family.
@@ -136,6 +144,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		switch {
 		case f.counter != nil:
 			fmt.Fprintf(bw, "%s %d\n", f.name, f.counter.Value())
+		case f.counterFunc != nil:
+			fmt.Fprintf(bw, "%s %d\n", f.name, f.counterFunc())
 		case f.counterVec != nil:
 			for _, c := range sortedChildren(&f.counterVec.mu, f.counterVec.children) {
 				fmt.Fprintf(bw, "%s%s %d\n", f.name, labelString(c.labels), c.metric.Value())
@@ -228,6 +238,8 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		switch {
 		case f.counter != nil:
 			out[f.name] = f.counter.Value()
+		case f.counterFunc != nil:
+			out[f.name] = f.counterFunc()
 		case f.counterVec != nil:
 			var vals []jsonLabelled
 			for _, c := range sortedChildren(&f.counterVec.mu, f.counterVec.children) {

@@ -1,0 +1,68 @@
+package wal
+
+import (
+	"io"
+	iofs "io/fs"
+	"os"
+)
+
+// FS abstracts the handful of filesystem operations the log needs, so
+// tests and the fault injector (internal/faultinject) can interpose on the
+// write path without touching a real disk differently than production
+// does. DiskFS is the os-backed implementation the daemon uses.
+type FS interface {
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(path string, perm iofs.FileMode) error
+	// OpenFile opens a file with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm iofs.FileMode) (File, error)
+	// ReadDir lists a directory.
+	ReadDir(name string) ([]iofs.DirEntry, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+}
+
+// File is the per-file surface the log reads and writes through. Segment
+// files are opened in append mode, so a Write always lands at the end of
+// the file and a Truncate moves the end back — the pair the log uses to
+// roll back torn appends.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file's data to stable storage (fsync).
+	Sync() error
+	// Truncate resizes the file; the log uses it to discard the partial
+	// bytes of a failed append.
+	Truncate(size int64) error
+}
+
+// DiskFS is the operating-system filesystem, the FS every non-test caller
+// should use.
+var DiskFS FS = osFS{}
+
+// osFS implements FS on the real filesystem.
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm iofs.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) OpenFile(name string, flag int, perm iofs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) ReadDir(name string) ([]iofs.DirEntry, error) { return os.ReadDir(name) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+// readFile reads a whole file through fs.
+func readFile(fs FS, name string) ([]byte, error) {
+	f, err := fs.OpenFile(name, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}

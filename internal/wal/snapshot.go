@@ -1,0 +1,171 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// snapshotsKept is how many snapshot generations WriteSnapshot retains;
+// older ones are pruned. Two generations means a crash while writing (or
+// immediately after pruning around) the newest snapshot still leaves a
+// previous valid one behind.
+const snapshotsKept = 2
+
+// WriteSnapshot durably stores one snapshot payload covering every record
+// with LSN < lsn. The payload is framed and checksummed like a log record,
+// written to a temporary file, fsynced, and renamed into place, so a crash
+// mid-write can never produce a valid-looking half snapshot. Older
+// snapshot generations beyond snapshotsKept are pruned best-effort.
+func (l *Log) WriteSnapshot(lsn uint64, payload []byte) error {
+	if len(payload) > MaxRecordBytes {
+		return fmt.Errorf("%w: snapshot %d bytes (max %d)", ErrTooLarge, len(payload), MaxRecordBytes)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	fs, dir := l.opts.FS, l.opts.Dir
+	name := snapshotName(lsn)
+	tmp := name + ".tmp"
+	if err := writeSnapshotFile(fs, filepath.Join(dir, tmp), payload); err != nil {
+		fs.Remove(filepath.Join(dir, tmp))
+		return fmt.Errorf("wal: write snapshot: %w", err)
+	}
+	if err := fs.Rename(filepath.Join(dir, tmp), filepath.Join(dir, name)); err != nil {
+		fs.Remove(filepath.Join(dir, tmp))
+		return fmt.Errorf("wal: publish snapshot: %w", err)
+	}
+	l.snaps++
+	if lsn > l.snapLSN {
+		l.snapLSN = lsn
+	}
+	l.pruneSnapshotsLocked()
+	return nil
+}
+
+// writeSnapshotFile frames payload and writes it to path with an fsync.
+func writeSnapshotFile(fs FS, path string, payload []byte) error {
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	frame := frameRecord(payload)
+	if _, err := f.Write(frame); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// pruneSnapshotsLocked removes all but the snapshotsKept newest snapshot
+// files. Failures are ignored: stale snapshots waste space but never
+// correctness, since recovery always prefers the newest valid one.
+func (l *Log) pruneSnapshotsLocked() {
+	lsns, err := listSnapshots(l.opts.FS, l.opts.Dir)
+	if err != nil || len(lsns) <= snapshotsKept {
+		return
+	}
+	for _, lsn := range lsns[:len(lsns)-snapshotsKept] {
+		l.opts.FS.Remove(filepath.Join(l.opts.Dir, snapshotName(lsn)))
+	}
+}
+
+// LatestSnapshot returns the newest readable snapshot's payload and its
+// LSN (replay must resume at that LSN). Unreadable or corrupt snapshot
+// files are skipped in favour of older ones; ErrNoSnapshot means none was
+// usable.
+func (l *Log) LatestSnapshot() (payload []byte, lsn uint64, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, 0, ErrClosed
+	}
+	return latestSnapshot(l.opts.FS, l.opts.Dir)
+}
+
+// latestSnapshot is LatestSnapshot without the log handle — recovery uses
+// it before the Log exists as well.
+func latestSnapshot(fs FS, dir string) ([]byte, uint64, error) {
+	lsns, err := listSnapshots(fs, dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	for i := len(lsns) - 1; i >= 0; i-- {
+		data, err := readFile(fs, filepath.Join(dir, snapshotName(lsns[i])))
+		if err != nil {
+			continue
+		}
+		payload, ok := unframeRecord(data)
+		if !ok {
+			continue
+		}
+		return payload, lsns[i], nil
+	}
+	return nil, 0, ErrNoSnapshot
+}
+
+// listSnapshots collects the directory's snapshot LSNs in ascending order.
+func listSnapshots(fs FS, dir string) ([]uint64, error) {
+	entries, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: read dir: %w", err)
+	}
+	var lsns []uint64
+	for _, e := range entries {
+		lsn, ok := parseSnapshotName(e.Name())
+		if !ok {
+			continue
+		}
+		lsns = append(lsns, lsn)
+	}
+	sort.Slice(lsns, func(i, j int) bool { return lsns[i] < lsns[j] })
+	return lsns, nil
+}
+
+// snapshotName renders the file name of the snapshot covering LSNs < lsn.
+func snapshotName(lsn uint64) string {
+	return fmt.Sprintf("%s%016x%s", snapPrefix, lsn, snapSuffix)
+}
+
+// parseSnapshotName extracts the LSN from a snapshot file name.
+func parseSnapshotName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix)
+	lsn, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return lsn, true
+}
+
+// Compact removes segment files made redundant by the snapshot at
+// snapLSN: a segment can go once every record in it has LSN < snapLSN
+// and a newer segment exists. The newest segment is always kept so the
+// LSN sequence stays anchored across restarts.
+func (l *Log) Compact(snapLSN uint64) (removed int, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	for len(l.segments) > 1 && l.segments[1].base <= snapLSN {
+		seg := l.segments[0]
+		if err := l.opts.FS.Remove(filepath.Join(l.opts.Dir, seg.name)); err != nil {
+			return removed, fmt.Errorf("wal: compact %s: %w", seg.name, err)
+		}
+		l.segments = l.segments[1:]
+		removed++
+	}
+	return removed, nil
+}

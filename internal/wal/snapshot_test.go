@@ -1,0 +1,139 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openTestLog(t, Options{Dir: dir})
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append([]byte("rec")); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if _, _, err := l.LatestSnapshot(); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("LatestSnapshot on empty dir = %v, want ErrNoSnapshot", err)
+	}
+	if err := l.WriteSnapshot(5, []byte(`{"state":"five"}`)); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	payload, lsn, err := l.LatestSnapshot()
+	if err != nil || lsn != 5 || string(payload) != `{"state":"five"}` {
+		t.Fatalf("LatestSnapshot = (%q, %d, %v)", payload, lsn, err)
+	}
+	st := l.Stats()
+	if st.Snapshots != 1 || st.SnapshotLSN != 5 {
+		t.Fatalf("stats after snapshot = %+v", st)
+	}
+	// A newer snapshot wins; the reopened log sees it too.
+	if err := l.WriteSnapshot(7, []byte("newer")); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	l2, _ := openTestLog(t, Options{Dir: dir})
+	payload, lsn, err = l2.LatestSnapshot()
+	if err != nil || lsn != 7 || string(payload) != "newer" {
+		t.Fatalf("LatestSnapshot after reopen = (%q, %d, %v)", payload, lsn, err)
+	}
+}
+
+func TestSnapshotPruneKeepsTwo(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openTestLog(t, Options{Dir: dir})
+	for _, lsn := range []uint64{1, 2, 3, 4} {
+		if err := l.WriteSnapshot(lsn, []byte{byte(lsn)}); err != nil {
+			t.Fatalf("WriteSnapshot(%d): %v", lsn, err)
+		}
+	}
+	lsns, err := listSnapshots(DiskFS, dir)
+	if err != nil {
+		t.Fatalf("listSnapshots: %v", err)
+	}
+	if len(lsns) != snapshotsKept || lsns[0] != 3 || lsns[1] != 4 {
+		t.Fatalf("kept snapshots = %v, want [3 4]", lsns)
+	}
+}
+
+func TestCorruptSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openTestLog(t, Options{Dir: dir})
+	if err := l.WriteSnapshot(3, []byte("older-good")); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	if err := l.WriteSnapshot(9, []byte("newer-doomed")); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	path := filepath.Join(dir, snapshotName(9))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read snapshot: %v", err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("corrupt snapshot: %v", err)
+	}
+	payload, lsn, err := l.LatestSnapshot()
+	if err != nil || lsn != 3 || string(payload) != "older-good" {
+		t.Fatalf("LatestSnapshot with corrupt newest = (%q, %d, %v), want fallback to 3", payload, lsn, err)
+	}
+}
+
+func TestCompactDropsCoveredSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openTestLog(t, Options{Dir: dir, SegmentBytes: 32})
+	const n = 15
+	for i := 0; i < n; i++ {
+		if _, err := l.Append([]byte("compactable-payload")); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	before := l.Stats().Segments
+	if before < 3 {
+		t.Fatalf("want >=3 segments before compaction, got %d", before)
+	}
+	snapLSN := l.NextLSN()
+	if err := l.WriteSnapshot(snapLSN, []byte("full-state")); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	removed, err := l.Compact(snapLSN)
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	after := l.Stats().Segments
+	if removed != before-after || after != 1 {
+		t.Fatalf("Compact removed %d, segments %d -> %d; want all but the last gone", removed, before, after)
+	}
+	// The surviving tail still replays, and the LSN sequence stays
+	// anchored across a reopen.
+	var lsns []uint64
+	if err := l.ReplayFrom(snapLSN, func(lsn uint64, _ []byte) error {
+		lsns = append(lsns, lsn)
+		return nil
+	}); err != nil {
+		t.Fatalf("ReplayFrom after compact: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	l2, info := openTestLog(t, Options{Dir: dir, SegmentBytes: 32})
+	if info.NextLSN != n {
+		t.Fatalf("NextLSN after compact+reopen = %d, want %d", info.NextLSN, n)
+	}
+	if lsn, err := l2.Append([]byte("continues")); err != nil || lsn != n {
+		t.Fatalf("Append after compact+reopen: lsn=%d err=%v", lsn, err)
+	}
+}
+
+func TestSnapshotTooLarge(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openTestLog(t, Options{Dir: dir})
+	if err := l.WriteSnapshot(1, make([]byte, MaxRecordBytes+1)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized snapshot = %v, want ErrTooLarge", err)
+	}
+}

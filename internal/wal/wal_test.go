@@ -1,0 +1,418 @@
+package wal
+
+import (
+	"errors"
+	iofs "io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// scriptFS wraps another FS and lets a test inject one-shot write or sync
+// faults into every file opened through it — the minimal disk-fault stub
+// for white-box tests (the seeded production injector lives in
+// internal/faultinject and is exercised there and in internal/market).
+type scriptFS struct {
+	FS
+	// writeFault, when set, intercepts the next segment write: it returns
+	// the byte count to actually persist and the error to report, then
+	// clears itself.
+	writeFault func(p []byte) (int, error)
+	// syncFault, when set, fails the next Sync with this error, then
+	// clears itself.
+	syncFault error
+}
+
+func (s *scriptFS) OpenFile(name string, flag int, perm iofs.FileMode) (File, error) {
+	f, err := s.FS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &scriptFile{File: f, fs: s}, nil
+}
+
+type scriptFile struct {
+	File
+	fs *scriptFS
+}
+
+func (f *scriptFile) Write(p []byte) (int, error) {
+	if fault := f.fs.writeFault; fault != nil {
+		f.fs.writeFault = nil
+		n, err := fault(p)
+		if n > 0 {
+			f.File.Write(p[:n])
+		}
+		return n, err
+	}
+	return f.File.Write(p)
+}
+
+func (f *scriptFile) Sync() error {
+	if err := f.fs.syncFault; err != nil {
+		f.fs.syncFault = nil
+		return err
+	}
+	return f.File.Sync()
+}
+
+func openTestLog(t *testing.T, opts Options) (*Log, RecoveryInfo) {
+	t.Helper()
+	l, info, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l, info
+}
+
+func replayAll(t *testing.T, l *Log) (lsns []uint64, payloads []string) {
+	t.Helper()
+	err := l.ReplayFrom(0, func(lsn uint64, payload []byte) error {
+		lsns = append(lsns, lsn)
+		payloads = append(payloads, string(payload))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ReplayFrom: %v", err)
+	}
+	return lsns, payloads
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, info := openTestLog(t, Options{Dir: dir})
+	if info.Records != 0 || info.NextLSN != 0 {
+		t.Fatalf("fresh log recovery info = %+v", info)
+	}
+	want := []string{"alpha", "", "gamma", "delta"}
+	for i, p := range want {
+		lsn, err := l.Append([]byte(p))
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if lsn != uint64(i) {
+			t.Fatalf("Append %d: lsn = %d", i, lsn)
+		}
+	}
+	lsns, got := replayAll(t, l)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] || lsns[i] != uint64(i) {
+			t.Fatalf("record %d = (%d, %q), want (%d, %q)", i, lsns[i], got[i], i, want[i])
+		}
+	}
+	st := l.Stats()
+	if st.Appends != 4 || st.NextLSN != 4 || st.Segments != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Fsyncs == 0 {
+		t.Fatalf("SyncAlways log reports zero fsyncs: %+v", st)
+	}
+}
+
+func TestReopenContinuesSequence(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openTestLog(t, Options{Dir: dir})
+	for _, p := range []string{"one", "two"} {
+		if _, err := l.Append([]byte(p)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	l2, info := openTestLog(t, Options{Dir: dir})
+	if info.Records != 2 || info.NextLSN != 2 || info.TornTail {
+		t.Fatalf("recovery info = %+v", info)
+	}
+	lsn, err := l2.Append([]byte("three"))
+	if err != nil || lsn != 2 {
+		t.Fatalf("Append after reopen: lsn=%d err=%v", lsn, err)
+	}
+	_, got := replayAll(t, l2)
+	if len(got) != 3 || got[2] != "three" {
+		t.Fatalf("replay after reopen = %q", got)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force a rotation roughly every record.
+	l, _ := openTestLog(t, Options{Dir: dir, SegmentBytes: 32})
+	const n = 20
+	for i := 0; i < n; i++ {
+		if _, err := l.Append([]byte("payload-payload-payload")); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	st := l.Stats()
+	if st.Segments < 2 {
+		t.Fatalf("expected rotation, got %d segments", st.Segments)
+	}
+	lsns, _ := replayAll(t, l)
+	if len(lsns) != n {
+		t.Fatalf("replayed %d records across segments, want %d", len(lsns), n)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	l2, info := openTestLog(t, Options{Dir: dir, SegmentBytes: 32})
+	if info.Records != n || info.NextLSN != n {
+		t.Fatalf("multi-segment recovery info = %+v", info)
+	}
+	if _, got := replayAll(t, l2); len(got) != n {
+		t.Fatalf("replay after multi-segment reopen: %d records", len(got))
+	}
+}
+
+// lastSegmentPath finds the newest segment file in dir.
+func lastSegmentPath(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := listSegments(DiskFS, dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("listSegments: %v (%d found)", err, len(segs))
+	}
+	return filepath.Join(dir, segs[len(segs)-1].name)
+}
+
+func TestTornTailIsTruncated(t *testing.T) {
+	for name, tear := range map[string]func([]byte) []byte{
+		"partial header":  func(b []byte) []byte { return append(b, 0x17, 0x00) },
+		"header no body":  func(b []byte) []byte { return append(b, frameRecord([]byte("lost"))[:headerSize]...) },
+		"half record":     func(b []byte) []byte { f := frameRecord([]byte("lost-payload")); return append(b, f[:len(f)-4]...) },
+		"bad crc tail":    func(b []byte) []byte { f := frameRecord([]byte("lost")); f[4] ^= 0xff; return append(b, f...) },
+		"truncated close": func(b []byte) []byte { return b[:len(b)-3] },
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			l, _ := openTestLog(t, Options{Dir: dir})
+			for _, p := range []string{"kept-a", "kept-b", "kept-c"} {
+				if _, err := l.Append([]byte(p)); err != nil {
+					t.Fatalf("Append: %v", err)
+				}
+			}
+			if err := l.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			path := lastSegmentPath(t, dir)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read segment: %v", err)
+			}
+			if err := os.WriteFile(path, tear(data), 0o644); err != nil {
+				t.Fatalf("tear segment: %v", err)
+			}
+			l2, info := openTestLog(t, Options{Dir: dir})
+			if !info.TornTail || info.TornBytes == 0 {
+				t.Fatalf("recovery info = %+v, want torn tail", info)
+			}
+			wantKept := uint64(3)
+			if name == "truncated close" {
+				wantKept = 2 // the tear cut into record c itself
+			}
+			if info.Records != wantKept || info.NextLSN != wantKept {
+				t.Fatalf("recovery info = %+v, want %d records", info, wantKept)
+			}
+			// The log must accept appends cleanly after the repair.
+			if lsn, err := l2.Append([]byte("after")); err != nil || lsn != wantKept {
+				t.Fatalf("Append after repair: lsn=%d err=%v", lsn, err)
+			}
+			if _, got := replayAll(t, l2); got[len(got)-1] != "after" {
+				t.Fatalf("replay after repair = %q", got)
+			}
+		})
+	}
+}
+
+func TestInteriorCorruptionIsRefused(t *testing.T) {
+	t.Run("within final segment", func(t *testing.T) {
+		dir := t.TempDir()
+		l, _ := openTestLog(t, Options{Dir: dir})
+		for _, p := range []string{"record-one", "record-two", "record-three"} {
+			if _, err := l.Append([]byte(p)); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		path := lastSegmentPath(t, dir)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read segment: %v", err)
+		}
+		data[headerSize+2] ^= 0xff // flip a byte inside the first payload
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatalf("corrupt segment: %v", err)
+		}
+		if _, _, err := Open(Options{Dir: dir}); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Open on interior corruption = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("in non-final segment", func(t *testing.T) {
+		dir := t.TempDir()
+		l, _ := openTestLog(t, Options{Dir: dir, SegmentBytes: 32})
+		for i := 0; i < 10; i++ {
+			if _, err := l.Append([]byte("spread-across-segments")); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		segs, err := listSegments(DiskFS, dir)
+		if err != nil || len(segs) < 2 {
+			t.Fatalf("want >=2 segments, got %d (%v)", len(segs), err)
+		}
+		first := filepath.Join(dir, segs[0].name)
+		data, err := os.ReadFile(first)
+		if err != nil {
+			t.Fatalf("read segment: %v", err)
+		}
+		data[len(data)-1] ^= 0xff
+		if err := os.WriteFile(first, data, 0o644); err != nil {
+			t.Fatalf("corrupt segment: %v", err)
+		}
+		if _, _, err := Open(Options{Dir: dir, SegmentBytes: 32}); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Open on corrupt early segment = %v, want ErrCorrupt", err)
+		}
+	})
+}
+
+func TestShortWriteRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	fs := &scriptFS{FS: DiskFS}
+	l, _ := openTestLog(t, Options{Dir: dir, FS: fs})
+	if _, err := l.Append([]byte("good-one")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	fs.writeFault = func(p []byte) (int, error) { return len(p) / 2, errors.New("disk full") }
+	if _, err := l.Append([]byte("doomed")); err == nil {
+		t.Fatal("Append with short write succeeded")
+	}
+	// The rollback must leave the log usable and the sequence gapless.
+	lsn, err := l.Append([]byte("good-two"))
+	if err != nil || lsn != 1 {
+		t.Fatalf("Append after rollback: lsn=%d err=%v", lsn, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	l2, info := openTestLog(t, Options{Dir: dir})
+	if info.TornTail || info.Records != 2 {
+		t.Fatalf("recovery info after rollback = %+v", info)
+	}
+	if _, got := replayAll(t, l2); got[0] != "good-one" || got[1] != "good-two" {
+		t.Fatalf("replay after rollback = %q", got)
+	}
+}
+
+func TestFsyncFailureBreaksLog(t *testing.T) {
+	dir := t.TempDir()
+	fs := &scriptFS{FS: DiskFS}
+	l, _ := openTestLog(t, Options{Dir: dir, FS: fs})
+	if _, err := l.Append([]byte("acked")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	fs.syncFault = errors.New("fsync: input/output error")
+	if _, err := l.Append([]byte("unacked")); err == nil {
+		t.Fatal("Append with failing fsync succeeded")
+	}
+	if _, err := l.Append([]byte("refused")); !errors.Is(err, ErrBroken) {
+		t.Fatalf("Append on broken log = %v, want ErrBroken", err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrBroken) {
+		t.Fatalf("Sync on broken log = %v, want ErrBroken", err)
+	}
+}
+
+func TestSyncEveryFlushesInBackground(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openTestLog(t, Options{Dir: dir, Policy: SyncEvery, Interval: time.Millisecond})
+	if _, err := l.Append([]byte("buffered")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for l.Stats().Fsyncs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background flusher never fsynced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestAppendLimitsAndClosedLog(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openTestLog(t, Options{Dir: dir})
+	if _, err := l.Append(make([]byte, MaxRecordBytes+1)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized append = %v, want ErrTooLarge", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := l.Append([]byte("late")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append on closed log = %v, want ErrClosed", err)
+	}
+	if err := l.ReplayFrom(0, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("replay on closed log = %v, want ErrClosed", err)
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SyncPolicy
+	}{
+		{"always", SyncAlways},
+		{"interval", SyncEvery},
+		{"never", SyncNever},
+	} {
+		got, err := ParseSyncPolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Fatalf("SyncPolicy(%v).String() = %q, want %q", got, got.String(), tc.in)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("ParseSyncPolicy accepted an unknown policy")
+	}
+	if got := SyncPolicy(42).String(); got != "unknown" {
+		t.Fatalf("out-of-range policy String() = %q", got)
+	}
+}
+
+func TestReplayFromSkipsEarlierRecords(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openTestLog(t, Options{Dir: dir, SegmentBytes: 32})
+	const n = 12
+	for i := 0; i < n; i++ {
+		if _, err := l.Append([]byte{byte('a' + i)}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	var lsns []uint64
+	if err := l.ReplayFrom(7, func(lsn uint64, payload []byte) error {
+		lsns = append(lsns, lsn)
+		if want := byte('a' + lsn); payload[0] != want {
+			t.Fatalf("lsn %d payload = %q, want %q", lsn, payload, []byte{want})
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("ReplayFrom(7): %v", err)
+	}
+	if len(lsns) != n-7 || lsns[0] != 7 {
+		t.Fatalf("ReplayFrom(7) visited %v", lsns)
+	}
+}
