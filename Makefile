@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check docs-check lint bench fuzz fuzz-smoke soak crash verify
+.PHONY: build test race vet fmt-check docs-check lint bench benchdiff fuzz fuzz-smoke soak crash verify
 
 build:
 	$(GO) build ./...
@@ -39,11 +39,19 @@ lint:
 bench:
 	$(GO) test -bench . -benchmem -run XXX .
 
+# Regression gate for the committed load-test baseline: run a short
+# flexload pass against a freshly built sharded mirabeld and fail when any
+# op's p95 (or total throughput) regresses >10% vs BENCH_6.json
+# (BENCHDIFF_* environment variables tune baseline/duration/shards).
+benchdiff:
+	sh scripts/benchdiff.sh
+
 fuzz:
 	$(GO) test -run XXX -fuzz FuzzParamsValidate -fuzztime 30s ./internal/core
 	$(GO) test -run XXX -fuzz FuzzOfferValidate -fuzztime 30s ./internal/flexoffer
 	$(GO) test -run XXX -fuzz FuzzReadJSON -fuzztime 30s ./internal/flexoffer
 	$(GO) test -run XXX -fuzz FuzzSubmitBatch -fuzztime 30s ./internal/market
+	$(GO) test -run XXX -fuzz FuzzListQuery -fuzztime 30s ./internal/market
 	$(GO) test -run XXX -fuzz FuzzWALReplay -fuzztime 30s ./internal/wal
 
 # Short fuzz pass for CI: 10 seconds per target, enough to catch a freshly
@@ -53,6 +61,7 @@ fuzz-smoke:
 	$(GO) test -run XXX -fuzz FuzzOfferValidate -fuzztime 10s ./internal/flexoffer
 	$(GO) test -run XXX -fuzz FuzzReadJSON -fuzztime 10s ./internal/flexoffer
 	$(GO) test -run XXX -fuzz FuzzSubmitBatch -fuzztime 10s ./internal/market
+	$(GO) test -run XXX -fuzz FuzzListQuery -fuzztime 10s ./internal/market
 	$(GO) test -run XXX -fuzz FuzzWALReplay -fuzztime 10s ./internal/wal
 
 # Soak: the end-to-end extraction→market loop under fault injection and

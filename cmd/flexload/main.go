@@ -25,6 +25,8 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -103,10 +105,27 @@ type Report struct {
 	OffersSubmitted     uint64             `json:"offers_submitted"`
 	OffersAccepted      uint64             `json:"offers_accepted"`
 	OffersAssigned      uint64             `json:"offers_assigned"`
+	// Shards is the server's per-shard contention view at the end of the
+	// run, scraped from /metrics?format=json. Empty when the target does
+	// not expose the market_shard_* families (plain market.Server without
+	// a metrics endpoint, or a pre-sharding daemon).
+	Shards []ShardReport `json:"shards,omitempty"`
+}
+
+// ShardReport is one shard's contention counters in the report.
+type ShardReport struct {
+	Shard           int     `json:"shard"`
+	Offers          float64 `json:"offers"`
+	LockWaitSeconds float64 `json:"lock_wait_seconds"`
+	LockHoldSeconds float64 `json:"lock_hold_seconds"`
+	QueueDepth      float64 `json:"queue_depth"`
 }
 
 // opNames are the operations a worker performs, in lifecycle order.
 var opNames = []string{"submit", "accept", "assign", "list", "stats"}
+
+// listPageLimit is the page size the periodic list read requests.
+const listPageLimit = 100
 
 // opLabel bounds the metric label set to the known operations, keeping
 // the per-op vec families at fixed cardinality.
@@ -138,7 +157,13 @@ func run(ctx context.Context, cfg config) (Report, error) {
 	}
 	httpClient := cfg.HTTPClient
 	if httpClient == nil {
-		httpClient = &http.Client{Timeout: 10 * time.Second}
+		// The default transport keeps only 2 idle connections per host, so
+		// any higher concurrency redials TCP on most requests and the
+		// generator measures connection churn instead of the store. Keep
+		// one persistent connection per worker.
+		transport := http.DefaultTransport.(*http.Transport).Clone()
+		transport.MaxIdleConnsPerHost = cfg.Concurrency
+		httpClient = &http.Client{Timeout: 10 * time.Second, Transport: transport}
 	}
 
 	reg := obs.NewRegistry()
@@ -196,7 +221,66 @@ func run(ctx context.Context, cfg config) (Report, error) {
 	if elapsed > 0 {
 		rep.ThroughputOpsPerSec = float64(rep.TotalOps) / elapsed.Seconds()
 	}
+	// Best effort: soak tests drive bare market.Server instances that have
+	// no /metrics route, and older daemons have no shard families — either
+	// way the report simply omits the shard section.
+	if shards, err := fetchShardStats(httpClient, cfg.BaseURL); err == nil {
+		rep.Shards = shards
+	}
 	return rep, nil
+}
+
+// fetchShardStats scrapes the target's /metrics JSON exposition and
+// assembles the per-shard contention section of the report.
+func fetchShardStats(httpClient *http.Client, baseURL string) ([]ShardReport, error) {
+	resp, err := httpClient.Get(baseURL + "/metrics?format=json")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	type labelled struct {
+		Labels map[string]string `json:"labels"`
+		Value  float64           `json:"value"`
+	}
+	var families map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&families); err != nil {
+		return nil, err
+	}
+	byShard := map[int]*ShardReport{}
+	collect := func(family string, set func(*ShardReport, float64)) {
+		var vals []labelled
+		if raw, ok := families[family]; !ok || json.Unmarshal(raw, &vals) != nil {
+			return
+		}
+		for _, v := range vals {
+			k, err := strconv.Atoi(v.Labels["shard"])
+			if err != nil {
+				continue
+			}
+			sr, ok := byShard[k]
+			if !ok {
+				sr = &ShardReport{Shard: k}
+				byShard[k] = sr
+			}
+			set(sr, v.Value)
+		}
+	}
+	collect("market_shard_offers", func(s *ShardReport, v float64) { s.Offers = v })
+	collect("market_shard_lock_wait_seconds_total", func(s *ShardReport, v float64) { s.LockWaitSeconds = v })
+	collect("market_shard_lock_hold_seconds_total", func(s *ShardReport, v float64) { s.LockHoldSeconds = v })
+	collect("market_shard_lock_queue_depth", func(s *ShardReport, v float64) { s.QueueDepth = v })
+	if len(byShard) == 0 {
+		return nil, nil
+	}
+	out := make([]ShardReport, 0, len(byShard))
+	for _, sr := range byShard {
+		out = append(out, *sr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Shard < out[j].Shard })
+	return out, nil
 }
 
 // worker is one closed-loop driver: it owns a seeded offer generator and
@@ -237,7 +321,15 @@ func (w worker) loop(ctx context.Context) {
 			w.timed(ctx, "stats", func() error { _, err := w.client.Stats(); return err })
 		}
 		if i%25 == 12 {
-			w.timed(ctx, "list", func() error { _, err := w.client.List("assigned"); return err })
+			// Paginated read: one bounded page of assigned offers, the way
+			// a dashboard or scheduler polls a large store. The raw variant
+			// frames the page without materialising records, so the timing
+			// measures the server and the transfer, not this process's own
+			// reflection decode on the shared CPU.
+			w.timed(ctx, "list", func() error {
+				_, err := w.client.ListPageRaw(market.ListQuery{States: []market.State{market.Assigned}, Limit: listPageLimit})
+				return err
+			})
 		}
 	}
 }

@@ -75,6 +75,7 @@ type config struct {
 	dataDir       string
 	fsync         string
 	snapshotEvery int
+	shards        int
 }
 
 func main() {
@@ -91,6 +92,7 @@ func main() {
 	flag.StringVar(&cfg.dataDir, "data-dir", "", "journal every offer transition to this directory and recover state from it on boot (empty = in-memory only)")
 	flag.StringVar(&cfg.fsync, "fsync", "always", "journal fsync policy: always (durable per write), interval (bounded loss window), never (OS decides)")
 	flag.IntVar(&cfg.snapshotEvery, "snapshot-every", 4096, "journaled events between automatic snapshots (0 disables; a final snapshot is always taken on shutdown)")
+	flag.IntVar(&cfg.shards, "shards", 0, "store shard count; with -data-dir, 0 adopts the directory's existing count (1 on a fresh directory) and a non-zero value must match it")
 	logLevel := flag.String("log-level", "info", "minimum log level (debug | info | warn | error)")
 	flag.Parse()
 
@@ -131,6 +133,7 @@ func run(cfg config, logger *obs.Logger) error {
 		}
 		store, journal, err = market.OpenJournaled(market.JournalOptions{
 			Dir:           cfg.dataDir,
+			Shards:        cfg.shards,
 			Policy:        policy,
 			SnapshotEvery: cfg.snapshotEvery,
 			Clock:         clock,
@@ -147,15 +150,16 @@ func run(cfg config, logger *obs.Logger) error {
 		}()
 		rec := journal.Recovery()
 		logger.Info("state recovered",
-			"dir", cfg.dataDir, "fsync", policy, "offers", rec.Offers,
-			"snapshot_used", rec.SnapshotUsed, "events_replayed", rec.EventsReplayed,
+			"dir", cfg.dataDir, "fsync", policy, "shards", journal.ShardCount(),
+			"offers", rec.Offers, "snapshot_used", rec.SnapshotUsed,
+			"events_replayed", rec.EventsReplayed,
 			"duration", rec.Duration.Round(time.Millisecond))
 		if rec.WAL.TornTail {
 			logger.Warn("journal had a torn final record; truncated",
 				"bytes", rec.WAL.TornBytes)
 		}
 	} else {
-		store = market.NewStore(clock)
+		store = market.NewShardedStore(cfg.shards, clock)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -12,12 +12,23 @@ import (
 // functions that acquire <receiver>.mu first.
 const guardMarker = "guarded by mu"
 
+// lockedSuffix names the helper convention: a method whose name ends in
+// "Locked" declares that its caller already holds the receiver's mu. Its
+// body is exempt from the lock-first rule, and in exchange every call to
+// it from a non-Locked function must be preceded by a Lock/RLock of the
+// same receiver.
+const lockedSuffix = "Locked"
+
 // MutexGuard enforces the "guarded by mu" field annotations: any function
 // that touches an annotated field must lock (or read-lock) the same
-// receiver's mu earlier in the same function body. The check is
-// intra-procedural by design — the market store and the pipeline
-// accumulator keep every guarded access behind a method-local
-// Lock/RLock-defer-Unlock pair, and this analyzer keeps it that way.
+// receiver's mu earlier in the same function body. Methods following the
+// *Locked naming convention are the sanctioned escape hatch — their
+// bodies run under the caller's lock, so the obligation moves to the call
+// site: calling x.fooLocked() without x.mu.Lock/RLock earlier in the
+// function is a finding. The check is intra-procedural by design — the
+// market store and the pipeline accumulator keep every guarded access
+// behind a method-local Lock/RLock-defer-Unlock pair (or inside a *Locked
+// helper), and this analyzer keeps it that way.
 var MutexGuard = &Analyzer{
 	Name: "mutexguard",
 	Doc:  "fields annotated 'guarded by mu' must be accessed with the lock held in the same function",
@@ -29,13 +40,24 @@ func runMutexGuard(pass *Pass) {
 	if len(guarded) == 0 {
 		return
 	}
+	// Types with at least one guarded field: calls to their *Locked
+	// methods carry the caller-holds-mu obligation.
+	guardedTypes := make(map[*types.TypeName]bool, len(guarded))
+	for key := range guarded {
+		guardedTypes[key.typ] = true
+	}
 	for _, file := range pass.Pkg.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			checkGuardedAccesses(pass, fd, guarded)
+			if strings.HasSuffix(fd.Name.Name, lockedSuffix) {
+				// The caller holds the lock by contract; both the field
+				// accesses and any nested *Locked calls are its problem.
+				continue
+			}
+			checkGuardedAccesses(pass, fd, guarded, guardedTypes)
 		}
 	}
 }
@@ -78,9 +100,10 @@ func guardedFields(pass *Pass) map[guardKey]bool {
 	return out
 }
 
-// checkGuardedAccesses walks one function: guarded field accesses must be
-// preceded (positionally) by a Lock or RLock of the same receiver's mu.
-func checkGuardedAccesses(pass *Pass, fd *ast.FuncDecl, guarded map[guardKey]bool) {
+// checkGuardedAccesses walks one function: guarded field accesses and
+// calls to *Locked methods of guarded types must be preceded
+// (positionally) by a Lock or RLock of the same receiver's mu.
+func checkGuardedAccesses(pass *Pass, fd *ast.FuncDecl, guarded map[guardKey]bool, guardedTypes map[*types.TypeName]bool) {
 	// locks[obj] is the earliest position at which obj.mu.Lock/RLock is
 	// called in this function.
 	locks := make(map[types.Object]token.Pos)
@@ -112,6 +135,10 @@ func checkGuardedAccesses(pass *Pass, fd *ast.FuncDecl, guarded map[guardKey]boo
 	})
 
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			checkLockedCall(pass, call, guardedTypes, locks)
+			return true
+		}
 		sel, ok := n.(*ast.SelectorExpr)
 		if !ok {
 			return true
@@ -140,4 +167,32 @@ func checkGuardedAccesses(pass *Pass, fd *ast.FuncDecl, guarded map[guardKey]boo
 		}
 		return true
 	})
+}
+
+// checkLockedCall enforces the caller side of the *Locked convention: a
+// call to a guarded type's fooLocked method from a function that is not
+// itself *Locked must be preceded by a Lock/RLock of the same receiver.
+func checkLockedCall(pass *Pass, call *ast.CallExpr, guardedTypes map[*types.TypeName]bool, locks map[types.Object]token.Pos) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !strings.HasSuffix(sel.Sel.Name, lockedSuffix) {
+		return
+	}
+	selection, ok := pass.Pkg.Info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return
+	}
+	named, ok := namedType(selection.Recv())
+	if !ok || !guardedTypes[named.Obj()] {
+		return
+	}
+	base, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		pass.Reportf(sel.Sel.Pos(), "%s.%s assumes the caller holds mu but is called through a non-trivial receiver expression; hold a named receiver so the lock discipline is checkable", named.Obj().Name(), sel.Sel.Name)
+		return
+	}
+	obj := pass.Pkg.Info.Uses[base]
+	lockPos, locked := locks[obj]
+	if obj == nil || !locked || sel.Pos() < lockPos {
+		pass.Reportf(sel.Sel.Pos(), "%s.%s assumes the caller holds mu but %s.mu.Lock/RLock was not taken earlier in this function", named.Obj().Name(), sel.Sel.Name, base.Name)
+	}
 }

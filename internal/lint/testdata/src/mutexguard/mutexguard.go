@@ -59,3 +59,48 @@ func (c *counter) malformedDirective() int {
 	//lint:ignore want:flexvet
 	return c.n // want:mutexguard
 }
+
+// incrLocked follows the *Locked convention: the caller holds c.mu, so
+// the guarded accesses in its body are exempt.
+func (c *counter) incrLocked() {
+	c.n++
+	c.s = append(c.s, "x")
+}
+
+// chainLocked may call sibling *Locked helpers freely — the obligation
+// stays with the outermost non-Locked caller.
+func (c *counter) chainLocked() {
+	c.incrLocked()
+}
+
+func (c *counter) callsHelperWithLock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.incrLocked()
+}
+
+func (c *counter) callsHelperWithoutLock() {
+	c.incrLocked() // want:mutexguard
+}
+
+func (c *counter) callsHelperBeforeLock() {
+	c.incrLocked() // want:mutexguard
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.incrLocked()
+}
+
+func nonTrivialLockedCall(get func() *counter) {
+	get().mu.Lock()
+	get().incrLocked() // want:mutexguard
+}
+
+// unguardedHelper has no guarded fields on its receiver, so its *Locked
+// method carries no obligation.
+type unguardedHelper struct{ n int }
+
+func (u *unguardedHelper) bumpLocked() { u.n++ }
+
+func freeStanding(u *unguardedHelper) {
+	u.bumpLocked()
+}

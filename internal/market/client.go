@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"time"
 
 	"repro/internal/flexoffer"
@@ -103,6 +104,55 @@ func (c *Client) List(state string) ([]Record, error) {
 	var recs []Record
 	err := c.do(http.MethodGet, path, nil, &recs)
 	return recs, err
+}
+
+// pageQuery renders q as the /offers query string, always naming a limit
+// so the server answers with the paginated envelope.
+func pageQuery(q ListQuery) string {
+	values := url.Values{}
+	for _, st := range q.States {
+		values.Set("state", st.String())
+	}
+	if q.Owner != "" {
+		values.Set("owner", q.Owner)
+	}
+	if q.Limit > 0 {
+		values.Set("limit", strconv.Itoa(q.Limit))
+	} else {
+		// Force the paginated envelope even for a default-limit first page.
+		values.Set("limit", strconv.Itoa(DefaultPageLimit))
+	}
+	if q.Cursor != "" {
+		values.Set("cursor", q.Cursor)
+	}
+	return values.Encode()
+}
+
+// ListPage fetches one page of records matching q. An empty q.Cursor
+// starts the walk; pass the returned page's NextCursor to continue it.
+func (c *Client) ListPage(q ListQuery) (Page, error) {
+	var page Page
+	err := c.do(http.MethodGet, "/offers?"+pageQuery(q), nil, &page)
+	return page, err
+}
+
+// PageRaw is one page of records left as raw JSON frames: the page is
+// received and framed but no record is materialised. Load generators and
+// pagination walkers that do not inspect record contents use this to keep
+// client-side decode off their latency measurements.
+type PageRaw struct {
+	// Records holds each record's undecoded JSON.
+	Records []json.RawMessage `json:"records"`
+	// NextCursor continues the walk; empty when it is complete.
+	NextCursor string `json:"next_cursor"`
+}
+
+// ListPageRaw fetches one page of records matching q without decoding
+// them; see PageRaw.
+func (c *Client) ListPageRaw(q ListQuery) (PageRaw, error) {
+	var page PageRaw
+	err := c.do(http.MethodGet, "/offers?"+pageQuery(q), nil, &page)
+	return page, err
 }
 
 // Stats fetches the store summary.

@@ -1,0 +1,233 @@
+package market
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/flexoffer"
+	"repro/internal/num"
+)
+
+// eqOp is one step of a seeded lifecycle script. The script is generated
+// once and applied verbatim to every store under comparison, so the
+// observable outcomes must match regardless of shard count.
+type eqOp struct {
+	kind    string // submit | batch | accept | reject | assign | sweep
+	offer   *flexoffer.FlexOffer
+	batch   flexoffer.Set
+	id      string
+	start   time.Time
+	advance time.Duration
+}
+
+// eqScript builds a deterministic mixed-lifecycle stress scenario from
+// seed: submissions (single and batched, some duplicated, some with near
+// deadlines), decisions and assignments against randomly chosen known
+// offers, and clock-advancing sweeps.
+func eqScript(seed int64, steps int) []eqOp {
+	rng := rand.New(rand.NewSource(seed))
+	var ops []eqOp
+	var ids []string
+	next := 0
+	mkOffer := func() *flexoffer.FlexOffer {
+		f := testOffer(fmt.Sprintf("eq-%d-%04d", seed, next))
+		next++
+		// A third of the offers carry a short acceptance deadline so
+		// sweeps have something to expire.
+		if rng.Intn(3) == 0 {
+			f.AcceptanceTime = t0.Add(time.Duration(30+rng.Intn(60)) * time.Minute)
+		}
+		f.Profile = flexoffer.UniformProfile(1+rng.Intn(4), 15*time.Minute, 0.2+rng.Float64(), 1.5+rng.Float64())
+		ids = append(ids, f.ID)
+		return f
+	}
+	for i := 0; i < steps; i++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3:
+			ops = append(ops, eqOp{kind: "submit", offer: mkOffer()})
+		case 4:
+			batch := make(flexoffer.Set, 0, 4)
+			for j := 0; j < 2+rng.Intn(3); j++ {
+				batch = append(batch, mkOffer())
+			}
+			if len(ids) > 0 && rng.Intn(2) == 0 {
+				// Sprinkle in a duplicate of an existing offer.
+				batch = append(batch, testOffer(ids[rng.Intn(len(ids))]))
+			}
+			ops = append(ops, eqOp{kind: "batch", batch: batch})
+		case 5, 6:
+			if len(ids) > 0 {
+				ops = append(ops, eqOp{kind: "accept", id: ids[rng.Intn(len(ids))]})
+			}
+		case 7:
+			if len(ids) > 0 {
+				ops = append(ops, eqOp{kind: "reject", id: ids[rng.Intn(len(ids))]})
+			}
+		case 8:
+			if len(ids) > 0 {
+				ops = append(ops, eqOp{kind: "assign", id: ids[rng.Intn(len(ids))], start: t0.Add(6 * time.Hour)})
+			}
+		case 9:
+			ops = append(ops, eqOp{kind: "sweep", advance: time.Duration(10+rng.Intn(30)) * time.Minute})
+		}
+	}
+	// Finish with a sweep past every deadline so expiry paths are fully
+	// exercised on both stores.
+	ops = append(ops, eqOp{kind: "sweep", advance: 8 * time.Hour})
+	return ops
+}
+
+// eqOutcome compresses an op result into a comparable token.
+func eqOutcome(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrDuplicate):
+		return "duplicate"
+	case errors.Is(err, ErrTransition):
+		return "transition"
+	case errors.Is(err, ErrDeadline):
+		return "deadline"
+	case errors.Is(err, ErrNotFound):
+		return "notfound"
+	case errors.Is(err, ErrBadRequest):
+		return "badrequest"
+	default:
+		return "error:" + err.Error()
+	}
+}
+
+// applyScript runs ops against a fresh store with n shards and returns
+// the per-op outcome tokens alongside the store.
+func applyScript(t *testing.T, n int, ops []eqOp) (*Store, []string) {
+	t.Helper()
+	clock := &fakeClock{now: t0}
+	s := NewShardedStore(n, clock.Now)
+	outcomes := make([]string, 0, len(ops))
+	for _, op := range ops {
+		switch op.kind {
+		case "submit":
+			outcomes = append(outcomes, eqOutcome(s.Submit(op.offer)))
+		case "batch":
+			res := s.SubmitBatch(op.batch)
+			token := fmt.Sprintf("accepted=%d", res.Accepted)
+			for _, fl := range res.Failures {
+				token += fmt.Sprintf(" %d:%s:%s", fl.Index, fl.ID, eqOutcome(fl.Err))
+			}
+			outcomes = append(outcomes, token)
+		case "accept":
+			outcomes = append(outcomes, eqOutcome(s.Accept(op.id)))
+		case "reject":
+			outcomes = append(outcomes, eqOutcome(s.Reject(op.id)))
+		case "assign":
+			_, err := s.Assign(op.id, op.start, nil)
+			if err != nil && errors.Is(err, ErrBadRequest) {
+				// nil energies are invalid; retry with the midpoint vector
+				// so assignments actually land.
+				if rec, ok := s.Get(op.id); ok {
+					energies := make([]float64, len(rec.Offer.Profile))
+					for k, sl := range rec.Offer.Profile {
+						energies[k] = (sl.MinEnergy + sl.MaxEnergy) / 2
+					}
+					_, err = s.Assign(op.id, op.start, energies)
+				}
+			}
+			outcomes = append(outcomes, eqOutcome(err))
+		case "sweep":
+			clock.Advance(op.advance)
+			nExp, err := s.ExpireOverdue()
+			outcomes = append(outcomes, fmt.Sprintf("expired=%d:%s", nExp, eqOutcome(err)))
+		}
+	}
+	return s, outcomes
+}
+
+// recordKey renders a record's observable fields for set comparison.
+func recordKey(r Record) string {
+	return fmt.Sprintf("%s state=%s submitted=%s decided=%s assigned=%v",
+		r.Offer.ID, r.State, r.SubmittedAt.Format(time.RFC3339),
+		r.DecidedAt.Format(time.RFC3339), r.Assignment != nil)
+}
+
+// TestShardEquivalence is the cross-shard invariant property: the same
+// seeded mixed-lifecycle scenario run against a 1-shard and an N-shard
+// store must produce identical per-op outcomes (including sweep counts)
+// and identical observable state — offer sets, per-state counts, summed
+// energy — with listing order differing only by the documented
+// shard-major rule.
+func TestShardEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		for _, n := range []int{3, 7} {
+			t.Run(fmt.Sprintf("seed-%d-shards-%d", seed, n), func(t *testing.T) {
+				ops := eqScript(seed, 200)
+				s1, out1 := applyScript(t, 1, ops)
+				sn, outN := applyScript(t, n, ops)
+
+				if len(out1) != len(outN) {
+					t.Fatalf("outcome counts differ: %d vs %d", len(out1), len(outN))
+				}
+				for i := range out1 {
+					if out1[i] != outN[i] {
+						t.Fatalf("op %d (%s): 1-shard %q, %d-shard %q", i, ops[i].kind, out1[i], n, outN[i])
+					}
+				}
+
+				c1, cN := s1.Stats(), sn.Stats()
+				if c1.Offered != cN.Offered || c1.Accepted != cN.Accepted ||
+					c1.Rejected != cN.Rejected || c1.Assigned != cN.Assigned ||
+					c1.Expired != cN.Expired {
+					t.Fatalf("per-state counts differ:\n1-shard %+v\n%d-shard %+v", c1, n, cN)
+				}
+				if !num.EqTol(c1.TotalFlexibleEnergy, cN.TotalFlexibleEnergy, 1e-6) {
+					t.Fatalf("energy differs: %v vs %v", c1.TotalFlexibleEnergy, cN.TotalFlexibleEnergy)
+				}
+
+				set1 := make(map[string]string)
+				for _, r := range s1.List() {
+					set1[r.Offer.ID] = recordKey(r)
+				}
+				listN := sn.List()
+				if len(listN) != len(set1) {
+					t.Fatalf("record counts differ: %d vs %d", len(set1), len(listN))
+				}
+				for _, r := range listN {
+					if want, ok := set1[r.Offer.ID]; !ok || want != recordKey(r) {
+						t.Fatalf("record %s differs:\n1-shard %q\n%d-shard %q", r.Offer.ID, want, n, recordKey(r))
+					}
+				}
+				for _, st := range []State{Offered, Accepted, Rejected, Assigned, Expired} {
+					if a, b := len(s1.List(st)), len(sn.List(st)); a != b {
+						t.Fatalf("List(%s) sizes differ: %d vs %d", st, a, b)
+					}
+				}
+
+				// A full paginated walk over the sharded store must visit
+				// exactly the listing, in the same shard-major order.
+				var walked []Record
+				cursor := ""
+				for {
+					page, err := sn.Page(ListQuery{Limit: 7, Cursor: cursor})
+					if err != nil {
+						t.Fatalf("Page: %v", err)
+					}
+					walked = append(walked, page.Records...)
+					if page.NextCursor == "" {
+						break
+					}
+					cursor = page.NextCursor
+				}
+				if len(walked) != len(listN) {
+					t.Fatalf("page walk visited %d records, List has %d", len(walked), len(listN))
+				}
+				for i := range walked {
+					if walked[i].Offer.ID != listN[i].Offer.ID {
+						t.Fatalf("page walk order diverges at %d: %s vs %s", i, walked[i].Offer.ID, listN[i].Offer.ID)
+					}
+				}
+			})
+		}
+	}
+}

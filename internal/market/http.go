@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -16,7 +18,8 @@ import (
 // every route and docs/API.md documents the full contract:
 //
 //	POST /offers                 submit a flex-offer (JSON body)
-//	GET  /offers                 list records; ?state=offered filters
+//	GET  /offers                 list records; ?state=/?owner= filter,
+//	                             ?limit=/?cursor= paginate
 //	GET  /offers/{id}            one record
 //	POST /offers/{id}/accept     accept
 //	POST /offers/{id}/reject     reject
@@ -96,7 +99,7 @@ type Route struct {
 func Routes() []Route {
 	return []Route{
 		{Method: http.MethodPost, Pattern: "/offers", Summary: "submit a flex-offer"},
-		{Method: http.MethodGet, Pattern: "/offers", Summary: "list collected offers (?state= filters)"},
+		{Method: http.MethodGet, Pattern: "/offers", Summary: "list collected offers (?state=/?owner= filter, ?limit=/?cursor= paginate)"},
 		{Method: http.MethodGet, Pattern: "/offers/{id}", Summary: "fetch one offer record"},
 		{Method: http.MethodPost, Pattern: "/offers/{id}/accept", Summary: "accept an offered flex-offer"},
 		{Method: http.MethodPost, Pattern: "/offers/{id}/reject", Summary: "reject an offered flex-offer"},
@@ -133,6 +136,37 @@ func RouteLabel(r *http.Request) string {
 	}
 }
 
+// parseListQuery interprets the GET /offers query parameters. paged
+// reports whether the request opted into the paginated envelope: any of
+// limit, cursor or owner does; a bare or state-only listing keeps the
+// pre-pagination bare-array contract.
+func parseListQuery(values url.Values) (q ListQuery, paged bool, err error) {
+	if raw := values.Get("state"); raw != "" {
+		st, err := ParseState(raw)
+		if err != nil {
+			return q, false, err
+		}
+		q.States = append(q.States, st)
+	}
+	if raw := values.Get("owner"); raw != "" {
+		q.Owner = raw
+		paged = true
+	}
+	if raw := values.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 || n > MaxPageLimit {
+			return q, false, fmt.Errorf("%w: limit must be 1..%d", ErrBadRequest, MaxPageLimit)
+		}
+		q.Limit = n
+		paged = true
+	}
+	if raw := values.Get("cursor"); raw != "" {
+		q.Cursor = raw
+		paged = true
+	}
+	return q, paged, nil
+}
+
 // assignRequest is the /assign body.
 type assignRequest struct {
 	Start    time.Time `json:"start"`
@@ -148,6 +182,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeRawJSON writes pre-encoded JSON without routing it through an
+// Encoder, which would re-parse the whole body to compact it. The paged
+// listing — the largest and hottest response — uses this with the bytes
+// Page.MarshalJSON already assembled.
+func writeRawJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+	_, _ = w.Write([]byte{'\n'})
 }
 
 func writeError(w http.ResponseWriter, err error) {
@@ -183,16 +228,28 @@ func (s *Server) handleOffers(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusCreated, map[string]string{"id": f.ID})
 	case http.MethodGet:
-		var states []State
-		if raw := r.URL.Query().Get("state"); raw != "" {
-			st, err := ParseState(raw)
-			if err != nil {
-				writeError(w, err)
-				return
-			}
-			states = append(states, st)
+		q, paged, err := parseListQuery(r.URL.Query())
+		if err != nil {
+			writeError(w, err)
+			return
 		}
-		writeJSON(w, http.StatusOK, s.store.List(states...))
+		if !paged {
+			// The pre-pagination contract: a bare or state-only listing
+			// returns the full record array.
+			writeJSON(w, http.StatusOK, s.store.List(q.States...))
+			return
+		}
+		page, err := s.store.Page(q)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		body, err := page.MarshalJSON()
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeRawJSON(w, http.StatusOK, body)
 	default:
 		w.WriteHeader(http.StatusMethodNotAllowed)
 	}

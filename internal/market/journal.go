@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -32,6 +34,9 @@ const (
 // event is one journaled transition. It records the applied outcome —
 // including the clock value the store used — not the request, so replay
 // reconstructs state without re-evaluating deadlines against a new clock.
+// Every offer an event touches routes to the same shard, and the event is
+// journaled in that shard's WAL stream (evExpire sweeps journal one event
+// per touched shard).
 type event struct {
 	Kind eventKind `json:"kind"`
 	At   time.Time `json:"at"`
@@ -54,47 +59,58 @@ type event struct {
 // journal does not match the state it claims to extend — corruption, not
 // a lifecycle violation.
 func (s *Store) applyEvent(ev event) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	switch ev.Kind {
 	case evSubmit:
 		for _, f := range ev.Offers {
 			if f == nil || f.ID == "" {
 				return errors.New("submit event with empty offer")
 			}
-			if _, dup := s.records[f.ID]; dup {
+			sh := s.shardFor(f.ID)
+			sh.mu.Lock()
+			if _, dup := sh.records[f.ID]; dup {
+				sh.mu.Unlock()
 				return fmt.Errorf("submit event duplicates offer %s", f.ID)
 			}
-			s.records[f.ID] = &Record{Offer: f, State: Offered, SubmittedAt: ev.At}
-			s.order = append(s.order, f.ID)
+			sh.insertLocked(&Record{Offer: f, State: Offered, SubmittedAt: ev.At})
+			sh.mu.Unlock()
 		}
 	case evDecide:
-		r, ok := s.records[ev.ID]
+		sh := s.shardFor(ev.ID)
+		sh.mu.Lock()
+		r, ok := sh.records[ev.ID]
 		if !ok {
+			sh.mu.Unlock()
 			return fmt.Errorf("decide event for unknown offer %s", ev.ID)
 		}
-		r.State = ev.To
-		r.DecidedAt = ev.At
+		sh.transitionLocked(r, ev.To, ev.At)
+		sh.mu.Unlock()
 	case evAssign:
-		r, ok := s.records[ev.ID]
+		sh := s.shardFor(ev.ID)
+		sh.mu.Lock()
+		r, ok := sh.records[ev.ID]
 		if !ok {
+			sh.mu.Unlock()
 			return fmt.Errorf("assign event for unknown offer %s", ev.ID)
 		}
 		asg, err := r.Offer.Assign(ev.Start, ev.Energies)
 		if err != nil {
+			sh.mu.Unlock()
 			return fmt.Errorf("assign event for %s does not replay: %v", ev.ID, err)
 		}
-		r.State = Assigned
-		r.DecidedAt = ev.At
+		sh.transitionLocked(r, Assigned, ev.At)
 		r.Assignment = asg
+		sh.mu.Unlock()
 	case evExpire:
 		for _, id := range ev.IDs {
-			r, ok := s.records[id]
+			sh := s.shardFor(id)
+			sh.mu.Lock()
+			r, ok := sh.records[id]
 			if !ok {
+				sh.mu.Unlock()
 				return fmt.Errorf("expire event for unknown offer %s", id)
 			}
-			r.State = Expired
-			r.DecidedAt = ev.At
+			sh.transitionLocked(r, Expired, ev.At)
+			sh.mu.Unlock()
 		}
 	default:
 		return fmt.Errorf("unknown event kind %q", ev.Kind)
@@ -102,28 +118,44 @@ func (s *Store) applyEvent(ev event) error {
 	return nil
 }
 
-// storeSnapshot is the JSON shape of a full store image. encoding/json
-// emits map keys sorted, so marshalling the same logical state always
-// yields the same bytes — the property the byte-identical recovery tests
-// pin.
+// shardOfEvent reports which shard every offer the event touches routes
+// to, and errors when the event spans shards — an event read from shard
+// k's WAL stream must only touch shard k, or the stream was corrupted
+// (or written under a different shard count).
+func (s *Store) shardOfEvent(ev event) (int, error) {
+	ids := make([]string, 0, 1+len(ev.Offers)+len(ev.IDs))
+	if ev.ID != "" {
+		ids = append(ids, ev.ID)
+	}
+	for _, f := range ev.Offers {
+		if f != nil && f.ID != "" {
+			ids = append(ids, f.ID)
+		}
+	}
+	ids = append(ids, ev.IDs...)
+	if len(ids) == 0 {
+		return -1, nil
+	}
+	k := s.ShardIndex(ids[0])
+	for _, id := range ids[1:] {
+		if s.ShardIndex(id) != k {
+			return -1, fmt.Errorf("event spans shards (%s routes to %d, %s to %d)", ids[0], k, id, s.ShardIndex(id))
+		}
+	}
+	return k, nil
+}
+
+// storeSnapshot is the JSON shape of a full store (or single shard) image.
+// encoding/json emits map keys sorted, so marshalling the same logical
+// state always yields the same bytes — the property the byte-identical
+// recovery tests pin.
 type storeSnapshot struct {
 	Order   []string           `json:"order"`
 	Records map[string]*Record `json:"records"`
 }
 
-// marshalState serialises the full store state.
-func (s *Store) marshalState() ([]byte, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return json.Marshal(storeSnapshot{Order: s.order, Records: s.records})
-}
-
-// restoreState replaces the store's contents with a marshalState image.
-func (s *Store) restoreState(data []byte) error {
-	var snap storeSnapshot
-	if err := json.Unmarshal(data, &snap); err != nil {
-		return err
-	}
+// validate checks the image's internal consistency.
+func (snap *storeSnapshot) validate() error {
 	if snap.Records == nil {
 		snap.Records = make(map[string]*Record)
 	}
@@ -136,25 +168,96 @@ func (s *Store) restoreState(data []byte) error {
 			return fmt.Errorf("snapshot order references missing or empty record %s", id)
 		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.records = snap.Records
-	s.order = snap.Order
+	return nil
+}
+
+// marshalState serialises the full store state: every shard's records,
+// with the order merged shard-major — the same order List reports.
+func (s *Store) marshalState() ([]byte, error) {
+	snap := storeSnapshot{Records: make(map[string]*Record)}
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		snap.Order = append(snap.Order, sh.order...)
+		for id, r := range sh.records {
+			snap.Records[id] = r
+		}
+		sh.mu.RUnlock()
+	}
+	return json.Marshal(snap)
+}
+
+// restoreState replaces the store's contents with a marshalState image,
+// splitting the records across the shards by ID hash.
+func (s *Store) restoreState(data []byte) error {
+	var snap storeSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return err
+	}
+	if err := snap.validate(); err != nil {
+		return err
+	}
+	order := make([][]string, len(s.shards))
+	for _, id := range snap.Order {
+		k := s.ShardIndex(id)
+		order[k] = append(order[k], id)
+	}
+	for k, sh := range s.shards {
+		sh.mu.Lock()
+		sh.order = order[k]
+		sh.records = make(map[string]*Record, len(order[k]))
+		for _, id := range order[k] {
+			sh.records[id] = snap.Records[id]
+		}
+		sh.rebuildIndexesLocked()
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// restoreShard replaces one shard's contents with a per-shard snapshot
+// image. Every record must route to shard k — a violation means the
+// snapshot was written under a different shard count.
+func (s *Store) restoreShard(k int, data []byte) error {
+	var snap storeSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return err
+	}
+	if err := snap.validate(); err != nil {
+		return err
+	}
+	for _, id := range snap.Order {
+		if got := s.ShardIndex(id); got != k {
+			return fmt.Errorf("snapshot record %s routes to shard %d, not %d (shard count changed?)", id, got, k)
+		}
+	}
+	sh := s.shards[k]
+	sh.mu.Lock()
+	sh.records = snap.Records
+	sh.order = snap.Order
+	sh.rebuildIndexesLocked()
+	sh.mu.Unlock()
 	return nil
 }
 
 // JournalOptions configures OpenJournaled.
 type JournalOptions struct {
-	// Dir is the journal directory (the daemon's -data-dir).
+	// Dir is the journal directory (the daemon's -data-dir). Each shard
+	// journals into its own shard-NNN subdirectory.
 	Dir string
+	// Shards is the store partition count. Zero adopts whatever an
+	// existing directory holds (defaulting to 1 on a fresh directory);
+	// a non-zero value that disagrees with an existing directory is an
+	// error — shard counts are fixed at directory creation because the
+	// ID-hash routing bakes the count into every stream.
+	Shards int
 	// Policy selects when appends are fsynced; the zero value is
 	// wal.SyncAlways.
 	Policy wal.SyncPolicy
 	// SyncInterval is the background fsync cadence under wal.SyncEvery.
 	SyncInterval time.Duration
-	// SnapshotEvery triggers an automatic snapshot after that many
-	// journaled events; zero disables automatic snapshots (Close still
-	// takes a final one).
+	// SnapshotEvery triggers an automatic per-shard snapshot after that
+	// many events journaled into that shard; zero disables automatic
+	// snapshots (Close still takes final ones).
 	SnapshotEvery int
 	// SegmentBytes overrides the WAL segment-rotation threshold.
 	SegmentBytes int64
@@ -164,129 +267,303 @@ type JournalOptions struct {
 	Clock func() time.Time
 }
 
-// RecoveryStats describes what OpenJournaled found on disk and how the
-// state was rebuilt.
-type RecoveryStats struct {
-	// WAL is the log-level recovery outcome (segments, torn tail).
+// ShardRecovery describes how one shard's state was rebuilt at open.
+type ShardRecovery struct {
+	// Shard is the shard index.
+	Shard int
+	// WAL is the shard stream's log-level recovery outcome.
 	WAL wal.RecoveryInfo
-	// SnapshotUsed reports whether a snapshot seeded the state.
+	// SnapshotUsed reports whether a snapshot seeded the shard.
 	SnapshotUsed bool
 	// SnapshotLSN is the LSN the used snapshot covered up to.
 	SnapshotLSN uint64
+	// EventsReplayed is the number of events applied after the snapshot.
+	EventsReplayed uint64
+	// Offers is the number of offers recovered into the shard.
+	Offers int
+}
+
+// RecoveryStats describes what OpenJournaled found on disk and how the
+// state was rebuilt. The top-level fields aggregate across shards (on a
+// single-shard store they are exactly that shard's outcome); Shards holds
+// the per-shard detail.
+type RecoveryStats struct {
+	// WAL aggregates the log-level recovery outcome: segments, records
+	// and torn bytes are summed, TornTail reports whether any shard's
+	// stream had one, NextLSN is the largest across shards.
+	WAL wal.RecoveryInfo
+	// SnapshotUsed reports whether any shard was seeded from a snapshot.
+	SnapshotUsed bool
+	// SnapshotLSN is the smallest LSN covered by a used snapshot (the
+	// replay floor across shards).
+	SnapshotLSN uint64
 	// EventsReplayed is the number of journal events applied after the
-	// snapshot.
+	// snapshots, summed across shards.
 	EventsReplayed uint64
 	// Offers is the number of offers in the recovered store.
 	Offers int
 	// Duration is the wall-clock time recovery took.
 	Duration time.Duration
+	// Shards is the per-shard recovery detail, in shard order.
+	Shards []ShardRecovery
 }
 
-// Journal is the durability attachment of a Store: it owns the write-ahead
-// log, appends one event per acknowledged transition, and snapshots the
-// full state periodically and on Close.
-type Journal struct {
-	log   *wal.Log
-	store *Store
-	every uint64 // events between automatic snapshots; 0 = never
+// journalShard is one shard's durability stream: its own WAL segment
+// files and snapshots under the shard's subdirectory.
+type journalShard struct {
+	log       *wal.Log
+	sinceSnap uint64 // events since the last snapshot trigger; guarded by Journal.mu
+}
 
-	mu        sync.Mutex
-	sinceSnap uint64 // guarded by mu: events since the last snapshot trigger
-	closed    bool   // guarded by mu
-	snapErrs  uint64 // guarded by mu: failed snapshot attempts
-	lastErr   error  // guarded by mu: last snapshot failure
+// Journal is the durability attachment of a Store: one WAL stream per
+// shard, appending one event per acknowledged transition and snapshotting
+// each shard periodically and on Close.
+type Journal struct {
+	shards []*journalShard // immutable after OpenJournaled
+	store  *Store
+	every  uint64 // events between automatic snapshots per shard; 0 = never
+
+	mu       sync.Mutex
+	closed   bool   // guarded by mu
+	snapErrs uint64 // guarded by mu: failed snapshot attempts
+	lastErr  error  // guarded by mu: last snapshot failure
 
 	recovery RecoveryStats // immutable after OpenJournaled
-	snapc    chan struct{} // nil unless automatic snapshots are on
+	snapc    chan int      // nil unless automatic snapshots are on
 	donec    chan struct{}
 }
 
+// shardDirName renders shard k's subdirectory name.
+func shardDirName(k int) string { return fmt.Sprintf("shard-%03d", k) }
+
+// parseShardDirName extracts the shard index from a subdirectory name.
+func parseShardDirName(name string) (int, bool) {
+	var k int
+	if _, err := fmt.Sscanf(name, "shard-%03d", &k); err != nil || shardDirName(k) != name {
+		return 0, false
+	}
+	return k, true
+}
+
+// findShardCount inspects dir and reports how many shard subdirectories
+// it holds (the largest index + 1, so a crash mid-creation cannot shrink
+// the count as long as directories are created in descending order). A
+// directory holding flat WAL files — the pre-sharding layout — is
+// rejected explicitly rather than silently shadowed by empty shard
+// subdirectories.
+func findShardCount(wfs wal.FS, dir string) (int, error) {
+	entries, err := wfs.ReadDir(dir)
+	if err != nil {
+		// A missing directory is a fresh start; wal.Open creates it.
+		return 0, nil
+	}
+	count := 0
+	for _, e := range entries {
+		if k, ok := parseShardDirName(e.Name()); ok && e.IsDir() {
+			if k+1 > count {
+				count = k + 1
+			}
+			continue
+		}
+		if !e.IsDir() && (matchesWALFile(e.Name()) || matchesSnapshotFile(e.Name())) {
+			return 0, fmt.Errorf("market: %s holds a pre-sharding flat journal layout; migrate it into %s before opening", dir, filepath.Join(dir, shardDirName(0)))
+		}
+	}
+	return count, nil
+}
+
+func matchesWALFile(name string) bool {
+	ok, _ := filepath.Match("wal-*.log", name)
+	return ok
+}
+
+func matchesSnapshotFile(name string) bool {
+	ok, _ := filepath.Match("snap-*.snap", name)
+	return ok
+}
+
 // OpenJournaled opens (or creates) a journaled store: it recovers the
-// state persisted in opts.Dir — newest valid snapshot plus WAL tail — and
-// returns the store with the journal attached, so every subsequent
-// transition is durable before it is acknowledged. A torn final WAL
-// record is repaired silently (RecoveryStats.WAL says so); interior
-// corruption fails with wal.ErrCorrupt rather than dropping acknowledged
-// transitions.
+// state persisted in opts.Dir — each shard's newest valid snapshot plus
+// its WAL tail — and returns the store with the journal attached, so
+// every subsequent transition is durable before it is acknowledged.
+// Shard streams are opened and their snapshots restored sequentially;
+// the WAL tails then replay concurrently (replay is pure reads and the
+// shards are disjoint). A torn final record in any stream is repaired
+// silently (RecoveryStats says so); interior corruption fails with
+// wal.ErrCorrupt rather than dropping acknowledged transitions.
 func OpenJournaled(opts JournalOptions) (*Store, *Journal, error) {
 	t0 := time.Now()
-	log, walInfo, err := wal.Open(wal.Options{
-		Dir:          opts.Dir,
-		SegmentBytes: opts.SegmentBytes,
-		Policy:       opts.Policy,
-		Interval:     opts.SyncInterval,
-		FS:           opts.FS,
-	})
+	wfs := opts.FS
+	if wfs == nil {
+		wfs = wal.DiskFS
+	}
+	found, err := findShardCount(wfs, opts.Dir)
 	if err != nil {
 		return nil, nil, err
 	}
-	store := NewStore(opts.Clock)
-	j := &Journal{log: log, store: store, every: uint64(max(opts.SnapshotEvery, 0))}
-
-	rec := RecoveryStats{WAL: walInfo}
-	from := uint64(0)
-	payload, snapLSN, err := log.LatestSnapshot()
+	n := opts.Shards
 	switch {
-	case err == nil:
-		if err := store.restoreState(payload); err != nil {
-			log.Close()
-			return nil, nil, fmt.Errorf("market: restore snapshot at lsn %d: %w", snapLSN, err)
-		}
-		from = snapLSN
-		rec.SnapshotUsed = true
-		rec.SnapshotLSN = snapLSN
-	case errors.Is(err, wal.ErrNoSnapshot):
-		// Fresh directory or never snapshotted: replay from the start.
-	default:
-		log.Close()
-		return nil, nil, fmt.Errorf("market: load snapshot: %w", err)
+	case found > 0 && n == 0:
+		n = found
+	case found > 0 && n != found:
+		return nil, nil, fmt.Errorf("market: %s holds %d shard(s) but %d were requested; shard counts are fixed at directory creation", opts.Dir, found, n)
+	case n == 0:
+		n = 1
+	case n < 0:
+		return nil, nil, fmt.Errorf("market: shard count %d out of range", n)
 	}
-	if err := log.ReplayFrom(from, func(lsn uint64, payload []byte) error {
-		var ev event
-		if err := json.Unmarshal(payload, &ev); err != nil {
-			return fmt.Errorf("event at lsn %d: %v", lsn, err)
+	// Create the shard directories highest-index first: if a crash
+	// interrupts creation, the surviving directories still imply the full
+	// count (findShardCount takes the largest index), so a reopen never
+	// adopts a smaller shard count and mis-routes offers.
+	for k := n - 1; k >= 0; k-- {
+		if err := wfs.MkdirAll(filepath.Join(opts.Dir, shardDirName(k)), fs.FileMode(0o755)); err != nil {
+			return nil, nil, fmt.Errorf("market: create shard directory: %w", err)
 		}
-		if err := store.applyEvent(ev); err != nil {
-			return fmt.Errorf("event at lsn %d: %v", lsn, err)
-		}
-		rec.EventsReplayed++
-		return nil
-	}); err != nil {
-		log.Close()
-		return nil, nil, fmt.Errorf("market: replay journal: %w", err)
 	}
-	rec.Offers = len(store.List())
+
+	store := NewShardedStore(n, opts.Clock)
+	j := &Journal{store: store, every: uint64(max(opts.SnapshotEvery, 0))}
+	rec := RecoveryStats{Shards: make([]ShardRecovery, n)}
+	closeAll := func() {
+		for _, js := range j.shards {
+			js.log.Close()
+		}
+	}
+
+	// Phase 1 — sequential: open each shard's stream (torn-tail repair
+	// writes happen here, in deterministic shard order, which keeps
+	// fault-injection draws reproducible) and restore its snapshot.
+	replayFrom := make([]uint64, n)
+	for k := 0; k < n; k++ {
+		log, walInfo, err := wal.Open(wal.Options{
+			Dir:          filepath.Join(opts.Dir, shardDirName(k)),
+			SegmentBytes: opts.SegmentBytes,
+			Policy:       opts.Policy,
+			Interval:     opts.SyncInterval,
+			FS:           opts.FS,
+		})
+		if err != nil {
+			closeAll()
+			return nil, nil, fmt.Errorf("market: open shard %d: %w", k, err)
+		}
+		j.shards = append(j.shards, &journalShard{log: log})
+		sr := &rec.Shards[k]
+		sr.Shard = k
+		sr.WAL = walInfo
+		payload, snapLSN, err := log.LatestSnapshot()
+		switch {
+		case err == nil:
+			if err := store.restoreShard(k, payload); err != nil {
+				closeAll()
+				return nil, nil, fmt.Errorf("market: restore shard %d snapshot at lsn %d: %w", k, snapLSN, err)
+			}
+			replayFrom[k] = snapLSN
+			sr.SnapshotUsed = true
+			sr.SnapshotLSN = snapLSN
+		case errors.Is(err, wal.ErrNoSnapshot):
+			// Fresh shard or never snapshotted: replay from the start.
+		default:
+			closeAll()
+			return nil, nil, fmt.Errorf("market: load shard %d snapshot: %w", k, err)
+		}
+	}
+
+	// Phase 2 — concurrent: replay each shard's WAL tail. Replay only
+	// reads the stream and mutates its own shard, so the shards are
+	// independent.
+	var wg sync.WaitGroup
+	replayErrs := make([]error, n)
+	for k := 0; k < n; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			sr := &rec.Shards[k]
+			replayErrs[k] = j.shards[k].log.ReplayFrom(replayFrom[k], func(lsn uint64, payload []byte) error {
+				var ev event
+				if err := json.Unmarshal(payload, &ev); err != nil {
+					return fmt.Errorf("event at lsn %d: %v", lsn, err)
+				}
+				if at, err := store.shardOfEvent(ev); err != nil {
+					return fmt.Errorf("event at lsn %d: %v", lsn, err)
+				} else if at >= 0 && at != k {
+					return fmt.Errorf("event at lsn %d routes to shard %d, found in shard %d's stream (shard count changed?)", lsn, at, k)
+				}
+				if err := store.applyEvent(ev); err != nil {
+					return fmt.Errorf("event at lsn %d: %v", lsn, err)
+				}
+				sr.EventsReplayed++
+				return nil
+			})
+		}(k)
+	}
+	wg.Wait()
+	for k, err := range replayErrs {
+		if err != nil {
+			closeAll()
+			return nil, nil, fmt.Errorf("market: replay shard %d journal: %w", k, err)
+		}
+	}
+
+	// Aggregate the per-shard outcomes into the top-level view.
+	for k := range rec.Shards {
+		sr := &rec.Shards[k]
+		sh := store.shards[k]
+		sh.mu.RLock()
+		sr.Offers = len(sh.order)
+		sh.mu.RUnlock()
+		rec.Offers += sr.Offers
+		rec.EventsReplayed += sr.EventsReplayed
+		rec.WAL.Segments += sr.WAL.Segments
+		rec.WAL.Records += sr.WAL.Records
+		rec.WAL.TornBytes += sr.WAL.TornBytes
+		rec.WAL.TornTail = rec.WAL.TornTail || sr.WAL.TornTail
+		if sr.WAL.NextLSN > rec.WAL.NextLSN {
+			rec.WAL.NextLSN = sr.WAL.NextLSN
+		}
+		if sr.SnapshotUsed {
+			if !rec.SnapshotUsed || sr.SnapshotLSN < rec.SnapshotLSN {
+				rec.SnapshotLSN = sr.SnapshotLSN
+			}
+			rec.SnapshotUsed = true
+		}
+	}
 	rec.Duration = time.Since(t0)
 	j.recovery = rec
 
-	store.journal = j.append
+	for k := range store.shards {
+		k := k
+		store.shards[k].journal = func(ev event) error { return j.appendShard(k, ev) }
+	}
 	if j.every > 0 {
-		j.snapc = make(chan struct{}, 1)
+		j.snapc = make(chan int, n)
 		j.donec = make(chan struct{})
 		go j.snapshotLoop()
 	}
 	return store, j, nil
 }
 
-// append journals one event. It runs with the store's write lock held, so
-// WAL append order is exactly store mutation order.
-func (j *Journal) append(ev event) error {
+// appendShard journals one event into shard k's stream. It runs with that
+// shard's write lock held, so each stream's append order is exactly its
+// shard's mutation order.
+func (j *Journal) appendShard(k int, ev event) error {
 	payload, err := json.Marshal(ev)
 	if err != nil {
 		return fmt.Errorf("encode event: %v", err)
 	}
-	if _, err := j.log.Append(payload); err != nil {
+	js := j.shards[k]
+	if _, err := js.log.Append(payload); err != nil {
 		return err
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	j.sinceSnap++
-	if j.snapc != nil && !j.closed && j.sinceSnap >= j.every {
-		// Non-blocking: if a snapshot is already pending, this event is
-		// covered by it anyway.
+	js.sinceSnap++
+	if j.snapc != nil && !j.closed && js.sinceSnap >= j.every {
+		// Non-blocking: if this shard's snapshot is already pending, the
+		// event is covered by it anyway.
 		select {
-		case j.snapc <- struct{}{}:
-			j.sinceSnap = 0
+		case j.snapc <- k:
+			js.sinceSnap = 0
 		default:
 		}
 	}
@@ -297,44 +574,61 @@ func (j *Journal) append(ev event) error {
 // snapshot writes never sit on the request path.
 func (j *Journal) snapshotLoop() {
 	defer close(j.donec)
-	for range j.snapc {
-		j.Snapshot()
+	for k := range j.snapc {
+		j.snapshotShard(k)
 	}
 }
 
-// Snapshot captures the current store state into a durable snapshot and
-// compacts WAL segments the snapshot made redundant. Failures are
-// recorded in Stats and returned; the journal keeps appending either way.
-func (j *Journal) Snapshot() error {
-	s := j.store
-	// Holding the store's read lock while reading NextLSN pins the pair:
+// snapshotShard captures shard k's state into a durable snapshot in its
+// stream and compacts the stream's segments the snapshot made redundant.
+func (j *Journal) snapshotShard(k int) error {
+	sh := j.store.shards[k]
+	js := j.shards[k]
+	// Holding the shard's read lock while reading NextLSN pins the pair:
 	// appends mutate both under the write lock, so the image is exactly
 	// the state produced by every record below lsn.
-	s.mu.RLock()
-	lsn := j.log.NextLSN()
-	payload, err := json.Marshal(storeSnapshot{Order: s.order, Records: s.records})
-	s.mu.RUnlock()
+	sh.mu.RLock()
+	lsn := js.log.NextLSN()
+	payload, err := json.Marshal(storeSnapshot{Order: sh.order, Records: sh.records})
+	sh.mu.RUnlock()
 	if err == nil {
-		err = j.log.WriteSnapshot(lsn, payload)
+		err = js.log.WriteSnapshot(lsn, payload)
 	}
 	if err == nil {
-		_, err = j.log.Compact(lsn)
+		_, err = js.log.Compact(lsn)
 	}
 	if err != nil {
 		j.mu.Lock()
 		j.snapErrs++
 		j.lastErr = err
 		j.mu.Unlock()
-		return fmt.Errorf("market: snapshot: %w", err)
+		return fmt.Errorf("market: snapshot shard %d: %w", k, err)
 	}
 	return nil
+}
+
+// Snapshot captures every shard's current state into durable snapshots
+// and compacts the WAL segments they made redundant. Failures are
+// recorded in Stats and the first is returned; the journal keeps
+// appending either way.
+func (j *Journal) Snapshot() error {
+	var first error
+	for k := range j.shards {
+		if err := j.snapshotShard(k); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // JournalStats is a point-in-time view of the journal's counters, the
 // source of the wal_* and snapshot_* metric families.
 type JournalStats struct {
-	// WAL carries the log-level counters (appends, fsyncs, bytes,
-	// segments, snapshots).
+	// WAL aggregates the log-level counters across shard streams:
+	// appends, fsyncs, bytes, segments and snapshots are summed, NextLSN
+	// is the largest stream position, SnapshotLSN the smallest snapshot
+	// floor. On a single-shard store these are exactly the one stream's
+	// counters.
 	WAL wal.Stats
 	// SnapshotErrors counts failed snapshot attempts.
 	SnapshotErrors uint64
@@ -343,9 +637,23 @@ type JournalStats struct {
 	LastSnapshotError error
 }
 
-// Stats snapshots the journal's counters.
+// Stats snapshots the journal's counters, aggregated across shards.
 func (j *Journal) Stats() JournalStats {
-	st := JournalStats{WAL: j.log.Stats()}
+	var st JournalStats
+	for i, js := range j.shards {
+		ws := js.log.Stats()
+		st.WAL.Appends += ws.Appends
+		st.WAL.Fsyncs += ws.Fsyncs
+		st.WAL.Bytes += ws.Bytes
+		st.WAL.Segments += ws.Segments
+		st.WAL.Snapshots += ws.Snapshots
+		if ws.NextLSN > st.WAL.NextLSN {
+			st.WAL.NextLSN = ws.NextLSN
+		}
+		if i == 0 || ws.SnapshotLSN < st.WAL.SnapshotLSN {
+			st.WAL.SnapshotLSN = ws.SnapshotLSN
+		}
+	}
 	j.mu.Lock()
 	st.SnapshotErrors = j.snapErrs
 	st.LastSnapshotError = j.lastErr
@@ -356,8 +664,13 @@ func (j *Journal) Stats() JournalStats {
 // Recovery reports how the store's state was rebuilt at open.
 func (j *Journal) Recovery() RecoveryStats { return j.recovery }
 
-// Close takes a final snapshot and closes the log. It is idempotent; the
-// store refuses further transitions once the log is closed (ErrJournal).
+// ShardCount reports the number of WAL streams the journal maintains
+// (always the store's shard count).
+func (j *Journal) ShardCount() int { return len(j.shards) }
+
+// Close takes final per-shard snapshots and closes every stream. It is
+// idempotent; the store refuses further transitions once the streams are
+// closed (ErrJournal).
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	if j.closed {
@@ -373,21 +686,23 @@ func (j *Journal) Close() error {
 		<-j.donec
 	}
 	err := j.Snapshot()
-	if cerr := j.log.Close(); err == nil {
-		err = cerr
+	for _, js := range j.shards {
+		if cerr := js.log.Close(); err == nil {
+			err = cerr
+		}
 	}
 	return err
 }
 
 // RegisterJournalMetrics exports the journal's durability counters on reg:
 //
-//	wal_appends_total         counter: journaled events appended
-//	wal_fsyncs_total          counter: fsync calls issued by the log
+//	wal_appends_total         counter: journaled events appended (all shards)
+//	wal_fsyncs_total          counter: fsync calls issued by the logs
 //	wal_bytes_total           counter: record bytes written
-//	wal_segments              gauge: live WAL segment files
+//	wal_segments              gauge: live WAL segment files across shards
 //	snapshot_writes_total     counter: snapshots taken since open
 //	snapshot_errors_total     counter: snapshot attempts that failed
-//	snapshot_last_lsn         gauge: LSN covered by the newest snapshot
+//	snapshot_last_lsn         gauge: smallest LSN floor across shard snapshots
 //	recovery_duration_seconds gauge: wall-clock time boot recovery took
 //	recovery_events_replayed  gauge: WAL events replayed at boot
 func RegisterJournalMetrics(reg *obs.Registry, j *Journal) {

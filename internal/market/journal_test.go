@@ -75,15 +75,27 @@ func stateImage(t *testing.T, s *Store) []byte {
 	return img
 }
 
-// segmentFiles lists the WAL segment files under dir, oldest first.
+// segmentFiles lists the WAL segment files under dir's shard
+// subdirectories, oldest first.
 func segmentFiles(t *testing.T, dir string) []string {
 	t.Helper()
-	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	segs, err := filepath.Glob(filepath.Join(dir, "shard-*", "wal-*.log"))
 	if err != nil || len(segs) == 0 {
 		t.Fatalf("no WAL segments in %s (%v)", dir, err)
 	}
 	sort.Strings(segs)
 	return segs
+}
+
+// closeLogs closes every shard stream directly, without a snapshot, as a
+// crash would: recovery must come entirely from the WAL tails.
+func closeLogs(t *testing.T, j *Journal) {
+	t.Helper()
+	for i, js := range j.shards {
+		if err := js.log.Close(); err != nil {
+			t.Fatalf("close shard %d log: %v", i, err)
+		}
+	}
 }
 
 func TestJournaledStoreRecoversFullLifecycle(t *testing.T) {
@@ -125,11 +137,7 @@ func TestJournaledStoreReplaysWALTailWithoutSnapshot(t *testing.T) {
 	s1, j1 := openTestJournaled(t, dir, clock, JournalOptions{})
 	driveLifecycle(t, s1, clock)
 	before := stateImage(t, s1)
-	// Close the log directly, without a snapshot, as a crash would:
-	// recovery must come entirely from the WAL tail.
-	if err := j1.log.Close(); err != nil {
-		t.Fatalf("close log: %v", err)
-	}
+	closeLogs(t, j1)
 
 	s2, j2 := openTestJournaled(t, dir, clock, JournalOptions{})
 	if got := stateImage(t, s2); !bytes.Equal(got, before) {
@@ -180,7 +188,7 @@ func TestJournalFailureLeavesStoreUnchanged(t *testing.T) {
 	}
 	before := stateImage(t, s)
 
-	s.journal = failingJournal
+	s.setJournal(failingJournal)
 	if err := s.Submit(testOffer("a")); !errors.Is(err, ErrJournal) {
 		t.Fatalf("Submit = %v, want ErrJournal", err)
 	}
@@ -208,7 +216,7 @@ func TestJournalFailureLeavesStoreUnchanged(t *testing.T) {
 func TestSubmitBatchJournalFailureFailsWholeBatch(t *testing.T) {
 	clock := &fakeClock{now: t0}
 	s := NewStore(clock.Now)
-	s.journal = failingJournal
+	s.setJournal(failingJournal)
 	batch := flexoffer.Set{testOffer("b0"), testOffer("b1"), testOffer("b2")}
 	res := s.SubmitBatch(batch)
 	if res.Accepted != 0 || len(res.Failures) != len(batch) {
@@ -300,9 +308,7 @@ func TestCorruptInteriorJournalRefusedTornTailRepaired(t *testing.T) {
 		}
 	}
 	// Crash without snapshot.
-	if err := j1.log.Close(); err != nil {
-		t.Fatalf("close log: %v", err)
-	}
+	closeLogs(t, j1)
 	segs := segmentFiles(t, dir)
 	last := segs[len(segs)-1]
 	data, err := os.ReadFile(last)

@@ -1,0 +1,152 @@
+package market
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/flexoffer"
+)
+
+// wireAssignment mirrors the trimmed assignment inside a record's wire
+// form with default struct encoding.
+type wireAssignment struct {
+	Start    time.Time `json:"start"`
+	Energies []float64 `json:"energies_kwh"`
+}
+
+// recordWire mirrors Record's wire form with the default encoding, so the
+// test can pin the hand-built Record.MarshalJSON against what
+// encoding/json would produce on the same shape.
+type recordWire struct {
+	Offer       *flexoffer.FlexOffer `json:"offer"`
+	State       State                `json:"state"`
+	SubmittedAt time.Time            `json:"submitted_at"`
+	DecidedAt   time.Time            `json:"decided_at"`
+	Assignment  *wireAssignment      `json:"assignment,omitempty"`
+}
+
+func wireOf(rec Record) recordWire {
+	w := recordWire{Offer: rec.Offer, State: rec.State, SubmittedAt: rec.SubmittedAt, DecidedAt: rec.DecidedAt}
+	if rec.Assignment != nil {
+		w.Assignment = &wireAssignment{Start: rec.Assignment.Start, Energies: rec.Assignment.Energies}
+	}
+	return w
+}
+
+// TestRecordMarshalMatchesDefaultEncoding pins the hand-built
+// Record.MarshalJSON byte-for-byte against the default struct encoding of
+// the wire shape, with and without the cached offer bytes, across
+// lifecycle states. The journal's snapshot byte-identity property depends
+// on this staying exact.
+func TestRecordMarshalMatchesDefaultEncoding(t *testing.T) {
+	clock := func() time.Time { return t0 }
+	s := NewShardedStore(3, clock)
+
+	f := testOffer("marshal-1")
+	if err := s.Submit(f); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := s.Accept(f.ID); err != nil {
+		t.Fatalf("Accept: %v", err)
+	}
+	if _, err := s.Assign(f.ID, f.EarliestStart, []float64{1, 1, 1, 1}); err != nil {
+		t.Fatalf("Assign: %v", err)
+	}
+	g := testOffer("marshal-2")
+	if err := s.Submit(g); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+
+	for _, id := range []string{"marshal-1", "marshal-2"} {
+		rec, ok := s.Get(id)
+		if !ok {
+			t.Fatalf("Get(%s): not found", id)
+		}
+		got, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatalf("marshal record %s: %v", id, err)
+		}
+		want, err := json.Marshal(wireOf(rec))
+		if err != nil {
+			t.Fatalf("marshal wire %s: %v", id, err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("record %s: hand-built marshal diverges from default encoding\n got: %s\nwant: %s", id, got, want)
+		}
+
+		// Without the insert-time cache the marshal must produce the same
+		// bytes from scratch.
+		rec.offerRaw = nil
+		fresh, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatalf("marshal uncached %s: %v", id, err)
+		}
+		if string(fresh) != string(want) {
+			t.Errorf("record %s: uncached marshal diverges\n got: %s\nwant: %s", id, fresh, want)
+		}
+
+		// The round trip must lose nothing: the decoded record carries the
+		// full offer, the assignment reattaches that same offer, and a
+		// re-encode is byte-identical (the snapshot-restore cycle).
+		var back Record
+		if err := json.Unmarshal(got, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", id, err)
+		}
+		if !reflect.DeepEqual(back.Offer, rec.Offer) {
+			t.Errorf("record %s: offer did not survive the round trip", id)
+		}
+		if rec.Assignment != nil {
+			if back.Assignment == nil {
+				t.Fatalf("record %s: assignment lost in round trip", id)
+			}
+			if back.Assignment.Offer != back.Offer {
+				t.Errorf("record %s: assignment not reattached to the record's offer", id)
+			}
+			if !back.Assignment.Start.Equal(rec.Assignment.Start) ||
+				!reflect.DeepEqual(back.Assignment.Energies, rec.Assignment.Energies) {
+				t.Errorf("record %s: assignment fields diverged in round trip", id)
+			}
+			if err := back.Assignment.Validate(); err != nil {
+				t.Errorf("record %s: round-tripped assignment invalid: %v", id, err)
+			}
+		}
+		again, err := json.Marshal(back)
+		if err != nil {
+			t.Fatalf("re-marshal %s: %v", id, err)
+		}
+		if string(again) != string(got) {
+			t.Errorf("record %s: decode/encode round trip not byte-identical\n got: %s\nwant: %s", id, again, got)
+		}
+	}
+
+	// The page stitcher must agree with the default encoding of its
+	// shape too (records array plus optional cursor).
+	page, err := s.Page(ListQuery{Limit: 1})
+	if err != nil {
+		t.Fatalf("Page: %v", err)
+	}
+	if page.NextCursor == "" {
+		t.Fatal("expected a continuation cursor")
+	}
+	got, err := json.Marshal(page)
+	if err != nil {
+		t.Fatalf("marshal page: %v", err)
+	}
+	var wire struct {
+		Records    []recordWire `json:"records"`
+		NextCursor string       `json:"next_cursor,omitempty"`
+	}
+	for _, r := range page.Records {
+		wire.Records = append(wire.Records, wireOf(r))
+	}
+	wire.NextCursor = page.NextCursor
+	want, err := json.Marshal(wire)
+	if err != nil {
+		t.Fatalf("marshal page wire: %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("page: hand-built marshal diverges from default encoding\n got: %s\nwant: %s", got, want)
+	}
+}

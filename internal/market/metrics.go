@@ -1,6 +1,10 @@
 package market
 
-import "repro/internal/obs"
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
 
 // StoreMetrics holds the store-level instruments that are updated outside
 // the HTTP request path — currently the background sweeper's counter.
@@ -20,6 +24,11 @@ type StoreMetrics struct {
 //	market_flexible_energy_kwh     gauge: summed flexible energy on offer
 //	market_sweeper_expired_total   counter: offers expired by the sweeper
 //	offers_expired_total           counter: offers expired by any path
+//	market_shards                  gauge: shards the store is partitioned into
+//	market_shard_offers            gauge: resident offers, per shard
+//	market_shard_lock_wait_seconds_total  gauge: lock wait time, per shard
+//	market_shard_lock_hold_seconds_total  gauge: write-lock hold time, per shard
+//	market_shard_lock_queue_depth  gauge: goroutines blocked, per shard
 //
 // The gauges are computed from a store snapshot at scrape time, so they
 // never drift from the store's actual contents. offers_expired_total is
@@ -44,7 +53,37 @@ func RegisterStoreMetrics(reg *obs.Registry, store *Store) *StoreMetrics {
 	reg.NewGaugeFunc("market_flexible_energy_kwh", "Summed average energy of non-terminal offers, in kWh.", func() float64 {
 		return store.Stats().TotalFlexibleEnergy
 	})
+	reg.NewGaugeFunc("market_shards", "Shards the store is partitioned into.", func() float64 {
+		return float64(store.ShardCount())
+	})
+	reg.NewSampledGauge("market_shard_offers", "Offers resident per store shard.", func() []obs.Sample {
+		return shardSamples(store, func(c ShardContention) float64 { return float64(c.Offers) })
+	})
+	reg.NewSampledGauge("market_shard_lock_wait_seconds_total", "Cumulative time callers waited for each shard's lock.", func() []obs.Sample {
+		return shardSamples(store, func(c ShardContention) float64 { return c.LockWaitSeconds })
+	})
+	reg.NewSampledGauge("market_shard_lock_hold_seconds_total", "Cumulative time each shard's write lock was held.", func() []obs.Sample {
+		return shardSamples(store, func(c ShardContention) float64 { return c.LockHoldSeconds })
+	})
+	reg.NewSampledGauge("market_shard_lock_queue_depth", "Goroutines currently blocked on each shard's lock.", func() []obs.Sample {
+		return shardSamples(store, func(c ShardContention) float64 { return float64(c.QueueDepth) })
+	})
 	return &StoreMetrics{
 		SweeperExpired: reg.NewCounter("market_sweeper_expired_total", "Offers expired by the background deadline sweeper."),
 	}
+}
+
+// shardSamples renders one per-shard metric family from the store's
+// contention counters. The shard label set is fixed at store construction,
+// so cardinality is bounded by the -shards flag.
+func shardSamples(store *Store, value func(ShardContention) float64) []obs.Sample {
+	cont := store.Contention()
+	samples := make([]obs.Sample, len(cont))
+	for i, c := range cont {
+		samples[i] = obs.Sample{
+			Labels: []obs.Label{{Name: "shard", Value: strconv.Itoa(c.Shard)}},
+			Value:  value(c),
+		}
+	}
+	return samples
 }

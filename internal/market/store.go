@@ -5,6 +5,12 @@
 // acceptance deadline, assigned a concrete start before their assignment
 // deadline — and the store enforces every transition. A small HTTP API
 // (http.go) and client (client.go) expose the store over the network.
+//
+// The store is partitioned into shards keyed by an FNV-1a hash of the
+// offer ID (shard.go): each shard carries its own lock, per-state
+// indexes, deadline heap and — when journaled — its own write-ahead log
+// stream, so point operations on different shards never contend and
+// reads never scan the whole store.
 package market
 
 import (
@@ -12,7 +18,6 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/flexoffer"
@@ -114,31 +119,178 @@ type Record struct {
 	SubmittedAt time.Time             `json:"submitted_at"`
 	DecidedAt   time.Time             `json:"decided_at,omitempty"`
 	Assignment  *flexoffer.Assignment `json:"assignment,omitempty"`
+
+	// offerRaw caches the offer's JSON, marshaled once at insert. The
+	// offer is immutable for the record's lifetime while listings
+	// re-encode it on every page, so the cache turns the dominant cost of
+	// a 100-record page from reflection into a memcpy. Nil (records
+	// restored from a snapshot, hand-built literals) falls back to a
+	// fresh marshal.
+	offerRaw json.RawMessage
 }
 
-// Store is a concurrent-safe flex-offer store. By itself it is purely
-// in-memory; OpenJournaled (journal.go) attaches a write-ahead journal so
-// every lifecycle transition is made durable before it is acknowledged.
+// recordAssignment is the assignment's shape inside a record's wire form:
+// start and energies only. The full Assignment embeds its offer, which in
+// a record sits right next to it — emitting it twice doubled every
+// assigned record on the wire. UnmarshalJSON reattaches the record's
+// offer, so the round trip loses nothing (the WAL's assign events
+// normalise the same way).
+type recordAssignment struct {
+	Start    time.Time `json:"start"`
+	Energies []float64 `json:"energies_kwh"`
+}
+
+// recordWireJSON mirrors Record's wire form for decoding; the offer slot
+// stays raw so it can seed the marshal cache.
+type recordWireJSON struct {
+	Offer       json.RawMessage   `json:"offer"`
+	State       State             `json:"state"`
+	SubmittedAt time.Time         `json:"submitted_at"`
+	DecidedAt   time.Time         `json:"decided_at"`
+	Assignment  *recordAssignment `json:"assignment"`
+}
+
+// MarshalJSON emits the record's wire form (docs/API.md): the offer, its
+// lifecycle fields, and — once assigned — the assignment as start plus
+// energies, without repeating the offer. The bytes are assembled by hand,
+// reusing the offer JSON cached at insert; a 100-record page is the
+// market's hottest response, and this turns its encoding cost from the
+// dominant term into a series of copies.
+func (r Record) MarshalJSON() ([]byte, error) {
+	return r.appendJSON(make([]byte, 0, 1280))
+}
+
+// appendJSON appends the record's wire form to buf; Page.MarshalJSON
+// stitches whole pages into one buffer through it.
+func (r Record) appendJSON(buf []byte) ([]byte, error) {
+	raw := r.offerRaw
+	if raw == nil {
+		b, err := json.Marshal(r.Offer)
+		if err != nil {
+			return nil, err
+		}
+		raw = b
+	}
+	buf = append(buf, `{"offer":`...)
+	buf = append(buf, raw...)
+	buf = append(buf, `,"state":"`...)
+	buf = append(buf, r.State.String()...)
+	buf = append(buf, `","submitted_at":"`...)
+	buf = r.SubmittedAt.AppendFormat(buf, time.RFC3339Nano)
+	// The decided_at tag says omitempty, but a time.Time is a struct so
+	// the default encoder always emitted it — keep that shape.
+	buf = append(buf, `","decided_at":"`...)
+	buf = r.DecidedAt.AppendFormat(buf, time.RFC3339Nano)
+	buf = append(buf, '"')
+	if r.Assignment != nil {
+		buf = append(buf, `,"assignment":`...)
+		ab, err := json.Marshal(recordAssignment{Start: r.Assignment.Start, Energies: r.Assignment.Energies})
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, ab...)
+	}
+	return append(buf, '}'), nil
+}
+
+// UnmarshalJSON decodes the wire form MarshalJSON produces, reattaching
+// the record's offer to its assignment and seeding the offer-JSON
+// marshal cache with the bytes as received, so a decode/encode round
+// trip (snapshot restore, client relay) is byte-identical.
+func (r *Record) UnmarshalJSON(data []byte) error {
+	var w recordWireJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	var offer *flexoffer.FlexOffer
+	if len(w.Offer) > 0 && string(w.Offer) != "null" {
+		offer = new(flexoffer.FlexOffer)
+		if err := json.Unmarshal(w.Offer, offer); err != nil {
+			return err
+		}
+	} else {
+		w.Offer = nil
+	}
+	*r = Record{
+		Offer:       offer,
+		State:       w.State,
+		SubmittedAt: w.SubmittedAt,
+		DecidedAt:   w.DecidedAt,
+		offerRaw:    append(json.RawMessage(nil), w.Offer...),
+	}
+	if w.Assignment != nil {
+		r.Assignment = &flexoffer.Assignment{Offer: offer, Start: w.Assignment.Start, Energies: w.Assignment.Energies}
+	}
+	return nil
+}
+
+// Store is a concurrent-safe flex-offer store, partitioned into shards by
+// offer-ID hash. By itself it is purely in-memory; OpenJournaled
+// (journal.go) attaches one write-ahead journal stream per shard so every
+// lifecycle transition is made durable before it is acknowledged.
+//
+// Listings are ordered shard-major: every record of shard 0 in its
+// submission order, then shard 1, and so on. A single-shard store
+// (NewStore) therefore lists in global submission order, matching the
+// pre-sharding contract.
 type Store struct {
-	mu      sync.RWMutex
-	records map[string]*Record // guarded by mu
-	order   []string           // guarded by mu: submission order, for deterministic listings
-	clock   func() time.Time   // immutable after NewStore
-	// journal, when non-nil, persists an event before the mutation it
-	// describes is applied; a journal error aborts the transition with
-	// ErrJournal. Attached by OpenJournaled before the store serves
-	// requests; immutable afterwards. Always invoked with mu held, so the
-	// journal's event order is the store's mutation order.
-	journal func(ev event) error
+	shards []*shard         // immutable after NewShardedStore
+	clock  func() time.Time // immutable after NewShardedStore
 }
 
-// NewStore builds a store. clock defaults to time.Now when nil; tests and
-// simulations inject their own.
+// NewStore builds a single-shard store — global submission order, one
+// lock — which is exactly the pre-sharding behaviour. clock defaults to
+// time.Now when nil; tests and simulations inject their own.
 func NewStore(clock func() time.Time) *Store {
+	return NewShardedStore(1, clock)
+}
+
+// NewShardedStore builds a store partitioned into n shards (clamped to at
+// least 1). Offers are routed to shards by an FNV-1a hash of their ID, so
+// the mapping is stable across processes and restarts. clock defaults to
+// time.Now when nil.
+func NewShardedStore(n int, clock func() time.Time) *Store {
+	if n < 1 {
+		n = 1
+	}
 	if clock == nil {
 		clock = time.Now
 	}
-	return &Store{records: make(map[string]*Record), clock: clock}
+	s := &Store{shards: make([]*shard, n), clock: clock}
+	for i := range s.shards {
+		s.shards[i] = newShard()
+	}
+	return s
+}
+
+// ShardCount reports the number of shards the store is partitioned into.
+func (s *Store) ShardCount() int { return len(s.shards) }
+
+// ShardIndex reports which shard the given offer ID routes to: the
+// FNV-1a 32-bit hash of the ID modulo the shard count.
+func (s *Store) ShardIndex(id string) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= prime32
+	}
+	return int(h % uint32(len(s.shards)))
+}
+
+// shardFor returns the shard the given offer ID lives in.
+func (s *Store) shardFor(id string) *shard { return s.shards[s.ShardIndex(id)] }
+
+// setJournal attaches fn as every shard's journal hook — the test seam
+// behind journal-failure tests; OpenJournaled attaches per-shard hooks
+// directly.
+func (s *Store) setJournal(fn func(ev event) error) {
+	for _, sh := range s.shards {
+		sh.journal = fn
+	}
 }
 
 // Submit collects a new offer. The offer must validate, carry a unique ID,
@@ -153,34 +305,21 @@ func (s *Store) Submit(f *flexoffer.FlexOffer) error {
 	if f.ID == "" {
 		return fmt.Errorf("%w: empty offer id", ErrBadRequest)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sh := s.shardFor(f.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	now := s.clock()
 	if !f.AcceptanceTime.IsZero() && now.After(f.AcceptanceTime) {
 		return fmt.Errorf("%w: acceptance deadline %v already passed", ErrDeadline, f.AcceptanceTime)
 	}
-	if _, dup := s.records[f.ID]; dup {
+	if _, dup := sh.records[f.ID]; dup {
 		return fmt.Errorf("%w: %s", ErrDuplicate, f.ID)
 	}
 	offer := f.Clone()
-	if err := s.journalEvent(event{Kind: evSubmit, At: now, Offers: flexoffer.Set{offer}}); err != nil {
+	if err := sh.journalLocked(event{Kind: evSubmit, At: now, Offers: flexoffer.Set{offer}}); err != nil {
 		return err
 	}
-	s.records[f.ID] = &Record{Offer: offer, State: Offered, SubmittedAt: now}
-	s.order = append(s.order, f.ID)
-	return nil
-}
-
-// journalEvent persists ev through the attached journal, if any. Callers
-// hold s.mu and apply the mutation ev describes only on nil return — the
-// write-ahead contract: nothing is acknowledged that is not durable first.
-func (s *Store) journalEvent(ev event) error {
-	if s.journal == nil {
-		return nil
-	}
-	if err := s.journal(ev); err != nil {
-		return fmt.Errorf("%w: %v", ErrJournal, err)
-	}
+	sh.insertLocked(&Record{Offer: offer, State: Offered, SubmittedAt: now})
 	return nil
 }
 
@@ -236,11 +375,14 @@ func (r BatchResult) FailedOffers(offers flexoffer.Set) flexoffer.Set {
 	return failed
 }
 
-// SubmitBatch collects many offers under a single lock acquisition — the
-// bulk ingest path used by the extraction pipeline. Validation runs outside
-// the lock; insertion is atomic per offer, not per batch: each offer is
-// accepted or rejected independently, and the result names every failure
-// by index so callers can resubmit only what did not land.
+// SubmitBatch collects many offers with one lock acquisition per touched
+// shard — the bulk ingest path used by the extraction pipeline.
+// Validation runs outside the locks; insertion is atomic per offer, not
+// per batch: each offer is accepted or rejected independently, and the
+// result names every failure by index so callers can resubmit only what
+// did not land. On a journaled store each shard's accepted subset is
+// journaled as one event in that shard's WAL stream; a journal failure
+// fails that shard's subset without touching the others.
 func (s *Store) SubmitBatch(offers flexoffer.Set) BatchResult {
 	res := BatchResult{Submitted: len(offers)}
 	fail := func(i int, id string, err error) {
@@ -250,7 +392,12 @@ func (s *Store) SubmitBatch(offers flexoffer.Set) BatchResult {
 		i int
 		f *flexoffer.FlexOffer
 	}
-	ok := make([]pending, 0, len(offers))
+	// Validate everything and group the survivors by shard, preserving
+	// submission order within each group. Duplicates *within* the batch
+	// are decided here, before any lock, so the outcome does not depend
+	// on shard processing order.
+	byShard := make(map[int][]pending)
+	seen := make(map[string]bool, len(offers))
 	for i, f := range offers {
 		switch {
 		case f == nil:
@@ -260,52 +407,62 @@ func (s *Store) SubmitBatch(offers flexoffer.Set) BatchResult {
 		default:
 			if err := f.Validate(); err != nil {
 				fail(i, f.ID, fmt.Errorf("%w: %v", ErrBadRequest, err))
-			} else {
-				ok = append(ok, pending{i, f})
+				continue
+			}
+			if seen[f.ID] {
+				fail(i, f.ID, fmt.Errorf("%w: %s", ErrDuplicate, f.ID))
+				continue
+			}
+			seen[f.ID] = true
+			k := s.ShardIndex(f.ID)
+			byShard[k] = append(byShard[k], pending{i, f})
+		}
+	}
+	// Process shards in ascending order so lock acquisition order is
+	// deterministic (only one shard is held at a time regardless).
+	keys := make([]int, 0, len(byShard))
+	for k := range byShard {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		group := byShard[k]
+		sh := s.shards[k]
+		sh.mu.Lock()
+		now := s.clock()
+		// Decide which offers will land before mutating anything, so the
+		// journal records exactly the accepted subset ahead of the insert.
+		accepted := make([]pending, 0, len(group))
+		batch := make(flexoffer.Set, 0, len(group))
+		for _, p := range group {
+			f := p.f
+			if !f.AcceptanceTime.IsZero() && now.After(f.AcceptanceTime) {
+				fail(p.i, f.ID, fmt.Errorf("%w: acceptance deadline %v already passed", ErrDeadline, f.AcceptanceTime))
+				continue
+			}
+			if _, dup := sh.records[f.ID]; dup {
+				fail(p.i, f.ID, fmt.Errorf("%w: %s", ErrDuplicate, f.ID))
+				continue
+			}
+			clone := f.Clone()
+			accepted = append(accepted, pending{p.i, clone})
+			batch = append(batch, clone)
+		}
+		if len(batch) > 0 {
+			if err := sh.journalLocked(event{Kind: evSubmit, At: now, Offers: batch}); err != nil {
+				// Nothing was applied to this shard; surface the journal
+				// failure per offer so retry paths resubmit the subset.
+				for _, p := range accepted {
+					fail(p.i, p.f.ID, err)
+				}
+				accepted = nil
 			}
 		}
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	now := s.clock()
-	// Decide which offers will land before mutating anything, so the
-	// journal can record exactly the accepted subset ahead of the insert.
-	accepted := make([]pending, 0, len(ok))
-	batch := make(flexoffer.Set, 0, len(ok))
-	seen := make(map[string]bool, len(ok))
-	for _, p := range ok {
-		f := p.f
-		if !f.AcceptanceTime.IsZero() && now.After(f.AcceptanceTime) {
-			fail(p.i, f.ID, fmt.Errorf("%w: acceptance deadline %v already passed", ErrDeadline, f.AcceptanceTime))
-			continue
-		}
-		_, dup := s.records[f.ID]
-		if dup || seen[f.ID] {
-			fail(p.i, f.ID, fmt.Errorf("%w: %s", ErrDuplicate, f.ID))
-			continue
-		}
-		seen[f.ID] = true
-		clone := f.Clone()
-		accepted = append(accepted, pending{p.i, clone})
-		batch = append(batch, clone)
-	}
-	insert := true
-	if len(batch) > 0 {
-		if err := s.journalEvent(event{Kind: evSubmit, At: now, Offers: batch}); err != nil {
-			// Nothing was applied; surface the journal failure per offer so
-			// retry paths resubmit the whole accepted subset.
-			for _, p := range accepted {
-				fail(p.i, p.f.ID, err)
-			}
-			insert = false
-		}
-	}
-	if insert {
 		for _, p := range accepted {
-			s.records[p.f.ID] = &Record{Offer: p.f, State: Offered, SubmittedAt: now}
-			s.order = append(s.order, p.f.ID)
+			sh.insertLocked(&Record{Offer: p.f, State: Offered, SubmittedAt: now})
 			res.Accepted++
 		}
+		sh.mu.Unlock()
 	}
 	// Failures accumulate in two passes (validation, then insertion), so
 	// restore submission order for callers that walk them.
@@ -325,9 +482,10 @@ func (s *Store) Reject(id string) error {
 }
 
 func (s *Store) decide(id string, to State) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	r, ok := s.records[id]
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	r, ok := sh.records[id]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
@@ -336,27 +494,26 @@ func (s *Store) decide(id string, to State) error {
 	}
 	now := s.clock()
 	if to == Accepted && !r.Offer.AcceptanceTime.IsZero() && now.After(r.Offer.AcceptanceTime) {
-		if err := s.journalEvent(event{Kind: evDecide, At: now, ID: id, To: Expired}); err != nil {
+		if err := sh.journalLocked(event{Kind: evDecide, At: now, ID: id, To: Expired}); err != nil {
 			return err
 		}
-		r.State = Expired
-		r.DecidedAt = now
+		sh.transitionLocked(r, Expired, now)
 		return fmt.Errorf("%w: acceptance deadline %v passed", ErrDeadline, r.Offer.AcceptanceTime)
 	}
-	if err := s.journalEvent(event{Kind: evDecide, At: now, ID: id, To: to}); err != nil {
+	if err := sh.journalLocked(event{Kind: evDecide, At: now, ID: id, To: to}); err != nil {
 		return err
 	}
-	r.State = to
-	r.DecidedAt = now
+	sh.transitionLocked(r, to, now)
 	return nil
 }
 
 // Assign fixes the start time and per-slice energies of an accepted offer,
 // enforcing the assignment deadline and feasibility.
 func (s *Store) Assign(id string, start time.Time, energies []float64) (*flexoffer.Assignment, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	r, ok := s.records[id]
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	r, ok := sh.records[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
@@ -365,93 +522,123 @@ func (s *Store) Assign(id string, start time.Time, energies []float64) (*flexoff
 	}
 	now := s.clock()
 	if !r.Offer.AssignmentTime.IsZero() && now.After(r.Offer.AssignmentTime) {
-		if err := s.journalEvent(event{Kind: evDecide, At: now, ID: id, To: Expired}); err != nil {
+		if err := sh.journalLocked(event{Kind: evDecide, At: now, ID: id, To: Expired}); err != nil {
 			return nil, err
 		}
-		r.State = Expired
-		r.DecidedAt = now
+		sh.transitionLocked(r, Expired, now)
 		return nil, fmt.Errorf("%w: assignment deadline %v passed", ErrDeadline, r.Offer.AssignmentTime)
 	}
 	asg, err := r.Offer.Assign(start, energies)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
-	if err := s.journalEvent(event{Kind: evAssign, At: now, ID: id, Start: start, Energies: energies}); err != nil {
+	if err := sh.journalLocked(event{Kind: evAssign, At: now, ID: id, Start: start, Energies: energies}); err != nil {
 		return nil, err
 	}
-	r.State = Assigned
-	r.DecidedAt = now
+	sh.transitionLocked(r, Assigned, now)
 	r.Assignment = asg
 	return asg, nil
 }
 
 // Get returns a copy of the record for id.
 func (s *Store) Get(id string) (Record, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	r, ok := s.records[id]
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	r, ok := sh.records[id]
 	if !ok {
 		return Record{}, false
 	}
 	return *r, true
 }
 
-// List returns copies of the records, in submission order, optionally
-// filtered to the given states.
+// List returns copies of the records in shard-major submission order
+// (global submission order on a single-shard store), optionally filtered
+// to the given states. A single-state filter walks that state's index
+// list instead of the whole shard. For bounded reads at scale, use Page.
 func (s *Store) List(states ...State) []Record {
-	want := make(map[State]bool, len(states))
-	for _, st := range states {
-		want[st] = true
-	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]Record, 0, len(s.order))
-	for _, id := range s.order {
-		r := s.records[id]
-		if len(want) == 0 || want[r.State] {
-			out = append(out, *r)
+	var out []Record
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		switch len(states) {
+		case 0:
+			for _, id := range sh.order {
+				out = append(out, *sh.records[id])
+			}
+		case 1:
+			st := states[0]
+			for _, id := range sh.byState[st] {
+				if r := sh.records[id]; r.State == st {
+					out = append(out, *r)
+				}
+			}
+		default:
+			want := make(map[State]bool, len(states))
+			for _, st := range states {
+				want[st] = true
+			}
+			for _, id := range sh.order {
+				if r := sh.records[id]; want[r.State] {
+					out = append(out, *r)
+				}
+			}
 		}
+		sh.mu.RUnlock()
+	}
+	if out == nil {
+		out = []Record{}
 	}
 	return out
 }
 
 // ExpireOverdue sweeps the store: offered records past their acceptance
 // deadline and accepted records past their assignment deadline become
-// Expired. The number of expired records is returned. On a journaled
-// store the sweep is durable before it applies; a journal failure leaves
-// every record untouched and returns ErrJournal.
+// Expired. The number of expired records is returned. The sweep pops the
+// per-shard deadline heaps instead of scanning records, so its cost is
+// proportional to the number of due deadlines, not the store size. On a
+// journaled store each shard's sweep is durable before it applies; a
+// journal failure rolls that shard's heap back, leaves its records
+// untouched and returns ErrJournal (shards already swept stay swept —
+// their expiries were acknowledged durably).
 func (s *Store) ExpireOverdue() (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	now := s.clock()
-	// Collect in submission order so the journaled event is deterministic
-	// for a given store state, then expire in one batch.
-	var overdue []string
-	for _, id := range s.order {
-		r := s.records[id]
-		switch r.State {
-		case Offered:
-			if !r.Offer.AcceptanceTime.IsZero() && now.After(r.Offer.AcceptanceTime) {
-				overdue = append(overdue, id)
-			}
-		case Accepted:
-			if !r.Offer.AssignmentTime.IsZero() && now.After(r.Offer.AssignmentTime) {
-				overdue = append(overdue, id)
-			}
+	total := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		now := s.clock()
+		due := sh.overdueLocked(now)
+		if len(due) == 0 {
+			sh.mu.Unlock()
+			continue
 		}
+		ids := make([]string, len(due))
+		for i, e := range due {
+			ids[i] = e.id
+		}
+		if err := sh.journalLocked(event{Kind: evExpire, At: now, IDs: ids}); err != nil {
+			sh.rollbackLocked(due)
+			sh.mu.Unlock()
+			return total, err
+		}
+		for _, id := range ids {
+			sh.transitionLocked(sh.records[id], Expired, now)
+		}
+		total += len(ids)
+		sh.mu.Unlock()
 	}
-	if len(overdue) == 0 {
-		return 0, nil
+	return total, nil
+}
+
+// sweepExaminedTotal reports how many expiry-heap entries every sweep so
+// far has popped (due or stale) — the cost measure the sweep regression
+// test pins against the expired count.
+func (s *Store) sweepExaminedTotal() uint64 {
+	var n uint64
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += sh.sweepExamined
+		sh.mu.RUnlock()
 	}
-	if err := s.journalEvent(event{Kind: evExpire, At: now, IDs: overdue}); err != nil {
-		return 0, err
-	}
-	for _, id := range overdue {
-		r := s.records[id]
-		r.State = Expired
-		r.DecidedAt = now
-	}
-	return len(overdue), nil
+	return n
 }
 
 // Counts summarises the store by state.
@@ -466,28 +653,40 @@ type Counts struct {
 	TotalFlexibleEnergy float64 `json:"total_flexible_energy_kwh"`
 }
 
-// Stats reports the store summary.
+// Stats reports the store summary from the shards' incrementally
+// maintained counters — O(shards), never a record scan.
 func (s *Store) Stats() Counts {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var c Counts
-	for _, r := range s.records {
-		switch r.State {
-		case Offered:
-			c.Offered++
-			c.TotalFlexibleEnergy += r.Offer.TotalAvgEnergy()
-		case Accepted:
-			c.Accepted++
-			c.TotalFlexibleEnergy += r.Offer.TotalAvgEnergy()
-		case Rejected:
-			c.Rejected++
-		case Assigned:
-			c.Assigned++
-		case Expired:
-			c.Expired++
-		}
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		c.Offered += sh.counts[Offered]
+		c.Accepted += sh.counts[Accepted]
+		c.Rejected += sh.counts[Rejected]
+		c.Assigned += sh.counts[Assigned]
+		c.Expired += sh.counts[Expired]
+		c.TotalFlexibleEnergy += sh.energy
+		sh.mu.RUnlock()
 	}
 	return c
+}
+
+// Contention reports every shard's lock-contention counters and resident
+// record count, in shard order.
+func (s *Store) Contention() []ShardContention {
+	out := make([]ShardContention, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		offers := len(sh.records)
+		sh.mu.RUnlock()
+		out[i] = ShardContention{
+			Shard:           i,
+			LockWaitSeconds: float64(sh.mu.waitNanos.Load()) / 1e9,
+			LockHoldSeconds: float64(sh.mu.holdNanos.Load()) / 1e9,
+			QueueDepth:      sh.mu.waiters.Load(),
+			Offers:          offers,
+		}
+	}
+	return out
 }
 
 // AcceptedOffers returns the accepted offers as a Set (for the scheduler),

@@ -31,15 +31,28 @@ func stressOffer(id string, origin time.Time, lead time.Duration) *flexoffer.Fle
 	}
 }
 
+// stressShardCounts are the store shapes every concurrency stress test
+// runs against: the single-shard baseline and a sharded layout, so the
+// same races cover both the per-shard locking and the cross-shard paths.
+var stressShardCounts = []int{1, 4}
+
 // TestStoreConcurrentLifecycle drives submit/accept/reject/assign/sweep
 // from many goroutines and asserts the final state is coherent.
 func TestStoreConcurrentLifecycle(t *testing.T) {
+	for _, shards := range stressShardCounts {
+		t.Run(fmt.Sprintf("shards-%d", shards), func(t *testing.T) {
+			testStoreConcurrentLifecycle(t, shards)
+		})
+	}
+}
+
+func testStoreConcurrentLifecycle(t *testing.T, shards int) {
 	// A mutable logical clock shared by every goroutine, advanced by the
 	// expirer to push deadlines past.
 	var nowNanos atomic.Int64
 	nowNanos.Store(stressStart.UnixNano())
 	clock := func() time.Time { return time.Unix(0, nowNanos.Load()).UTC() }
-	store := NewStore(clock)
+	store := NewShardedStore(shards, clock)
 
 	const (
 		workers    = 8
@@ -170,7 +183,15 @@ func TestStoreConcurrentLifecycle(t *testing.T) {
 // TestStoreConcurrentDuplicateSubmit races many goroutines submitting the
 // same offer ID: exactly one must win.
 func TestStoreConcurrentDuplicateSubmit(t *testing.T) {
-	store := NewStore(func() time.Time { return stressStart })
+	for _, shards := range stressShardCounts {
+		t.Run(fmt.Sprintf("shards-%d", shards), func(t *testing.T) {
+			testStoreConcurrentDuplicateSubmit(t, shards)
+		})
+	}
+}
+
+func testStoreConcurrentDuplicateSubmit(t *testing.T, shards int) {
+	store := NewShardedStore(shards, func() time.Time { return stressStart })
 	const contenders = 16
 	var wins, dups atomic.Int64
 	var wg sync.WaitGroup
@@ -201,7 +222,15 @@ func TestStoreConcurrentDuplicateSubmit(t *testing.T) {
 // TestStoreConcurrentSubmitBatch fans batches out from several goroutines,
 // with every batch sharing some colliding IDs.
 func TestStoreConcurrentSubmitBatch(t *testing.T) {
-	store := NewStore(func() time.Time { return stressStart })
+	for _, shards := range stressShardCounts {
+		t.Run(fmt.Sprintf("shards-%d", shards), func(t *testing.T) {
+			testStoreConcurrentSubmitBatch(t, shards)
+		})
+	}
+}
+
+func testStoreConcurrentSubmitBatch(t *testing.T, shards int) {
+	store := NewShardedStore(shards, func() time.Time { return stressStart })
 	const (
 		batches   = 8
 		batchSize = 25
@@ -289,10 +318,18 @@ func TestSubmitBatchValidation(t *testing.T) {
 // ExpireOverdue the same ID space, and Stats must account every accepted
 // offer exactly once — none counted twice, none dropped.
 func TestStoreConcurrentBatchLifecycle(t *testing.T) {
+	for _, shards := range stressShardCounts {
+		t.Run(fmt.Sprintf("shards-%d", shards), func(t *testing.T) {
+			testStoreConcurrentBatchLifecycle(t, shards)
+		})
+	}
+}
+
+func testStoreConcurrentBatchLifecycle(t *testing.T, shards int) {
 	var nowNanos atomic.Int64
 	nowNanos.Store(stressStart.UnixNano())
 	clock := func() time.Time { return time.Unix(0, nowNanos.Load()).UTC() }
-	store := NewStore(clock)
+	store := NewShardedStore(shards, clock)
 
 	const (
 		submitters = 6

@@ -1,0 +1,123 @@
+package market
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestSweepCostProportionalToExpiredCount pins the sweeper's cost model:
+// ExpireOverdue pops the per-shard deadline heaps, so the work done is
+// counted in heap entries examined — and that count must track the number
+// of offers actually expired (plus lazily-deleted stale entries), never
+// the store's resident size. The guard is the sweepExamined counter, not
+// wall clock, so the test is immune to scheduler noise.
+func TestSweepCostProportionalToExpiredCount(t *testing.T) {
+	const farOffers, nearOffers = 2000, 50
+	for _, shards := range []int{1, 5} {
+		t.Run(fmt.Sprintf("shards-%d", shards), func(t *testing.T) {
+			clock := &fakeClock{now: t0}
+			s := NewShardedStore(shards, clock.Now)
+			// A large population whose deadlines are far in the future...
+			for i := 0; i < farOffers; i++ {
+				f := testOffer(fmt.Sprintf("far-%04d", i))
+				f.AcceptanceTime = t0.Add(100 * time.Hour)
+				f.AssignmentTime = t0.Add(101 * time.Hour)
+				f.EarliestStart = t0.Add(102 * time.Hour)
+				f.LatestStart = t0.Add(106 * time.Hour)
+				if err := s.Submit(f); err != nil {
+					t.Fatalf("Submit far: %v", err)
+				}
+			}
+			// ...plus a small population about to lapse.
+			for i := 0; i < nearOffers; i++ {
+				f := testOffer(fmt.Sprintf("near-%04d", i))
+				f.AcceptanceTime = t0.Add(time.Hour)
+				if err := s.Submit(f); err != nil {
+					t.Fatalf("Submit near: %v", err)
+				}
+			}
+
+			clock.Advance(90 * time.Minute) // past the near deadlines only
+			before := s.sweepExaminedTotal()
+			n, err := s.ExpireOverdue()
+			if err != nil {
+				t.Fatalf("ExpireOverdue: %v", err)
+			}
+			if n != nearOffers {
+				t.Fatalf("expired %d offers, want %d", n, nearOffers)
+			}
+			examined := s.sweepExaminedTotal() - before
+			// No offer transitioned before the sweep, so there are no stale
+			// entries: the sweep must examine exactly the expired offers.
+			if examined != nearOffers {
+				t.Fatalf("sweep examined %d heap entries to expire %d offers (resident %d)",
+					examined, nearOffers, farOffers+nearOffers)
+			}
+
+			// An idle follow-up sweep examines nothing at all.
+			before = s.sweepExaminedTotal()
+			if n, err := s.ExpireOverdue(); err != nil || n != 0 {
+				t.Fatalf("idle sweep = (%d, %v)", n, err)
+			}
+			if examined := s.sweepExaminedTotal() - before; examined != 0 {
+				t.Fatalf("idle sweep examined %d entries", examined)
+			}
+
+			if got := s.Stats(); got.Expired != nearOffers || got.Offered != farOffers {
+				t.Fatalf("Stats = %+v", got)
+			}
+		})
+	}
+}
+
+// TestSweepSkipsStaleEntriesOnce checks lazy deletion: an offer that moves
+// on before its deadline leaves a stale heap entry behind, which the next
+// due sweep discards exactly once and never again.
+func TestSweepSkipsStaleEntriesOnce(t *testing.T) {
+	clock := &fakeClock{now: t0}
+	s := NewShardedStore(3, clock.Now)
+	for i := 0; i < 10; i++ {
+		if err := s.Submit(testOffer(fmt.Sprintf("o-%d", i))); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	// Accept half: their Offered-state acceptance entries go stale, and
+	// each accept pushes a fresh Accepted-state assignment entry.
+	for i := 0; i < 5; i++ {
+		if err := s.Accept(fmt.Sprintf("o-%d", i)); err != nil {
+			t.Fatalf("Accept: %v", err)
+		}
+	}
+
+	clock.Advance(3 * time.Hour) // past acceptance (t0+2h), before assignment (t0+4h)
+	before := s.sweepExaminedTotal()
+	n, err := s.ExpireOverdue()
+	if err != nil {
+		t.Fatalf("ExpireOverdue: %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("expired %d, want the 5 still-offered records", n)
+	}
+	// 5 due entries + 5 stale acceptance entries of the accepted offers.
+	if examined := s.sweepExaminedTotal() - before; examined != 10 {
+		t.Fatalf("sweep examined %d entries, want 10 (5 due + 5 stale)", examined)
+	}
+
+	clock.Advance(2 * time.Hour) // past the assignment deadline
+	before = s.sweepExaminedTotal()
+	n, err = s.ExpireOverdue()
+	if err != nil {
+		t.Fatalf("second ExpireOverdue: %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("second sweep expired %d, want the 5 accepted records", n)
+	}
+	// Only the 5 assignment entries remain; the stale ones are gone.
+	if examined := s.sweepExaminedTotal() - before; examined != 5 {
+		t.Fatalf("second sweep examined %d entries, want 5", examined)
+	}
+	if got := s.Stats(); got.Expired != 10 {
+		t.Fatalf("Stats = %+v, want everything expired", got)
+	}
+}

@@ -1,0 +1,60 @@
+#!/bin/sh
+# benchdiff.sh — guard against latency/throughput regressions: build
+# mirabeld and flexload, run a short load pass against a sharded journaled
+# store, and compare the fresh report with the committed baseline via
+# scripts/benchdiff. Fails when any op's p95 regresses more than 10%
+# (plus a 5ms absolute slack) or throughput drops more than 10%.
+#
+# Tunables (environment):
+#   BENCHDIFF_BASELINE     baseline report path   (default: BENCH_6.json)
+#   BENCHDIFF_DURATION     flexload run length    (default: 10s)
+#   BENCHDIFF_CONCURRENCY  flexload workers       (default: 8)
+#   BENCHDIFF_SHARDS       mirabeld -shards       (default: 8)
+set -eu
+
+BASELINE="${BENCHDIFF_BASELINE:-BENCH_6.json}"
+DURATION="${BENCHDIFF_DURATION:-10s}"
+CONCURRENCY="${BENCHDIFF_CONCURRENCY:-8}"
+SHARDS="${BENCHDIFF_SHARDS:-8}"
+ADDR="${BENCHDIFF_ADDR:-127.0.0.1:7697}"
+
+tmp="$(mktemp -d)"
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "benchdiff: building mirabeld and flexload"
+go build -o "$tmp/mirabeld" ./cmd/mirabeld
+go build -o "$tmp/flexload" ./cmd/flexload
+
+"$tmp/mirabeld" -addr "$ADDR" -shards "$SHARDS" -sweep 5s >"$tmp/mirabeld.log" 2>&1 &
+pid=$!
+
+ready=0
+i=0
+while [ "$i" -lt 100 ]; do
+    if curl -fsS "http://$ADDR/readyz" >/dev/null 2>&1; then
+        ready=1
+        break
+    fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "benchdiff: mirabeld exited during startup:" >&2
+        cat "$tmp/mirabeld.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+    i=$((i + 1))
+done
+if [ "$ready" -ne 1 ]; then
+    echo "benchdiff: mirabeld never became ready" >&2
+    cat "$tmp/mirabeld.log" >&2
+    exit 1
+fi
+
+echo "benchdiff: driving $DURATION of load at concurrency $CONCURRENCY ($SHARDS shards)"
+"$tmp/flexload" -base "http://$ADDR" -c "$CONCURRENCY" -duration "$DURATION" -report "$tmp/report.json" >/dev/null
+
+go run ./scripts/benchdiff -base "$BASELINE" -current "$tmp/report.json"

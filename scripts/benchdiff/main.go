@@ -1,0 +1,117 @@
+// Command benchdiff compares a fresh flexload report against a committed
+// baseline (BENCH_N.json) and exits non-zero on regression: any op whose
+// p95 latency exceeds the baseline by more than the tolerance (plus a
+// small absolute slack so microsecond-level baselines don't fail on
+// scheduler noise), any op that vanished, or a throughput drop beyond the
+// same tolerance. scripts/benchdiff.sh builds the binaries, drives a
+// short load run and feeds the two reports in; `make benchdiff` is the
+// entry point.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// opStats is the per-operation slice of a flexload report.
+type opStats struct {
+	Count  int     `json:"count"`
+	Errors int     `json:"errors"`
+	P50    float64 `json:"p50_ms"`
+	P95    float64 `json:"p95_ms"`
+	P99    float64 `json:"p99_ms"`
+}
+
+// report is the subset of the flexload report benchdiff compares.
+type report struct {
+	Ops         map[string]opStats `json:"ops"`
+	TotalOps    int                `json:"total_ops"`
+	TotalErrors int                `json:"total_errors"`
+	Throughput  float64            `json:"throughput_ops_per_sec"`
+}
+
+// compare returns one message per regression of cur against base.
+// tolerance is fractional (0.10 = 10%); slackMs is an absolute p95
+// allowance on top, absorbing noise when the baseline p95 is tiny.
+func compare(base, cur report, tolerance, slackMs float64) []string {
+	var regressions []string
+	names := make([]string, 0, len(base.Ops))
+	for name := range base.Ops {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base.Ops[name]
+		if b.Count == 0 {
+			continue
+		}
+		c, ok := cur.Ops[name]
+		if !ok || c.Count == 0 {
+			regressions = append(regressions, fmt.Sprintf("op %q: present in baseline (%d samples) but absent from the current run", name, b.Count))
+			continue
+		}
+		if limit := b.P95*(1+tolerance) + slackMs; c.P95 > limit {
+			regressions = append(regressions, fmt.Sprintf("op %q: p95 %.3fms exceeds baseline %.3fms + %.0f%% + %.0fms slack (limit %.3fms)",
+				name, c.P95, b.P95, tolerance*100, slackMs, limit))
+		}
+	}
+	if base.Throughput > 0 && cur.Throughput < base.Throughput*(1-tolerance) {
+		regressions = append(regressions, fmt.Sprintf("throughput %.1f ops/s is more than %.0f%% below baseline %.1f ops/s",
+			cur.Throughput, tolerance*100, base.Throughput))
+	}
+	if cur.TotalErrors > 0 && base.TotalErrors == 0 {
+		regressions = append(regressions, fmt.Sprintf("current run reports %d errors, baseline had none", cur.TotalErrors))
+	}
+	return regressions
+}
+
+// readReport loads and decodes one report file.
+func readReport(path string) (report, error) {
+	var r report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Ops) == 0 {
+		return r, fmt.Errorf("%s: no ops in report", path)
+	}
+	return r, nil
+}
+
+func main() {
+	basePath := flag.String("base", "", "baseline report (committed BENCH_N.json)")
+	curPath := flag.String("current", "", "fresh flexload report to compare")
+	tolerance := flag.Float64("tolerance", 0.10, "fractional regression budget for p95 and throughput")
+	slackMs := flag.Float64("slack-ms", 5, "absolute p95 allowance in ms on top of the tolerance")
+	flag.Parse()
+	if *basePath == "" || *curPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -base BENCH_N.json -current report.json")
+		os.Exit(2)
+	}
+	base, err := readReport(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := readReport(*curPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	regressions := compare(base, cur, *tolerance, *slackMs)
+	if len(regressions) == 0 {
+		fmt.Printf("benchdiff: ok — %d ops within %.0f%% of %s (throughput %.1f vs %.1f ops/s)\n",
+			len(base.Ops), *tolerance*100, *basePath, cur.Throughput, base.Throughput)
+		return
+	}
+	for _, msg := range regressions {
+		fmt.Fprintln(os.Stderr, "benchdiff: REGRESSION:", msg)
+	}
+	os.Exit(1)
+}

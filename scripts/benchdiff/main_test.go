@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func mkReport(listP95, throughput float64) report {
+	return report{
+		Ops: map[string]opStats{
+			"submit": {Count: 1000, P95: 10},
+			"list":   {Count: 100, P95: listP95},
+		},
+		Throughput: throughput,
+	}
+}
+
+func TestCompareWithinBudgetPasses(t *testing.T) {
+	base := mkReport(8, 1000)
+	// 10% over on p95 plus the 5ms slack, throughput 10% down: all at the
+	// edge of the budget, none over it.
+	cur := mkReport(8*1.10+4.9, 901)
+	if regs := compare(base, cur, 0.10, 5); len(regs) != 0 {
+		t.Fatalf("within-budget run flagged: %v", regs)
+	}
+}
+
+func TestCompareP95RegressionFails(t *testing.T) {
+	base := mkReport(8, 1000)
+	cur := mkReport(8*1.10+5.1, 1000)
+	regs := compare(base, cur, 0.10, 5)
+	if len(regs) != 1 || !strings.Contains(regs[0], `op "list"`) {
+		t.Fatalf("regressions = %v, want one list p95 finding", regs)
+	}
+}
+
+func TestCompareThroughputRegressionFails(t *testing.T) {
+	base := mkReport(8, 1000)
+	cur := mkReport(8, 899)
+	regs := compare(base, cur, 0.10, 5)
+	if len(regs) != 1 || !strings.Contains(regs[0], "throughput") {
+		t.Fatalf("regressions = %v, want one throughput finding", regs)
+	}
+}
+
+func TestCompareMissingOpFails(t *testing.T) {
+	base := mkReport(8, 1000)
+	cur := report{
+		Ops:        map[string]opStats{"submit": {Count: 1000, P95: 10}},
+		Throughput: 1000,
+	}
+	regs := compare(base, cur, 0.10, 5)
+	if len(regs) != 1 || !strings.Contains(regs[0], "absent") {
+		t.Fatalf("regressions = %v, want one missing-op finding", regs)
+	}
+}
+
+func TestCompareNewErrorsFail(t *testing.T) {
+	base := mkReport(8, 1000)
+	cur := mkReport(8, 1000)
+	cur.TotalErrors = 3
+	regs := compare(base, cur, 0.10, 5)
+	if len(regs) != 1 || !strings.Contains(regs[0], "errors") {
+		t.Fatalf("regressions = %v, want one new-errors finding", regs)
+	}
+}
+
+func TestCompareSlackAbsorbsTinyBaselines(t *testing.T) {
+	// A sub-millisecond baseline would fail any purely relative check on
+	// scheduler noise; the absolute slack keeps it green.
+	base := report{Ops: map[string]opStats{"stats": {Count: 50, P95: 0.2}}, Throughput: 100}
+	cur := report{Ops: map[string]opStats{"stats": {Count: 50, P95: 3.0}}, Throughput: 100}
+	if regs := compare(base, cur, 0.10, 5); len(regs) != 0 {
+		t.Fatalf("slack did not absorb a tiny-baseline wobble: %v", regs)
+	}
+}
