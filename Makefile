@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check docs-check lint bench benchdiff fuzz fuzz-smoke soak crash verify
+.PHONY: build test race vet fmt-check docs-check lint bench benchdiff fuzz fuzz-smoke soak crash sched-crash verify
 
 build:
 	$(GO) build ./...
@@ -9,10 +9,10 @@ test:
 	$(GO) test ./...
 
 # Race-detect the packages with real concurrency: the batch-extraction
-# worker pool, the market store and its write-ahead journal (plus the
-# commands that drive them).
+# worker pool, the market store (event stream included), its write-ahead
+# journal and the scheduler service (plus the commands that drive them).
 race:
-	$(GO) test -race ./internal/pipeline ./internal/market ./internal/wal ./cmd/flexextract ./cmd/mirabeld
+	$(GO) test -race ./internal/pipeline ./internal/market ./internal/wal ./internal/sched ./cmd/flexextract ./cmd/mirabeld
 
 race-all:
 	$(GO) test -race ./...
@@ -53,6 +53,7 @@ fuzz:
 	$(GO) test -run XXX -fuzz FuzzSubmitBatch -fuzztime 30s ./internal/market
 	$(GO) test -run XXX -fuzz FuzzListQuery -fuzztime 30s ./internal/market
 	$(GO) test -run XXX -fuzz FuzzWALReplay -fuzztime 30s ./internal/wal
+	$(GO) test -run XXX -fuzz FuzzScheduleQuery -fuzztime 30s ./internal/sched
 
 # Short fuzz pass for CI: 10 seconds per target, enough to catch a freshly
 # introduced panic without stalling the workflow.
@@ -63,6 +64,7 @@ fuzz-smoke:
 	$(GO) test -run XXX -fuzz FuzzSubmitBatch -fuzztime 10s ./internal/market
 	$(GO) test -run XXX -fuzz FuzzListQuery -fuzztime 10s ./internal/market
 	$(GO) test -run XXX -fuzz FuzzWALReplay -fuzztime 10s ./internal/wal
+	$(GO) test -run XXX -fuzz FuzzScheduleQuery -fuzztime 10s ./internal/sched
 
 # Soak: the end-to-end extraction→market loop under fault injection and
 # the race detector (see docs/TESTING.md).
@@ -71,9 +73,16 @@ soak:
 
 # Crash: the kill-and-recover suite under the race detector — seeded disk
 # faults tear the journal mid-append and recovery must rebuild exactly
-# the acknowledged state (see docs/TESTING.md).
+# the acknowledged state (see docs/TESTING.md). Covers the market store's
+# journal and the scheduler's decision ledger.
 crash:
-	$(GO) test -race -timeout 5m -run 'TestCrash|TestJournaled|TestDiskFault|TestTornTail|TestCorrupt' ./internal/wal ./internal/faultinject ./internal/market
+	$(GO) test -race -timeout 5m -run 'TestCrash|TestJournaled|TestDiskFault|TestTornTail|TestCorrupt' ./internal/wal ./internal/faultinject ./internal/market ./internal/sched
+
+# Just the scheduler-ledger half of the crash suite: seeded kills around
+# the write-ahead decision journal, then the acked ≤ recovered ≤ acked+1
+# invariant on reopen (docs/SCHEDULING.md).
+sched-crash:
+	$(GO) test -race -timeout 5m -run TestCrashSchedulerLedger ./internal/sched
 
 verify:
 	sh scripts/verify.sh

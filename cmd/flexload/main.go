@@ -14,7 +14,10 @@
 // -seed+w, so two runs with the same seed and concurrency submit the
 // same offer stream. Against a fault-injecting server (mirabeld
 // -fault-profile), the error counts in the report measure how much of
-// the injected fault rate the client side observed.
+// the injected fault rate the client side observed. -schedule-every
+// additionally fires POST /schedule/run at a fixed period, so a load
+// run can measure scheduling rounds interleaved with the lifecycle
+// traffic (the "schedule" op in the report).
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"os"
@@ -41,6 +45,7 @@ func main() {
 	flag.IntVar(&cfg.Concurrency, "c", 4, "concurrent workers")
 	flag.DurationVar(&cfg.Duration, "duration", 10*time.Second, "how long to drive load")
 	flag.Int64Var(&cfg.Seed, "seed", 1, "offer-stream seed (worker w uses seed+w)")
+	flag.DurationVar(&cfg.ScheduleEvery, "schedule-every", 0, "POST /schedule/run this often during the run (0 = never)")
 	report := flag.String("report", "-", `report output path ("-" = stdout)`)
 	flag.Parse()
 
@@ -77,6 +82,11 @@ type config struct {
 	Duration time.Duration
 	// Seed derives each worker's offer stream (worker w uses Seed+w).
 	Seed int64
+	// ScheduleEvery, when positive, fires POST /schedule/run at this
+	// period for the whole run — measuring scheduling rounds as one more
+	// operation of the mixed workload. Zero disables it (targets without
+	// the scheduling API, and the committed benchmark baseline).
+	ScheduleEvery time.Duration
 	// HTTPClient overrides the transport (tests inject the httptest
 	// server's client); nil means a 10s-timeout default client.
 	HTTPClient *http.Client
@@ -121,8 +131,10 @@ type ShardReport struct {
 	QueueDepth      float64 `json:"queue_depth"`
 }
 
-// opNames are the operations a worker performs, in lifecycle order.
-var opNames = []string{"submit", "accept", "assign", "list", "stats"}
+// opNames are the operations the generator performs: the worker
+// lifecycle in order, the periodic reads, and the (opt-in,
+// -schedule-every) scheduling round.
+var opNames = []string{"submit", "accept", "assign", "list", "stats", "schedule"}
 
 // listPageLimit is the page size the periodic list read requests.
 const listPageLimit = 100
@@ -141,6 +153,8 @@ func opLabel(op string) string {
 		return "list"
 	case "stats":
 		return "stats"
+	case "schedule":
+		return "schedule"
 	default:
 		return "other"
 	}
@@ -192,6 +206,27 @@ func run(ctx context.Context, cfg config) (Report, error) {
 			}.loop(ctx)
 		}(w)
 	}
+	if cfg.ScheduleEvery > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ticker := time.NewTicker(cfg.ScheduleEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					t0 := time.Now()
+					err := postScheduleRun(ctx, httpClient, cfg.BaseURL)
+					latency.With(opLabel("schedule")).Observe(time.Since(t0).Seconds())
+					if err != nil && ctx.Err() == nil {
+						errs.With(opLabel("schedule")).Inc()
+					}
+				}
+			}
+		}()
+	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
@@ -228,6 +263,27 @@ func run(ctx context.Context, cfg config) (Report, error) {
 		rep.Shards = shards
 	}
 	return rep, nil
+}
+
+// postScheduleRun triggers one scheduling round on the target daemon.
+// Anything but a 200 is an error: the scheduling API answers every
+// organic failure with a JSON envelope and a non-200 status.
+func postScheduleRun(ctx context.Context, httpClient *http.Client, baseURL string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/schedule/run", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := httpClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST /schedule/run: %s", resp.Status)
+	}
+	// Drain so the connection is reused.
+	_, err = io.Copy(io.Discard, resp.Body)
+	return err
 }
 
 // fetchShardStats scrapes the target's /metrics JSON exposition and
@@ -353,7 +409,11 @@ func (w worker) timed(ctx context.Context, op string, fn func() error) bool {
 
 // makeOffer builds the i-th offer of this worker's deterministic stream:
 // 2–8 slices of 15 minutes with randomised energy bounds, deadlines far
-// enough out that they never lapse during a run.
+// enough out that they never lapse during a run. The start window sits on
+// the 15-minute wall-clock grid so a daemon running scheduling rounds
+// (-schedule-every, default resolution) can place the load's offers; the
+// truncation moves EarliestStart at most 15 minutes before now+3h, still
+// comfortably after the now+2h assignment deadline.
 func (w worker) makeOffer(i int) *flexoffer.FlexOffer {
 	now := time.Now().UTC().Truncate(time.Second)
 	slices := 2 + w.rng.Intn(7)
@@ -372,7 +432,7 @@ func (w worker) makeOffer(i int) *flexoffer.FlexOffer {
 		CreationTime:   now,
 		AcceptanceTime: now.Add(time.Hour),
 		AssignmentTime: now.Add(2 * time.Hour),
-		EarliestStart:  now.Add(3 * time.Hour),
+		EarliestStart:  now.Add(3 * time.Hour).Truncate(15 * time.Minute),
 		LatestStart:    now.Add(8 * time.Hour),
 		Profile:        profile,
 	}

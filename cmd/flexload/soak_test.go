@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -13,9 +14,11 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/flexoffer"
 	"repro/internal/market"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/sched"
 	"repro/internal/timeseries"
 )
 
@@ -240,6 +243,108 @@ func TestSoakHTTPLoadUnderFaults(t *testing.T) {
 	sub := rep.Ops["submit"]
 	if sub.Count == 0 || math.IsNaN(sub.P50Ms) || sub.P50Ms <= 0 {
 		t.Fatalf("submit stats unpopulated: %+v", sub)
+	}
+}
+
+// TestSoakScheduleRound interleaves scheduling rounds with the lifecycle
+// load: the flexload loop runs with -schedule-every against a daemon-shaped
+// handler (market API plus the scheduling API), with a few accepted offers
+// seeded outside the workers' ID space so the aggregation is never empty.
+// At least one round must run mid-soak with zero schedule-op errors, and
+// the seeded offers must come out the other side assigned by the
+// scheduler — the live extract→aggregate→schedule→assign loop closing
+// under concurrent load.
+func TestSoakScheduleRound(t *testing.T) {
+	store := market.NewStore(nil)
+	svc, err := sched.New(sched.Config{
+		Store:      store,
+		Supply:     sched.FlatSupply(1000),
+		Horizon:    6 * time.Hour,
+		Resolution: 15 * time.Minute,
+	})
+	if err != nil {
+		t.Fatalf("sched.New: %v", err)
+	}
+	defer svc.Close()
+
+	mux := http.NewServeMux()
+	mux.Handle("/", market.NewServer(store))
+	mux.Handle("/aggregates", svc.Handler())
+	mux.Handle("/schedule", svc.Handler())
+	mux.Handle("/schedule/", svc.Handler())
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	// Accepted offers outside the load-%d-w%d worker ID space: stable
+	// material for the rounds, aligned to the 15-minute scheduling grid.
+	now := time.Now().UTC()
+	est := now.Add(time.Hour).Truncate(15 * time.Minute)
+	for i := 0; i < 4; i++ {
+		fo := &flexoffer.FlexOffer{
+			ID:             fmt.Sprintf("sched-ev-%d", i),
+			ConsumerID:     "sched-soak",
+			CreationTime:   now,
+			AcceptanceTime: now.Add(30 * time.Minute),
+			AssignmentTime: now.Add(45 * time.Minute),
+			EarliestStart:  est,
+			LatestStart:    est.Add(2 * time.Hour),
+			Profile:        flexoffer.UniformProfile(4, 15*time.Minute, 0.5, 1.0),
+		}
+		if err := store.Submit(fo); err != nil {
+			t.Fatalf("seed submit %d: %v", i, err)
+		}
+		if err := store.Accept(fo.ID); err != nil {
+			t.Fatalf("seed accept %d: %v", i, err)
+		}
+	}
+
+	duration := 2 * time.Second
+	if testing.Short() {
+		duration = time.Second
+	}
+	rep, err := run(context.Background(), config{
+		BaseURL:       srv.URL,
+		Concurrency:   4,
+		Duration:      duration,
+		Seed:          11,
+		ScheduleEvery: duration / 4,
+		HTTPClient:    srv.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	schedOp := rep.Ops["schedule"]
+	if schedOp.Count == 0 {
+		t.Fatal("no scheduling round ran mid-soak")
+	}
+	if schedOp.Errors != 0 {
+		t.Fatalf("%d of %d scheduling rounds failed", schedOp.Errors, schedOp.Count)
+	}
+	if rep.OffersSubmitted == 0 {
+		t.Fatal("load loop submitted nothing alongside the rounds")
+	}
+	st := svc.Status()
+	if st.Runs == 0 || st.LastRun == nil {
+		t.Fatalf("service saw no rounds: %+v", st)
+	}
+	if st.Decisions == 0 {
+		t.Fatalf("rounds ran but nothing was scheduled: %+v", st)
+	}
+	// The seeded offers were accepted and schedulable; the rounds must
+	// have assigned them (workers never touch the sched-ev-* IDs).
+	assigned := 0
+	for i := 0; i < 4; i++ {
+		rec, ok := store.Get(fmt.Sprintf("sched-ev-%d", i))
+		if !ok {
+			t.Fatalf("seed offer %d vanished", i)
+		}
+		if rec.State == market.Assigned {
+			assigned++
+		}
+	}
+	if assigned == 0 {
+		t.Fatal("no seeded offer was assigned by a scheduling round")
 	}
 }
 

@@ -32,7 +32,8 @@ func TestAPIDocCoversAllRoutes(t *testing.T) {
 	}
 
 	registered := make(map[string]bool)
-	for _, r := range append(market.Routes(), opsRoutes(true)...) {
+	routes := append(market.Routes(), schedRoutes()...)
+	for _, r := range append(routes, opsRoutes(true)...) {
 		registered[fmt.Sprintf("%s %s", r.Method, r.Pattern)] = true
 	}
 

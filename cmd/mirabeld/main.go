@@ -57,6 +57,7 @@ import (
 	"repro/internal/market"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/sched"
 	"repro/internal/timeseries"
 	"repro/internal/wal"
 )
@@ -76,6 +77,11 @@ type config struct {
 	fsync         string
 	snapshotEvery int
 	shards        int
+
+	scheduleEvery      time.Duration
+	scheduleHorizon    time.Duration
+	scheduleResolution time.Duration
+	resSeed            int64
 }
 
 func main() {
@@ -93,6 +99,10 @@ func main() {
 	flag.StringVar(&cfg.fsync, "fsync", "always", "journal fsync policy: always (durable per write), interval (bounded loss window), never (OS decides)")
 	flag.IntVar(&cfg.snapshotEvery, "snapshot-every", 4096, "journaled events between automatic snapshots (0 disables; a final snapshot is always taken on shutdown)")
 	flag.IntVar(&cfg.shards, "shards", 0, "store shard count; with -data-dir, 0 adopts the directory's existing count (1 on a fresh directory) and a non-zero value must match it")
+	flag.DurationVar(&cfg.scheduleEvery, "schedule-every", 0, "run a scheduling round this often (0 disables the periodic loop; POST /schedule/run always works)")
+	flag.DurationVar(&cfg.scheduleHorizon, "schedule-horizon", 24*time.Hour, "scheduling horizon length")
+	flag.DurationVar(&cfg.scheduleResolution, "schedule-resolution", 15*time.Minute, "scheduling grid resolution (must divide the horizon)")
+	flag.Int64Var(&cfg.resSeed, "res-seed", 1, "seed for the wind-farm supply simulation behind the scheduler's forecast")
 	logLevel := flag.String("log-level", "info", "minimum log level (debug | info | warn | error)")
 	flag.Parse()
 
@@ -126,11 +136,13 @@ func run(cfg config, logger *obs.Logger) error {
 	// every later transition is journaled before it is acknowledged.
 	var store *market.Store
 	var journal *market.Journal
+	var fsyncPolicy wal.SyncPolicy
 	if cfg.dataDir != "" {
 		policy, err := wal.ParseSyncPolicy(cfg.fsync)
 		if err != nil {
 			return fmt.Errorf("-fsync: %w", err)
 		}
+		fsyncPolicy = policy
 		store, journal, err = market.OpenJournaled(market.JournalOptions{
 			Dir:           cfg.dataDir,
 			Shards:        cfg.shards,
@@ -187,9 +199,37 @@ func run(cfg config, logger *obs.Logger) error {
 		}))
 	}
 
+	// The scheduler service rides the recovered store: it bootstraps its
+	// aggregator from the store's event stream and, with -data-dir, keeps
+	// its decision ledger next to the offer journal so both recover from
+	// the same directory.
+	schedCfg := sched.Config{
+		Store:      store,
+		Horizon:    cfg.scheduleHorizon,
+		Resolution: cfg.scheduleResolution,
+		SupplySeed: cfg.resSeed,
+		Clock:      clock,
+		Logger:     logger,
+	}
+	if cfg.dataDir != "" {
+		schedCfg.LedgerDir = filepath.Join(cfg.dataDir, "sched")
+		schedCfg.Policy = fsyncPolicy
+	}
+	schedSvc, err := sched.New(schedCfg)
+	if err != nil {
+		return fmt.Errorf("scheduler: %w", err)
+	}
+	defer func() {
+		if err := schedSvc.Close(); err != nil {
+			logger.Warn("scheduler close", "err", err)
+		}
+	}()
+	sched.RegisterServiceMetrics(reg, schedSvc)
+	schedAPI := obs.Middleware(schedSvc.Handler(), httpMetrics, market.RouteLabel, logger)
+
 	var ready atomic.Bool
 	api := market.NewServer(store, apiOpts...)
-	handler := newHandler(api, reg, &ready, cfg.pprof)
+	handler := newHandler(api, schedAPI, reg, &ready, cfg.pprof)
 
 	srv := &http.Server{Addr: cfg.addr, Handler: handler}
 	errc := make(chan error, 1)
@@ -198,6 +238,11 @@ func run(cfg config, logger *obs.Logger) error {
 
 	if cfg.sweep > 0 {
 		go sweeper(ctx, store, cfg.sweep, storeMetrics, logger)
+	}
+	if cfg.scheduleEvery > 0 {
+		logger.Info("periodic scheduling enabled",
+			"every", cfg.scheduleEvery, "horizon", cfg.scheduleHorizon, "resolution", cfg.scheduleResolution)
+		go schedSvc.RunPeriodically(ctx, cfg.scheduleEvery)
 	}
 
 	// Seed while the server is already answering /healthz; /readyz stays

@@ -25,14 +25,32 @@ func opsRoutes(pprofOn bool) []market.Route {
 	return routes
 }
 
+// schedRoutes is the inventory of the scheduling API (internal/sched),
+// mounted by newHandler and documented in docs/API.md alongside the
+// market and ops routes.
+func schedRoutes() []market.Route {
+	return []market.Route{
+		{Method: http.MethodGet, Pattern: "/aggregates", Summary: "current incremental aggregation (?limit= caps the list)"},
+		{Method: http.MethodGet, Pattern: "/schedule", Summary: "scheduler status: counters, last run, recent history"},
+		{Method: http.MethodPost, Pattern: "/schedule/run", Summary: "execute one scheduling round now"},
+	}
+}
+
 // newHandler assembles the daemon's full HTTP surface: the flex-offer API
-// at the root, the metrics exposition, the health and readiness probes,
-// and — only when pprofOn — the net/http/pprof handlers. Keeping pprof
-// behind a flag means a production deployment exposes no profiling
-// endpoints unless explicitly asked to.
-func newHandler(api http.Handler, reg *obs.Registry, ready *atomic.Bool, pprofOn bool) http.Handler {
+// at the root, the scheduling API (aggregates and scheduling rounds), the
+// metrics exposition, the health and readiness probes, and — only when
+// pprofOn — the net/http/pprof handlers. Keeping pprof behind a flag
+// means a production deployment exposes no profiling endpoints unless
+// explicitly asked to. schedAPI may be nil, which leaves the scheduling
+// routes unmounted (test fixtures that only exercise ops endpoints).
+func newHandler(api, schedAPI http.Handler, reg *obs.Registry, ready *atomic.Bool, pprofOn bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/", api)
+	if schedAPI != nil {
+		mux.Handle("/aggregates", schedAPI)
+		mux.Handle("/schedule", schedAPI)
+		mux.Handle("/schedule/", schedAPI)
+	}
 	mux.Handle("/metrics", reg.Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		probe(w, r, http.StatusOK, "ok")

@@ -14,6 +14,7 @@ import (
 	"repro/internal/market"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/sched"
 )
 
 // newOpsHandler builds the daemon's full HTTP surface the way run does,
@@ -27,7 +28,14 @@ func newOpsHandler(t *testing.T, clock func() time.Time, pprofOn bool) (http.Han
 	telemetry := pipeline.NewTelemetry(reg)
 	ready := new(atomic.Bool)
 	api := market.NewServer(store, market.WithObservability(httpMetrics, nil))
-	return newHandler(api, reg, ready, pprofOn), store, reg, telemetry, ready
+	svc, err := sched.New(sched.Config{Store: store, Supply: sched.FlatSupply(5), Clock: clock})
+	if err != nil {
+		t.Fatalf("sched.New: %v", err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	sched.RegisterServiceMetrics(reg, svc)
+	schedAPI := obs.Middleware(svc.Handler(), httpMetrics, market.RouteLabel, nil)
+	return newHandler(api, schedAPI, reg, ready, pprofOn), store, reg, telemetry, ready
 }
 
 func get(t *testing.T, h http.Handler, path string) (int, string) {

@@ -1,0 +1,239 @@
+package agg
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/flexoffer"
+)
+
+var incBase = time.Date(2012, 6, 4, 0, 0, 0, 0, time.UTC)
+
+const incSlice = 15 * time.Minute
+
+// genOffer builds a random valid offer. Every offer's first slice has the
+// common duration, so the batch aggregator's inferred slice always matches
+// the incremental aggregator's configured one; variety comes from start
+// phase, time flexibility, profile length, and the occasional
+// non-conforming offer (non-uniform slices or a total constraint) that
+// both sides must isolate as a singleton.
+func genOffer(rng *rand.Rand, id string) *flexoffer.FlexOffer {
+	est := incBase.Add(time.Duration(3+rng.Intn(24)) * time.Hour).
+		Add(time.Duration(rng.Intn(16)) * incSlice)
+	if rng.Intn(5) == 0 {
+		est = est.Add(time.Duration(rng.Intn(15)) * time.Minute) // off-grid phase
+	}
+	tf := time.Duration(rng.Intn(9)) * 30 * time.Minute
+	minE := float64(rng.Intn(100)) / 50
+	maxE := minE + float64(rng.Intn(100))/50
+	f := &flexoffer.FlexOffer{
+		ID:             id,
+		ConsumerID:     "gen",
+		CreationTime:   incBase,
+		AcceptanceTime: est.Add(-2 * time.Hour),
+		AssignmentTime: est.Add(-time.Hour),
+		EarliestStart:  est,
+		LatestStart:    est.Add(tf),
+		Profile:        flexoffer.UniformProfile(1+rng.Intn(6), incSlice, minE, maxE),
+	}
+	switch rng.Intn(10) {
+	case 0:
+		f.TotalConstraint = &flexoffer.EnergyConstraint{Min: f.TotalMinEnergy(), Max: f.TotalMaxEnergy()}
+	case 1:
+		f.Profile = append(f.Profile, flexoffer.Slice{Duration: 30 * time.Minute, MinEnergy: minE, MaxEnergy: maxE})
+	}
+	return f
+}
+
+// memberKey canonically names an aggregate by its member ID set.
+func memberKey(a *Aggregate) string {
+	ids := make([]string, len(a.Members))
+	for i, f := range a.Members {
+		ids[i] = f.ID
+	}
+	sort.Strings(ids)
+	return strings.Join(ids, "\x00")
+}
+
+// normalized returns the aggregate's offer with the ID cleared, so batch
+// and incremental aggregates compare on content alone.
+func normalized(a *Aggregate) *flexoffer.FlexOffer {
+	c := a.Offer.Clone()
+	c.ID = ""
+	return c
+}
+
+// assertEquivalent checks that the incremental aggregation equals a batch
+// recompute over the same membership: same partition into member sets, and
+// per matching aggregate an identical offer (modulo the generated ID).
+func assertEquivalent(t *testing.T, inc *Incremental, live map[string]*flexoffer.FlexOffer) {
+	t.Helper()
+	got, err := inc.Aggregates()
+	if err != nil {
+		t.Fatalf("incremental Aggregates: %v", err)
+	}
+	set := make(flexoffer.Set, 0, len(live))
+	for _, id := range sortedIDs(live) {
+		set = append(set, live[id])
+	}
+	want, err := AggregateSet(set, inc.p)
+	if err != nil {
+		t.Fatalf("batch AggregateSet: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("incremental has %d aggregates, batch %d", len(got), len(want))
+	}
+	batch := make(map[string]*Aggregate, len(want))
+	for _, a := range want {
+		batch[memberKey(a)] = a
+	}
+	total := 0
+	for _, a := range got {
+		b, ok := batch[memberKey(a)]
+		if !ok {
+			t.Fatalf("incremental aggregate %s groups members %q absent from batch partition", a.Offer.ID, memberKey(a))
+		}
+		if !reflect.DeepEqual(normalized(a), normalized(b)) {
+			t.Fatalf("aggregate over %q differs:\nincremental %+v\nbatch       %+v", memberKey(a), a.Offer, b.Offer)
+		}
+		total += len(a.Members)
+	}
+	if total != len(live) {
+		t.Fatalf("aggregates cover %d members, %d live", total, len(live))
+	}
+}
+
+func sortedIDs(live map[string]*flexoffer.FlexOffer) []string {
+	ids := make([]string, 0, len(live))
+	for id := range live {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// TestIncrementalBatchEquivalence drives seeded lifecycle scripts of
+// random joins and leaves and checks, at every checkpoint, that the
+// incremental aggregation equals a full batch recompute.
+func TestIncrementalBatchEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			p := DefaultParams()
+			if seed%2 == 0 {
+				p.MaxGroupSize = 1 + rng.Intn(4)
+			}
+			inc, err := NewIncremental(p, incSlice)
+			if err != nil {
+				t.Fatal(err)
+			}
+			live := make(map[string]*flexoffer.FlexOffer)
+			next := 0
+			for step := 0; step < 300; step++ {
+				if len(live) == 0 || rng.Intn(10) < 6 {
+					id := fmt.Sprintf("o%04d", next)
+					next++
+					f := genOffer(rng, id)
+					if err := inc.Add(f); err != nil {
+						t.Fatalf("Add %s: %v", id, err)
+					}
+					live[id] = f
+				} else {
+					ids := sortedIDs(live)
+					id := ids[rng.Intn(len(ids))]
+					if !inc.Remove(id) {
+						t.Fatalf("Remove %s: not present", id)
+					}
+					delete(live, id)
+				}
+				if step%25 == 24 {
+					assertEquivalent(t, inc, live)
+				}
+			}
+			assertEquivalent(t, inc, live)
+			st := inc.Stats()
+			if st.Members != len(live) {
+				t.Errorf("Stats.Members = %d, want %d", st.Members, len(live))
+			}
+			if st.Joined != uint64(next) {
+				t.Errorf("Stats.Joined = %d, want %d", st.Joined, next)
+			}
+			if st.Left != uint64(next-len(live)) {
+				t.Errorf("Stats.Left = %d, want %d", st.Left, next-len(live))
+			}
+		})
+	}
+}
+
+func TestIncrementalRejectsDuplicatesAndInvalid(t *testing.T) {
+	inc, err := NewIncremental(DefaultParams(), incSlice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	f := genOffer(rng, "dup")
+	if err := inc.Add(f); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := inc.Add(f); err == nil {
+		t.Fatal("duplicate Add accepted")
+	}
+	bad := genOffer(rng, "bad")
+	bad.Profile = nil
+	if err := inc.Add(bad); err == nil {
+		t.Fatal("invalid offer accepted")
+	}
+	if inc.Remove("never-seen") {
+		t.Fatal("Remove of unknown offer reported true")
+	}
+	if !inc.Contains("dup") || inc.Contains("bad") {
+		t.Fatal("Contains disagrees with membership")
+	}
+}
+
+// TestIncrementalRebuildScoping checks the O(affected-bucket) claim: a
+// second Aggregates call after touching one bucket rebuilds only that
+// bucket.
+func TestIncrementalRebuildScoping(t *testing.T) {
+	inc, err := NewIncremental(DefaultParams(), incSlice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two buckets far apart in earliest start.
+	mk := func(id string, hours int) *flexoffer.FlexOffer {
+		est := incBase.Add(time.Duration(hours) * time.Hour)
+		return &flexoffer.FlexOffer{
+			ID:            id,
+			EarliestStart: est,
+			LatestStart:   est.Add(time.Hour),
+			Profile:       flexoffer.UniformProfile(2, incSlice, 1, 2),
+		}
+	}
+	for _, f := range []*flexoffer.FlexOffer{mk("a1", 4), mk("a2", 4), mk("b1", 40)} {
+		if err := inc.Add(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := inc.Aggregates(); err != nil {
+		t.Fatal(err)
+	}
+	before := inc.Stats().Rebuilds
+	if before != 2 {
+		t.Fatalf("initial rebuilds = %d, want 2", before)
+	}
+	if err := inc.Add(mk("a3", 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Aggregates(); err != nil {
+		t.Fatal(err)
+	}
+	if got := inc.Stats().Rebuilds; got != before+1 {
+		t.Fatalf("rebuilds after touching one bucket = %d, want %d", got, before+1)
+	}
+}

@@ -8,10 +8,11 @@ import (
 // packages that define this repository's public contracts: the
 // observability surface (internal/obs), the market store and HTTP API
 // (internal/market), the batch pipeline (internal/pipeline), the
-// write-ahead log behind the durable store (internal/wal) and the
-// flex-offer model itself (internal/flexoffer). An undocumented exported
-// name there is an undocumented promise. It subsumes the former standalone
-// scripts/docscheck command.
+// write-ahead log behind the durable store (internal/wal), the
+// aggregation and scheduling services the daemon mounts (internal/agg,
+// internal/sched) and the flex-offer model itself (internal/flexoffer).
+// An undocumented exported name there is an undocumented promise. It
+// subsumes the former standalone scripts/docscheck command.
 var DocCheck = &Analyzer{
 	Name: "doccheck",
 	Doc:  "exported identifiers in the contract packages must have doc comments",
@@ -22,6 +23,8 @@ var DocCheck = &Analyzer{
 		"internal/flexoffer",
 		"internal/faultinject",
 		"internal/wal",
+		"internal/agg",
+		"internal/sched",
 	},
 	Run: runDocCheck,
 }

@@ -1,0 +1,226 @@
+package market
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/flexoffer"
+)
+
+// EventKind names one lifecycle transition published on the store's event
+// stream.
+type EventKind string
+
+const (
+	// EventSubmitted: an offer entered the store (Submit or SubmitBatch).
+	EventSubmitted EventKind = "submitted"
+	// EventAccepted: an offered flex-offer was accepted.
+	EventAccepted EventKind = "accepted"
+	// EventRejected: an offered flex-offer was rejected.
+	EventRejected EventKind = "rejected"
+	// EventAssigned: an accepted offer received a concrete schedule.
+	EventAssigned EventKind = "assigned"
+	// EventExpired: a lifecycle deadline lapsed (a sweep, or the lazy
+	// expiry observed during accept/assign).
+	EventExpired EventKind = "expired"
+)
+
+// stateEventKind maps a lifecycle state onto the event kind a record in
+// that state implies — the translation SubscribeReplay uses to render the
+// store's current contents as a bootstrap event sequence.
+func stateEventKind(st State) EventKind {
+	switch st {
+	case Accepted:
+		return EventAccepted
+	case Rejected:
+		return EventRejected
+	case Assigned:
+		return EventAssigned
+	case Expired:
+		return EventExpired
+	default:
+		return EventSubmitted
+	}
+}
+
+// StoreEvent is one store lifecycle transition as delivered to event-stream
+// subscribers. Events from one shard arrive in exactly that shard's
+// mutation order with monotonically increasing Seq; events from different
+// shards interleave arbitrarily (the shards are independent, so there is no
+// cross-shard order to preserve). The Offer pointer is shared with the
+// store and must be treated as read-only — the store never mutates an
+// offer after insert, and neither may a consumer.
+type StoreEvent struct {
+	// Kind is the transition that produced the event.
+	Kind EventKind
+	// Shard is the index of the shard the offer lives in.
+	Shard int
+	// Seq numbers live events within their shard: monotonically
+	// increasing, and contiguous from the subscriber's first delivered
+	// live event of that shard. Replay events carry Seq 0.
+	Seq uint64
+	// Replay marks a synthetic bootstrap event from SubscribeReplay: it
+	// describes a record's state at subscription time, not a transition
+	// that happened while subscribed.
+	Replay bool
+	// At is the store-clock time of the transition (for replay events:
+	// SubmittedAt for offered records, DecidedAt otherwise).
+	At time.Time
+	// Offer is the affected offer; read-only, shared with the store.
+	Offer *flexoffer.FlexOffer
+	// Start and Energies carry the schedule of an EventAssigned.
+	Start time.Time
+	// Energies is the assigned per-slice energy vector of an EventAssigned.
+	Energies []float64
+}
+
+// Subscription is one consumer's ordered view of the store's event stream.
+// The queue is unbounded and enqueueing never blocks, so a slow consumer
+// delays only itself — never a store mutation, which publishes while
+// holding a shard's write lock.
+type Subscription struct {
+	mu     sync.Mutex
+	cond   *sync.Cond   // signalled on enqueue and Close
+	queue  []StoreEvent // guarded by mu
+	closed bool         // guarded by mu
+}
+
+// newSubscription builds an empty open subscription.
+func newSubscription() *Subscription {
+	sub := &Subscription{}
+	sub.cond = sync.NewCond(&sub.mu)
+	return sub
+}
+
+// Next blocks until an event is available and returns it. ok is false once
+// the subscription has been closed and every queued event was consumed.
+func (sub *Subscription) Next() (ev StoreEvent, ok bool) {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	for len(sub.queue) == 0 && !sub.closed {
+		sub.cond.Wait()
+	}
+	if len(sub.queue) == 0 {
+		return StoreEvent{}, false
+	}
+	ev = sub.queue[0]
+	sub.queue = sub.queue[1:]
+	return ev, true
+}
+
+// TryNext returns the next pending event without blocking; ok is false
+// when the queue is currently empty (closed or not).
+func (sub *Subscription) TryNext() (ev StoreEvent, ok bool) {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	if len(sub.queue) == 0 {
+		return StoreEvent{}, false
+	}
+	ev = sub.queue[0]
+	sub.queue = sub.queue[1:]
+	return ev, true
+}
+
+// Pending reports the number of queued, not-yet-consumed events.
+func (sub *Subscription) Pending() int {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	return len(sub.queue)
+}
+
+// Closed reports whether Close has been called.
+func (sub *Subscription) Closed() bool {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	return sub.closed
+}
+
+// Close detaches the subscription: publishers drop it on their next
+// delivery attempt, a blocked Next wakes up, and already-queued events
+// remain readable until drained.
+func (sub *Subscription) Close() {
+	sub.mu.Lock()
+	sub.closed = true
+	sub.mu.Unlock()
+	sub.cond.Broadcast()
+}
+
+// enqueue appends ev and reports whether the subscription is still live;
+// publishers discard the subscription on false.
+func (sub *Subscription) enqueue(ev StoreEvent) bool {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	if sub.closed {
+		return false
+	}
+	sub.queue = append(sub.queue, ev)
+	sub.cond.Signal()
+	return true
+}
+
+// Subscribe attaches a live event-stream consumer: every lifecycle
+// transition applied after Subscribe returns is delivered, in per-shard
+// mutation order (see StoreEvent). The consumer must eventually call
+// Close, or the queue grows without bound.
+func (s *Store) Subscribe() *Subscription { return s.subscribe(false) }
+
+// SubscribeReplay attaches a consumer bootstrapped with the store's
+// current contents: for every resident record, one synthetic event
+// (Replay=true) describing its current lifecycle state is queued before
+// any live event of that record's shard, with no transition lost or
+// duplicated in between — the registration and the per-shard snapshot
+// happen under the same shard lock. A consumer that folds replay events
+// like live ones therefore converges on the store's exact state.
+func (s *Store) SubscribeReplay() *Subscription { return s.subscribe(true) }
+
+// subscribe registers a new subscription on every shard, optionally
+// synthesizing the bootstrap replay under each shard's lock.
+func (s *Store) subscribe(replay bool) *Subscription {
+	sub := newSubscription()
+	for k, sh := range s.shards {
+		sh.mu.Lock()
+		if replay {
+			for _, id := range sh.order {
+				r := sh.records[id]
+				ev := StoreEvent{Kind: stateEventKind(r.State), Shard: k, Replay: true, At: r.SubmittedAt, Offer: r.Offer}
+				if r.State != Offered {
+					ev.At = r.DecidedAt
+				}
+				if r.Assignment != nil {
+					ev.Start, ev.Energies = r.Assignment.Start, r.Assignment.Energies
+				}
+				sub.enqueue(ev)
+			}
+		}
+		sh.subs = append(sh.subs, sub)
+		sh.mu.Unlock()
+	}
+	return sub
+}
+
+// publishLocked delivers one live event to every attached subscriber,
+// numbering it with the shard's event sequence. It is called with sh.mu
+// held at the mutation site (insertLocked, transitionLocked), so each
+// shard's delivery order is exactly its mutation order and a concurrent
+// SubscribeReplay can never observe a record without also receiving every
+// later transition. Closed subscriptions are dropped in place.
+func (sh *shard) publishLocked(kind EventKind, r *Record, at time.Time) {
+	if len(sh.subs) == 0 {
+		return
+	}
+	sh.eventSeq++
+	ev := StoreEvent{Kind: kind, Shard: sh.idx, Seq: sh.eventSeq, At: at, Offer: r.Offer}
+	if kind == EventAssigned && r.Assignment != nil {
+		ev.Start, ev.Energies = r.Assignment.Start, r.Assignment.Energies
+	}
+	live := sh.subs[:0]
+	for _, sub := range sh.subs {
+		if sub.enqueue(ev) {
+			live = append(live, sub)
+		}
+	}
+	for i := len(live); i < len(sh.subs); i++ {
+		sh.subs[i] = nil // let dropped subscriptions be collected
+	}
+	sh.subs = live
+}

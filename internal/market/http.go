@@ -116,7 +116,8 @@ func Routes() []Route {
 func RouteLabel(r *http.Request) string {
 	p := r.URL.Path
 	switch p {
-	case "/offers", "/stats", "/expire", "/metrics", "/healthz", "/readyz":
+	case "/offers", "/stats", "/expire", "/metrics", "/healthz", "/readyz",
+		"/aggregates", "/schedule", "/schedule/run":
 		return p
 	}
 	switch {

@@ -97,8 +97,8 @@ func (s *Store) applyEvent(ev event) error {
 			sh.mu.Unlock()
 			return fmt.Errorf("assign event for %s does not replay: %v", ev.ID, err)
 		}
-		sh.transitionLocked(r, Assigned, ev.At)
 		r.Assignment = asg
+		sh.transitionLocked(r, Assigned, ev.At)
 		sh.mu.Unlock()
 	case evExpire:
 		for _, id := range ev.IDs {

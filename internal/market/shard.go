@@ -118,6 +118,9 @@ func (h expiryHeap) peek() expiryEntry { return h[0] }
 type shard struct {
 	mu lockMeter
 
+	// idx is the shard's index within the store; immutable.
+	idx int
+
 	records map[string]*Record // guarded by mu
 	// order is the shard-local submission order, append-only; listing
 	// cursors index into it, so positions are stable forever.
@@ -139,6 +142,13 @@ type shard struct {
 	// count, not the store size.
 	sweepExamined uint64 // guarded by mu
 
+	// subs are the event-stream subscriptions attached to this shard;
+	// publishLocked (events.go) delivers every mutation to them and drops
+	// the closed ones.
+	subs []*Subscription // guarded by mu
+	// eventSeq numbers this shard's published live events.
+	eventSeq uint64 // guarded by mu
+
 	// journal, when non-nil, persists an event before the mutation it
 	// describes is applied; a journal error aborts the transition with
 	// ErrJournal. Attached by OpenJournaled before the store serves
@@ -147,8 +157,8 @@ type shard struct {
 	journal func(ev event) error
 }
 
-func newShard() *shard {
-	return &shard{records: make(map[string]*Record)}
+func newShard(idx int) *shard {
+	return &shard{idx: idx, records: make(map[string]*Record)}
 }
 
 // journalLocked persists ev through the shard's attached journal, if any.
@@ -181,6 +191,7 @@ func (sh *shard) insertLocked(f *Record) {
 	if !f.Offer.AcceptanceTime.IsZero() {
 		heap.Push(&sh.expiry, expiryEntry{at: f.Offer.AcceptanceTime, id: id, state: Offered})
 	}
+	sh.publishLocked(EventSubmitted, f, f.SubmittedAt)
 }
 
 // transitionLocked moves a record to state `to` at time `at` and
@@ -198,6 +209,7 @@ func (sh *shard) transitionLocked(r *Record, to State, at time.Time) {
 	}
 	r.State = to
 	r.DecidedAt = at
+	sh.publishLocked(stateEventKind(to), r, at)
 }
 
 // nonTerminal reports whether records in st still count as flexible

@@ -258,7 +258,7 @@ func NewShardedStore(n int, clock func() time.Time) *Store {
 	}
 	s := &Store{shards: make([]*shard, n), clock: clock}
 	for i := range s.shards {
-		s.shards[i] = newShard()
+		s.shards[i] = newShard(i)
 	}
 	return s
 }
@@ -535,8 +535,10 @@ func (s *Store) Assign(id string, start time.Time, energies []float64) (*flexoff
 	if err := sh.journalLocked(event{Kind: evAssign, At: now, ID: id, Start: start, Energies: energies}); err != nil {
 		return nil, err
 	}
-	sh.transitionLocked(r, Assigned, now)
+	// The assignment is attached before the transition so the published
+	// EventAssigned carries the schedule.
 	r.Assignment = asg
+	sh.transitionLocked(r, Assigned, now)
 	return asg, nil
 }
 

@@ -1,0 +1,77 @@
+package sched
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/market"
+)
+
+// FuzzScheduleQuery throws arbitrary methods, paths and query strings at
+// the scheduling API and checks the contract the daemon relies on: the
+// handler never panics and always answers with a well-formed status — 2xx
+// for valid requests, 400/404/405 for malformed ones (503 is reserved for
+// ledger failures, which cannot occur here: the service runs without a
+// ledger).
+func FuzzScheduleQuery(f *testing.F) {
+	clock := &svcClock{now: svcT0}
+	store := market.NewShardedStore(2, clock.Now)
+	if err := store.Submit(svcOffer("fz1", svcT0.Add(2*time.Hour), time.Hour, 4, 0.5, 1.0)); err != nil {
+		f.Fatal(err)
+	}
+	if err := store.Accept("fz1"); err != nil {
+		f.Fatal(err)
+	}
+	svc, err := New(Config{
+		Store:      store,
+		Supply:     FlatSupply(5),
+		Clock:      clock.Now,
+		Horizon:    time.Hour,
+		Resolution: 15 * time.Minute,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	handler := svc.Handler()
+
+	f.Add("GET", "/aggregates", "limit=3")
+	f.Add("GET", "/aggregates", "limit=-1")
+	f.Add("GET", "/aggregates", "limit=999999999999999999999")
+	f.Add("GET", "/schedule", "")
+	f.Add("POST", "/schedule/run", "")
+	f.Add("DELETE", "/schedule", "x=1")
+	f.Add("GET", "/schedule/run/extra", "")
+	f.Add("PATCH", "/aggregates", "limit")
+
+	f.Fuzz(func(t *testing.T, method, path, query string) {
+		if !strings.HasPrefix(path, "/") {
+			path = "/" + path
+		}
+		target := path
+		if query != "" {
+			target += "?" + query
+		}
+		req, err := http.NewRequest(method, "http://sched"+target, nil)
+		if err != nil {
+			return // unencodable method/target: not a reachable request
+		}
+		rr := httptest.NewRecorder()
+		handler.ServeHTTP(rr, req)
+		switch rr.Code {
+		case http.StatusOK, http.StatusBadRequest, http.StatusNotFound, http.StatusMethodNotAllowed:
+		case http.StatusMovedPermanently:
+			return // ServeMux canonicalising a messy path; not an API answer
+		default:
+			t.Fatalf("%s %s -> unexpected status %d: %s", method, target, rr.Code, rr.Body)
+		}
+		if rr.Code != http.StatusOK {
+			body := rr.Body.String()
+			if !strings.Contains(body, "404 page not found") && !strings.Contains(body, `"error"`) {
+				t.Fatalf("%s %s -> %d without error envelope: %q", method, target, rr.Code, body)
+			}
+		}
+	})
+}

@@ -1,0 +1,58 @@
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/forecast"
+	"repro/internal/res"
+	"repro/internal/timeseries"
+)
+
+// SupplyFunc produces the supply series a scheduling round balances
+// against: n intervals at the given resolution, starting exactly at start
+// (which the service always places on the resolution grid). Implementations
+// must return an aligned series of length n or an error.
+type SupplyFunc func(start time.Time, n int, resolution time.Duration) (*timeseries.Series, error)
+
+// WindForecastSupply builds the default supply source: a simulated wind
+// farm (internal/res) provides trainDays of history ending at midnight of
+// the horizon's day, a seasonal-naive model (internal/forecast, period one
+// day) is fit on it, and the forecast is sliced to the requested horizon.
+// The seed fixes the simulation, so a given (start, n, resolution) request
+// is reproducible across runs and restarts.
+func WindForecastSupply(model res.WindModel, turbine res.Turbine, trainDays int, seed int64) SupplyFunc {
+	return func(start time.Time, n int, resolution time.Duration) (*timeseries.Series, error) {
+		if trainDays <= 0 {
+			return nil, fmt.Errorf("%w: %d training days", ErrInput, trainDays)
+		}
+		day0 := timeseries.TruncateDay(start)
+		history, err := res.Simulate(model, turbine, day0.AddDate(0, 0, -trainDays), trainDays, resolution, seed)
+		if err != nil {
+			return nil, fmt.Errorf("sched: simulate supply history: %w", err)
+		}
+		period := int(24 * time.Hour / resolution)
+		m := &forecast.SeasonalNaive{Period: period}
+		if err := m.Fit(history); err != nil {
+			return nil, fmt.Errorf("sched: fit supply model: %w", err)
+		}
+		lead := int(start.Sub(day0) / resolution)
+		fc, err := m.Forecast(lead + n)
+		if err != nil {
+			return nil, fmt.Errorf("sched: forecast supply: %w", err)
+		}
+		return fc.Slice(lead, lead+n)
+	}
+}
+
+// FlatSupply is a constant supply of kwhPerInterval — handy in tests and
+// as a deterministic stand-in when no RES model is wanted.
+func FlatSupply(kwhPerInterval float64) SupplyFunc {
+	return func(start time.Time, n int, resolution time.Duration) (*timeseries.Series, error) {
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = kwhPerInterval
+		}
+		return timeseries.New(start, resolution, values)
+	}
+}

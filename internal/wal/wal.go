@@ -1,8 +1,10 @@
 // Package wal implements a durable, segmented write-ahead log with
 // periodic snapshots — the persistence layer under the market store's
-// flex-offer lifecycle (internal/market), kept free of any dependency
-// beyond the standard library so it can be reasoned about (and fuzzed) in
-// isolation.
+// flex-offer lifecycle (internal/market) and under the scheduler's
+// decision ledger (internal/sched), kept free of any dependency beyond
+// the standard library so it can be reasoned about (and fuzzed) in
+// isolation. Payloads are opaque bytes: each consumer brings its own
+// record encoding and replays with its own fold.
 //
 // # On-disk format
 //
