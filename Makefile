@@ -54,6 +54,7 @@ fuzz:
 	$(GO) test -run XXX -fuzz FuzzListQuery -fuzztime 30s ./internal/market
 	$(GO) test -run XXX -fuzz FuzzWALReplay -fuzztime 30s ./internal/wal
 	$(GO) test -run XXX -fuzz FuzzScheduleQuery -fuzztime 30s ./internal/sched
+	$(GO) test -run XXX -fuzz FuzzLintDirectives -fuzztime 30s ./internal/lint
 
 # Short fuzz pass for CI: 10 seconds per target, enough to catch a freshly
 # introduced panic without stalling the workflow.
@@ -65,6 +66,7 @@ fuzz-smoke:
 	$(GO) test -run XXX -fuzz FuzzListQuery -fuzztime 10s ./internal/market
 	$(GO) test -run XXX -fuzz FuzzWALReplay -fuzztime 10s ./internal/wal
 	$(GO) test -run XXX -fuzz FuzzScheduleQuery -fuzztime 10s ./internal/sched
+	$(GO) test -run XXX -fuzz FuzzLintDirectives -fuzztime 10s ./internal/lint
 
 # Soak: the end-to-end extraction→market loop under fault injection and
 # the race detector (see docs/TESTING.md).

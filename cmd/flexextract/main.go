@@ -119,11 +119,14 @@ func writeStats(reg *obs.Registry, path string) error {
 	if err != nil {
 		return err
 	}
-	if err := reg.WriteJSON(f); err != nil {
-		f.Close()
-		return fmt.Errorf("write %s: %w", path, err)
+	werr := reg.WriteJSON(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
 	}
-	return f.Close()
+	if werr != nil {
+		return fmt.Errorf("write %s: %w", path, werr)
+	}
+	return nil
 }
 
 func run(in, ref, approach string, flexPct float64, seed int64, consumer, offersOut, modifiedOut string, lowStart, lowEnd int, resample time.Duration, statsJSON string) error {
@@ -190,22 +193,25 @@ func writeResult(result *core.Result, offersOut, modifiedOut string) error {
 	if err != nil {
 		return err
 	}
-	if err := result.Offers.WriteJSON(of); err != nil {
-		of.Close()
-		return fmt.Errorf("write %s: %w", offersOut, err)
+	werr := result.Offers.WriteJSON(of)
+	if cerr := of.Close(); werr == nil {
+		werr = cerr
 	}
-	if err := of.Close(); err != nil {
-		return err
+	if werr != nil {
+		return fmt.Errorf("write %s: %w", offersOut, werr)
 	}
 	mf, err := os.Create(modifiedOut)
 	if err != nil {
 		return err
 	}
-	if err := result.Modified.WriteCSV(mf); err != nil {
-		mf.Close()
-		return fmt.Errorf("write %s: %w", modifiedOut, err)
+	werr = result.Modified.WriteCSV(mf)
+	if cerr := mf.Close(); werr == nil {
+		werr = cerr
 	}
-	return mf.Close()
+	if werr != nil {
+		return fmt.Errorf("write %s: %w", modifiedOut, werr)
+	}
+	return nil
 }
 
 // runBatch extracts every *.csv under indir concurrently through the

@@ -55,18 +55,24 @@ func main() {
 		os.Exit(1)
 	}
 	out := os.Stdout
+	var f *os.File
 	if *report != "-" {
-		f, err := os.Create(*report)
+		f, err = os.Create(*report)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "flexload: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		out = f
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
+	err = enc.Encode(rep)
+	if f != nil {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "flexload: %v\n", err)
 		os.Exit(1)
 	}

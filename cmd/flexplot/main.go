@@ -44,7 +44,9 @@ func run(in, offersPath, day string, height int) error {
 		return err
 	}
 	series, err := timeseries.ReadCSV(f)
-	f.Close()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return fmt.Errorf("read %s: %w", in, err)
 	}
@@ -75,7 +77,9 @@ func run(in, offersPath, day string, height int) error {
 			return err
 		}
 		offers, err := flexoffer.ReadJSON(of)
-		of.Close()
+		if cerr := of.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			return fmt.Errorf("read %s: %w", offersPath, err)
 		}

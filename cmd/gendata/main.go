@@ -84,12 +84,12 @@ func run(out string, households, days int, resStr string, seed int64, start stri
 		if err != nil {
 			return err
 		}
-		if err := r.Total.WriteCSV(f); err != nil {
-			f.Close()
-			return fmt.Errorf("write %s: %w", path, err)
+		werr := r.Total.WriteCSV(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
 		}
-		if err := f.Close(); err != nil {
-			return err
+		if werr != nil {
+			return fmt.Errorf("write %s: %w", path, werr)
 		}
 		for _, a := range r.Activations {
 			truth = append(truth, activationJSON{
@@ -107,11 +107,14 @@ func run(out string, households, days int, resStr string, seed int64, start stri
 	if err != nil {
 		return err
 	}
-	defer tf.Close()
 	enc := json.NewEncoder(tf)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(truth); err != nil {
-		return fmt.Errorf("write %s: %w", truthPath, err)
+	werr := enc.Encode(truth)
+	if cerr := tf.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("write %s: %w", truthPath, werr)
 	}
 	fmt.Printf("wrote %s (%d activations)\n", truthPath, len(truth))
 	return nil

@@ -385,7 +385,9 @@ func seedStore(ctx context.Context, store *market.Store, telemetry *pipeline.Tel
 			return err
 		}
 		series, err := timeseries.ReadCSV(f)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			return fmt.Errorf("read %s: %w", path, err)
 		}

@@ -28,6 +28,8 @@ type BasicExtractor struct {
 func (e *BasicExtractor) Name() string { return "basic" }
 
 // Extract implements Extractor.
+//
+//flexvet:hotpath the per-period scan runs once per slice of every ingested series
 func (e *BasicExtractor) Extract(input *timeseries.Series) (*Result, error) {
 	p := e.Params
 	if err := p.Validate(); err != nil {
@@ -47,7 +49,8 @@ func (e *BasicExtractor) Extract(input *timeseries.Series) (*Result, error) {
 
 	modified := input.Clone()
 	b := newOfferBuilder(e.Name(), p)
-	var offers flexoffer.Set
+	// One offer per period at most: size the set to the period count.
+	offers := make(flexoffer.Set, 0, (input.Len()+perPeriod-1)/perPeriod)
 
 	for from := 0; from < input.Len(); from += perPeriod {
 		to := from + perPeriod

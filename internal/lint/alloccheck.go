@@ -1,0 +1,284 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AllocCheck enforces the ROADMAP's zero-allocation ambition on the
+// functions that opted in with a "//flexvet:hotpath" doc directive (the
+// submit/list/extract paths). Inside a marked function it flags the four
+// per-element allocation patterns that creep back in during refactors:
+// fmt.Sprint/Sprintf/Sprintln anywhere (fmt.Errorf on error paths is
+// deliberately out of scope), function literals inside loops (one closure
+// allocation per iteration), interface boxing of concrete non-pointer
+// arguments inside loops, and append growth into a slice that was not
+// preallocated with a capacity. The check is marker-driven: unmarked
+// functions are never inspected, so cold paths stay free to trade
+// allocations for clarity.
+var AllocCheck = &Analyzer{
+	Name: "alloccheck",
+	Doc:  "//flexvet:hotpath functions must not allocate per element: no fmt.Sprint*, closures or interface boxing in loops, or un-preallocated append growth",
+	Run:  runAllocCheck,
+}
+
+func runAllocCheck(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, ok := funcDirective(fd, DirHotpath); !ok {
+				continue
+			}
+			checkHotpath(pass, fd)
+		}
+	}
+}
+
+func checkHotpath(pass *Pass, fd *ast.FuncDecl) {
+	var walk func(n ast.Node, inLoop bool)
+	walk = func(n ast.Node, inLoop bool) {
+		switch n := n.(type) {
+		case nil:
+		case *ast.ForStmt:
+			walk(n.Init, inLoop)
+			walk(n.Cond, inLoop)
+			walk(n.Post, true)
+			walk(n.Body, true)
+		case *ast.RangeStmt:
+			walk(n.X, inLoop)
+			walk(n.Body, true)
+		case *ast.FuncLit:
+			if inLoop {
+				pass.Reportf(n.Pos(), "closure allocated on every loop iteration in a hotpath function; hoist it out of the loop or pass the loop variables as arguments")
+				return // inner findings would double-count the same alloc
+			}
+			walk(n.Body, false)
+		case *ast.CallExpr:
+			checkHotCall(pass, n, inLoop)
+			walk(n.Fun, inLoop)
+			for _, a := range n.Args {
+				walk(a, inLoop)
+			}
+		case *ast.AssignStmt:
+			if inLoop {
+				checkAppendGrowth(pass, fd, n)
+			}
+			for _, e := range n.Rhs {
+				walk(e, inLoop)
+			}
+			for _, e := range n.Lhs {
+				walk(e, inLoop)
+			}
+		default:
+			// Generic descent for every other node shape.
+			var children []ast.Node
+			ast.Inspect(n, func(m ast.Node) bool {
+				if m == nil || m == n {
+					return true
+				}
+				children = append(children, m)
+				return false
+			})
+			for _, c := range children {
+				walk(c, inLoop)
+			}
+		}
+	}
+	walk(fd.Body, false)
+}
+
+// checkHotCall flags fmt string building anywhere in a hotpath function and
+// interface boxing of concrete values inside loops.
+func checkHotCall(pass *Pass, call *ast.CallExpr, inLoop bool) {
+	if name, ok := fmtSprintCall(pass, call); ok {
+		pass.Reportf(call.Pos(), "fmt.%s allocates (reflection plus a string) in a hotpath function; build the output with strconv.Append* into a reused buffer", name)
+		return
+	}
+	if !inLoop {
+		return
+	}
+	tv, ok := pass.Pkg.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		// A conversion T(x): boxing when T is an interface.
+		if len(call.Args) == 1 && boxes(pass, tv.Type, call.Args[0]) {
+			pass.Reportf(call.Pos(), "conversion to interface %s boxes its operand on every loop iteration in a hotpath function; keep the concrete type or hoist the conversion", types.TypeString(tv.Type, types.RelativeTo(nil)))
+		}
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return // builtin or dynamic: no parameter types to inspect
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var paramType types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding an existing slice: no per-arg boxing
+			}
+			paramType = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			paramType = params.At(i).Type()
+		default:
+			continue
+		}
+		if boxes(pass, paramType, arg) {
+			pass.Reportf(arg.Pos(), "argument boxed into interface %s on every loop iteration in a hotpath function; use a concrete parameter type or hoist the call", types.TypeString(paramType, types.RelativeTo(nil)))
+		}
+	}
+}
+
+// boxes reports whether passing arg as paramType heap-allocates an
+// interface box: the parameter is an interface, the argument is concrete,
+// non-constant, and not pointer-shaped (pointers, maps, chans and funcs fit
+// in the interface data word without allocating).
+func boxes(pass *Pass, paramType types.Type, arg ast.Expr) bool {
+	if !types.IsInterface(paramType) {
+		return false
+	}
+	tv, ok := pass.Pkg.Info.Types[arg]
+	if !ok || tv.Type == nil || tv.Value != nil {
+		return false // constants are hoisted or statically boxed
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Interface:
+		return false // interface to interface: no new box
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return false // pointer-shaped: stored directly in the data word
+	case *types.Basic:
+		b := tv.Type.Underlying().(*types.Basic)
+		return b.Kind() != types.UntypedNil
+	}
+	return true
+}
+
+// fmtSprintCall matches fmt.Sprint, fmt.Sprintf and fmt.Sprintln.
+func fmtSprintCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Sprint", "Sprintf", "Sprintln":
+	default:
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := pass.Pkg.Info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "fmt" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// checkAppendGrowth flags `x = append(x, ...)` inside a loop when x is a
+// local slice declared without a capacity: every growth step reallocates
+// and copies. Parameters, captured variables and slices built from calls
+// are left alone — their capacity is the caller's business.
+func checkAppendGrowth(pass *Pass, fd *ast.FuncDecl, as *ast.AssignStmt) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	lhs, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return
+	}
+	fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fun.Name != "append" {
+		return
+	}
+	if _, isBuiltin := pass.Pkg.Info.Uses[fun].(*types.Builtin); !isBuiltin {
+		return
+	}
+	first, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := pass.Pkg.Info.Uses[lhs]
+	if obj == nil || pass.Pkg.Info.Uses[first] != obj {
+		return // growing into a different slice: a copy, not growth
+	}
+	init, declared := localSliceInit(pass, fd, obj)
+	if !declared || !uncapacitated(pass, init) {
+		return
+	}
+	pass.Reportf(as.Pos(), "append grows %s on every loop iteration in a hotpath function but it was declared without capacity; preallocate with make(..., 0, n)", lhs.Name)
+}
+
+// localSliceInit finds the declaration of obj inside fd and returns its
+// initialiser expression (nil for `var x []T`). declared is false when obj
+// is a parameter, a receiver, or declared outside fd.
+func localSliceInit(pass *Pass, fd *ast.FuncDecl, obj types.Object) (ast.Expr, bool) {
+	var init ast.Expr
+	declared := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, l := range n.Lhs {
+				id, ok := ast.Unparen(l).(*ast.Ident)
+				if !ok || pass.Pkg.Info.Defs[id] != obj {
+					continue
+				}
+				declared = true
+				if len(n.Rhs) == len(n.Lhs) {
+					init = n.Rhs[i]
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if pass.Pkg.Info.Defs[name] != obj {
+					continue
+				}
+				declared = true
+				if i < len(n.Values) {
+					init = n.Values[i]
+				}
+			}
+		}
+		return true
+	})
+	return init, declared
+}
+
+// uncapacitated reports whether a slice initialiser reserves no capacity:
+// no initialiser at all, an empty literal, or make with a constant zero
+// length and no capacity argument.
+func uncapacitated(pass *Pass, init ast.Expr) bool {
+	switch e := ast.Unparen(init).(type) {
+	case nil:
+		return true
+	case *ast.CompositeLit:
+		return len(e.Elts) == 0
+	case *ast.CallExpr:
+		fun, ok := ast.Unparen(e.Fun).(*ast.Ident)
+		if !ok || fun.Name != "make" {
+			return false
+		}
+		if _, isBuiltin := pass.Pkg.Info.Uses[fun].(*types.Builtin); !isBuiltin {
+			return false
+		}
+		if len(e.Args) != 2 {
+			return false // explicit capacity (3 args): preallocated
+		}
+		tv, ok := pass.Pkg.Info.Types[e.Args[1]]
+		if !ok || tv.Value == nil {
+			return false // non-constant length: sized by the caller
+		}
+		return tv.Value.String() == "0"
+	}
+	return false
+}

@@ -3,11 +3,16 @@ package lint
 // All returns every flexvet analyzer, in stable (alphabetical) order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		AllocCheck,
 		ClockCheck,
 		DocCheck,
+		ErrFlow,
 		FloatCmp,
+		JournalCheck,
 		LabelCard,
+		LockOrder,
 		MutexGuard,
+		PublishCheck,
 		ValidateCheck,
 	}
 }

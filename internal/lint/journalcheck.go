@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// journalRule hard-codes a cross-package write-ahead pairing that a
+// //flexvet:journaled annotation cannot express because the mutator lives
+// in another package: inside packages matching pkg, every call to
+// recvType.method (recvType defined under recvPkg) must be dominated by a
+// call to one of the gate functions in the same function body.
+type journalRule struct {
+	pkg      string
+	recvPkg  string
+	recvType string
+	method   string
+	gates    []string
+}
+
+// journalRules carries the scheduler's decision-ledger contract
+// (docs/SCHEDULING.md): sched must append a ledger record before the market
+// store mutation that applies the decision, so a crash between the two
+// replays the decision instead of losing it.
+var journalRules = []journalRule{
+	{
+		pkg:      "internal/sched",
+		recvPkg:  "internal/market",
+		recvType: "Store",
+		method:   "Assign",
+		gates:    []string{"journalDecision", "journalRun", "appendRecord"},
+	},
+}
+
+// JournalCheck enforces write-ahead order on the durable state machines:
+// a method annotated "//flexvet:journaled <gate>" mutates journaled state,
+// so every call to it must be dominated — on every control-flow path, per
+// the CFG — by a call to the gate on the same receiver (the market shards'
+// journalLocked). The journalRules table adds the cross-package pairing for
+// the scheduler ledger. Recovery code that re-applies events already in the
+// journal opts out with "//flexvet:replay <reason>", and *Locked methods of
+// the annotated type are exempt — their callers hold the obligation, and
+// must themselves be annotated if they transitively mutate.
+var JournalCheck = &Analyzer{
+	Name:  "journalcheck",
+	Doc:   "mutations of journaled state must be dominated by the write-ahead append that records them",
+	Paths: []string{"internal/market", "internal/sched"},
+	Run:   runJournalCheck,
+}
+
+func runJournalCheck(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, ok := funcDirective(fd, DirReplay); ok {
+				continue // recovery path: events are already journaled
+			}
+			checkJournalOrder(pass, fd)
+		}
+	}
+}
+
+func checkJournalOrder(pass *Pass, fd *ast.FuncDecl) {
+	cfg := pass.Shared.CFGOf(fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		checkAnnotatedMutation(pass, fd, cfg, call)
+		checkRuledMutation(pass, fd, cfg, call)
+		return true
+	})
+}
+
+// checkAnnotatedMutation handles the //flexvet:journaled mechanism: the
+// callee's declaration names the gate, and a call to that gate on the same
+// receiver must dominate this call site.
+func checkAnnotatedMutation(pass *Pass, fd *ast.FuncDecl, cfg *CFG, call *ast.CallExpr) {
+	callee := Callee(pass.Pkg.Info, call)
+	if callee == nil {
+		return
+	}
+	site, ok := pass.Shared.Graph().Decl(callee)
+	if !ok {
+		return
+	}
+	d, ok := funcDirective(site.Decl, DirJournaled)
+	if !ok {
+		return
+	}
+	recvNamed := receiverNamed(callee)
+	if recvNamed != nil && sameLockedReceiver(pass, fd, recvNamed) {
+		return // a *Locked peer: its caller holds the write-ahead obligation
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return // method expression / value: out of the convention
+	}
+	base, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		pass.Reportf(sel.Sel.Pos(), "%s mutates journaled state but is called through a non-trivial receiver expression; hold a named receiver so the write-ahead order is checkable", callee.Name())
+		return
+	}
+	obj := pass.Pkg.Info.Uses[base]
+	if obj == nil {
+		return
+	}
+	if !gateDominates(pass, fd, cfg, call.Pos(), func(c *ast.CallExpr) bool {
+		s, ok := c.Fun.(*ast.SelectorExpr)
+		if !ok || s.Sel.Name != d.Arg {
+			return false
+		}
+		b, ok := ast.Unparen(s.X).(*ast.Ident)
+		return ok && pass.Pkg.Info.Uses[b] == obj
+	}) {
+		pass.Reportf(sel.Sel.Pos(), "%s.%s mutates journaled state but no %s.%s call dominates it; append to the journal before mutating, on every path", base.Name, callee.Name(), base.Name, d.Arg)
+	}
+}
+
+// checkRuledMutation handles the journalRules table: cross-package mutators
+// whose write-ahead gate is a function of the calling package.
+func checkRuledMutation(pass *Pass, fd *ast.FuncDecl, cfg *CFG, call *ast.CallExpr) {
+	callee := Callee(pass.Pkg.Info, call)
+	if callee == nil {
+		return
+	}
+	recvNamed := receiverNamed(callee)
+	if recvNamed == nil || callee.Pkg() == nil {
+		return
+	}
+	for _, r := range journalRules {
+		if !PathMatches(pass.Pkg.Path, r.pkg) {
+			continue
+		}
+		if callee.Name() != r.method || recvNamed.Obj().Name() != r.recvType || !PathMatches(callee.Pkg().Path(), r.recvPkg) {
+			continue
+		}
+		if isGateFunc(fd, r.gates) {
+			continue // the gate itself may apply what it just journaled
+		}
+		if !gateDominates(pass, fd, cfg, call.Pos(), func(c *ast.CallExpr) bool {
+			return calleeNameIn(c, r.gates)
+		}) {
+			pass.Reportf(call.Pos(), "%s.%s applies a scheduling decision but no ledger append (%s) dominates it; journal the decision before mutating the store", r.recvType, r.method, strings.Join(r.gates, "/"))
+		}
+		return
+	}
+}
+
+// gateDominates reports whether some call matching isGate dominates pos in
+// fd's body.
+func gateDominates(pass *Pass, fd *ast.FuncDecl, cfg *CFG, pos token.Pos, isGate func(*ast.CallExpr) bool) bool {
+	if cfg == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		c, ok := n.(*ast.CallExpr)
+		if !ok || !isGate(c) {
+			return true
+		}
+		if cfg.Dominates(c.Pos(), pos) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// calleeNameIn matches a call to a plain function or method whose bare name
+// is one of names.
+func calleeNameIn(call *ast.CallExpr, names []string) bool {
+	var name string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return false
+	}
+	for _, n := range names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// isGateFunc reports whether fd itself is one of the named gate functions.
+func isGateFunc(fd *ast.FuncDecl, gates []string) bool {
+	for _, g := range gates {
+		if fd.Name.Name == g {
+			return true
+		}
+	}
+	return false
+}
+
+// receiverNamed returns the named receiver type of a method, nil for plain
+// functions or unnamed receivers.
+func receiverNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	named, ok := namedType(sig.Recv().Type())
+	if !ok {
+		return nil
+	}
+	return named
+}
+
+// sameLockedReceiver reports whether fd is a *Locked method on the given
+// named type — the convention's escape hatch, mirroring mutexguard: the
+// caller of a Locked method owns both the lock and the write-ahead order.
+func sameLockedReceiver(pass *Pass, fd *ast.FuncDecl, named *types.Named) bool {
+	if !strings.HasSuffix(fd.Name.Name, lockedSuffix) {
+		return false
+	}
+	fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := receiverNamed(fn)
+	return recv != nil && recv.Obj() == named.Obj()
+}

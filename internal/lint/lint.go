@@ -97,6 +97,9 @@ type Pass struct {
 	// this called function return only constants?") can be answered from
 	// source.
 	All []*Package
+	// Shared caches the flow artifacts of this Run — call graph, CFGs,
+	// module-wide analyzer facts — across every pass.
+	Shared *Shared
 
 	diags []Diagnostic
 }
@@ -118,6 +121,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // by file, line, column and analyzer name.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var out []Diagnostic
+	shared := newShared(pkgs)
 	for _, pkg := range pkgs {
 		ignores, malformed := collectIgnores(pkg)
 		out = append(out, malformed...)
@@ -125,7 +129,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			if !a.applies(pkg.Path) {
 				continue
 			}
-			pass := &Pass{Analyzer: a, Pkg: pkg, All: pkgs}
+			pass := &Pass{Analyzer: a, Pkg: pkg, All: pkgs, Shared: shared}
 			a.Run(pass)
 			for _, d := range pass.diags {
 				if !ignores.covers(d) {
@@ -171,36 +175,36 @@ func (s ignoreSet) covers(d Diagnostic) bool {
 	return false
 }
 
-// ignorePrefix is the suppression directive; the analyzer name and a reason
-// must follow.
-const ignorePrefix = "//lint:ignore"
-
-// collectIgnores extracts the //lint:ignore directives of a package. A
-// directive missing its analyzer name or reason is reported as a diagnostic
-// of the pseudo-analyzer "flexvet" instead of being honoured, so a typo
-// cannot silently disable a check.
+// collectIgnores extracts the //lint:ignore directives of a package through
+// the shared directive parser. Any malformed directive — an ignore missing
+// its analyzer name or reason, an unknown or incomplete //flexvet: marker —
+// is reported as a diagnostic of the pseudo-analyzer "flexvet" instead of
+// being honoured, so a typo cannot silently disable a check or grant a
+// flow-analyzer exemption.
 func collectIgnores(pkg *Package) (ignoreSet, []Diagnostic) {
 	ignores := make(ignoreSet)
 	var malformed []Diagnostic
 	for _, file := range pkg.Files {
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, ignorePrefix) {
+				d, ok, msg := ParseDirective(c.Text)
+				if !ok {
+					if msg != "" {
+						pos := pkg.Fset.Position(c.Pos())
+						malformed = append(malformed, Diagnostic{
+							Analyzer: "flexvet",
+							File:     strings.ReplaceAll(pos.Filename, "\\", "/"),
+							Line:     pos.Line,
+							Col:      pos.Column,
+							Message:  msg,
+						})
+					}
 					continue
 				}
-				pos := pkg.Fset.Position(c.Pos())
-				fields := strings.Fields(strings.TrimPrefix(c.Text, ignorePrefix))
-				if len(fields) < 2 {
-					malformed = append(malformed, Diagnostic{
-						Analyzer: "flexvet",
-						File:     strings.ReplaceAll(pos.Filename, "\\", "/"),
-						Line:     pos.Line,
-						Col:      pos.Column,
-						Message:  "malformed //lint:ignore directive: want \"//lint:ignore <analyzer> <reason>\"",
-					})
-					continue
+				if d.Kind == DirIgnore {
+					pos := pkg.Fset.Position(c.Pos())
+					ignores[ignoreKey{strings.ReplaceAll(pos.Filename, "\\", "/"), pos.Line, d.Analyzer}] = true
 				}
-				ignores[ignoreKey{strings.ReplaceAll(pos.Filename, "\\", "/"), pos.Line, fields[0]}] = true
 			}
 		}
 	}

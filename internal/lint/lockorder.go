@@ -1,0 +1,353 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder derives the module-wide lock-acquisition relation and flags the
+// two shapes that deadlock: acquiring a lock of the same identity while one
+// is already held (two shards of the sharded store, taken in submit order
+// on one goroutine and sweep order on another), and acquisition-order
+// cycles between distinct locks (A taken under B here, B taken under A
+// there). A lock's identity is the owning named type plus the mutex field
+// name, so Service.mu and Service.runMu stay distinct; *Locked methods are
+// modelled as entering with their receiver's mu held, and held sets
+// propagate through statically resolvable calls via the call graph.
+// Holds are tracked positionally within a body (the repository's
+// lock/defer-unlock idiom), and dynamic calls are opaque — the analyzer is
+// deliberately conservative in both directions the way mutexguard is.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "lock acquisition order must be acyclic, and no lock may be re-acquired while an instance of it is held",
+	Run:  runLockOrder,
+}
+
+// lockKey identifies a lock class: the named type owning the mutex and the
+// field's name.
+type lockKey struct {
+	typ   *types.TypeName
+	field string
+}
+
+func (k lockKey) String() string {
+	return k.typ.Name() + "." + k.field
+}
+
+// lockEvent is one acquisition or release at a source position. Deferred
+// releases are modelled at the end of the body.
+type lockEvent struct {
+	pos     token.Pos
+	key     lockKey
+	acquire bool
+}
+
+// lockCall is a statically resolved call site.
+type lockCall struct {
+	pos token.Pos
+	fn  *types.Func
+}
+
+// lockFacts summarises one function body for the ordering analysis.
+type lockFacts struct {
+	fn     *types.Func
+	pkg    *Package
+	events []lockEvent
+	calls  []lockCall
+	// entry is the lock a *Locked method holds on entry, if any.
+	entry *lockKey
+	// acquires is the transitive closure of lock classes this function may
+	// acquire, computed by fixpoint over the call graph.
+	acquires map[lockKey]bool
+}
+
+// lockEdge is one observed "to acquired while from held" pair with the
+// witnessing call or acquisition site.
+type lockEdge struct {
+	from, to lockKey
+	pkg      *Package
+	pos      token.Pos
+}
+
+// lockOrderState is the module-wide relation, built once per Run and cached
+// in Shared.Facts.
+type lockOrderState struct {
+	findings map[string][]Diagnostic // keyed by package path
+}
+
+func runLockOrder(pass *Pass) {
+	state, ok := pass.Shared.Facts["lockorder"].(*lockOrderState)
+	if !ok {
+		state = buildLockOrderState(pass)
+		pass.Shared.Facts["lockorder"] = state
+	}
+	for _, d := range state.findings[pass.Pkg.Path] {
+		pass.diags = append(pass.diags, d)
+	}
+}
+
+// buildLockOrderState computes per-function lock facts for every loaded
+// package, closes the may-acquire sets over the call graph, records the
+// held→acquired edges, and turns cycles and same-class double acquisitions
+// into findings grouped by package.
+func buildLockOrderState(pass *Pass) *lockOrderState {
+	facts := make(map[*types.Func]*lockFacts)
+	for _, pkg := range pass.All {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				facts[fn] = collectLockFacts(pkg, fd, fn)
+			}
+		}
+	}
+	// Fixpoint: a function may acquire what it acquires directly plus what
+	// any statically resolved callee may acquire.
+	for changed := true; changed; {
+		changed = false
+		for _, f := range facts {
+			for _, c := range f.calls {
+				callee, ok := facts[c.fn]
+				if !ok {
+					continue
+				}
+				for k := range callee.acquires {
+					if !f.acquires[k] {
+						f.acquires[k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	state := &lockOrderState{findings: make(map[string][]Diagnostic)}
+	report := func(pkg *Package, pos token.Pos, msg string) {
+		position := pkg.Fset.Position(pos)
+		state.findings[pkg.Path] = append(state.findings[pkg.Path], Diagnostic{
+			Analyzer: "lockorder",
+			File:     strings.ReplaceAll(position.Filename, "\\", "/"),
+			Line:     position.Line,
+			Col:      position.Column,
+			Message:  msg,
+		})
+	}
+	var edges []lockEdge
+	addEdge := func(f *lockFacts, pos token.Pos, held, acquired lockKey) {
+		if held == acquired {
+			report(f.pkg, pos, "acquiring "+acquired.String()+" while another "+held.String()+
+				" is already held; same-class double acquisition (cross-shard) deadlocks under inverse order — release first or impose a total order")
+			return
+		}
+		edges = append(edges, lockEdge{from: held, to: acquired, pkg: f.pkg, pos: pos})
+	}
+	for _, f := range facts {
+		held := heldTracker(f)
+		for _, ev := range f.events {
+			if !ev.acquire {
+				continue
+			}
+			for _, h := range held(ev.pos) {
+				addEdge(f, ev.pos, h, ev.key)
+			}
+		}
+		for _, c := range f.calls {
+			callee, ok := facts[c.fn]
+			if !ok {
+				continue
+			}
+			for k := range callee.acquires {
+				for _, h := range held(c.pos) {
+					addEdge(f, c.pos, h, k)
+				}
+			}
+		}
+	}
+	reportCycleEdges(edges, report)
+	// Deterministic output inside each package.
+	for _, ds := range state.findings {
+		sort.Slice(ds, func(i, j int) bool {
+			if ds[i].File != ds[j].File {
+				return ds[i].File < ds[j].File
+			}
+			return ds[i].Line < ds[j].Line
+		})
+	}
+	return state
+}
+
+// heldTracker returns a positional query over f's lock events: which lock
+// classes are held at pos. A *Locked method's receiver lock is always held.
+func heldTracker(f *lockFacts) func(token.Pos) []lockKey {
+	events := make([]lockEvent, len(f.events))
+	copy(events, f.events)
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	return func(pos token.Pos) []lockKey {
+		count := make(map[lockKey]int)
+		for _, ev := range events {
+			if ev.pos >= pos {
+				break
+			}
+			if ev.acquire {
+				count[ev.key]++
+			} else if count[ev.key] > 0 {
+				count[ev.key]--
+			}
+		}
+		var out []lockKey
+		if f.entry != nil {
+			out = append(out, *f.entry)
+		}
+		for k, c := range count {
+			if c > 0 {
+				out = append(out, k)
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+		return out
+	}
+}
+
+// reportCycleEdges finds every edge that participates in an acquisition
+// cycle (to can transitively lead back to from) and reports its witness.
+func reportCycleEdges(edges []lockEdge, report func(*Package, token.Pos, string)) {
+	succs := make(map[lockKey]map[lockKey]bool)
+	for _, e := range edges {
+		if succs[e.from] == nil {
+			succs[e.from] = make(map[lockKey]bool)
+		}
+		succs[e.from][e.to] = true
+	}
+	reaches := func(from, to lockKey) bool {
+		seen := map[lockKey]bool{from: true}
+		stack := []lockKey{from}
+		for len(stack) > 0 {
+			k := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if k == to {
+				return true
+			}
+			for n := range succs[k] {
+				if !seen[n] {
+					seen[n] = true
+					stack = append(stack, n)
+				}
+			}
+		}
+		return false
+	}
+	reported := make(map[token.Pos]bool)
+	for _, e := range edges {
+		if reported[e.pos] || !reaches(e.to, e.from) {
+			continue
+		}
+		reported[e.pos] = true
+		report(e.pkg, e.pos, "lock-order cycle: "+e.to.String()+" is acquired here while "+e.from.String()+
+			" is held, but elsewhere "+e.from.String()+" is (transitively) acquired under "+e.to.String()+" — two goroutines taking the two orders deadlock")
+	}
+}
+
+// collectLockFacts scans one body for mutex operations and static calls.
+func collectLockFacts(pkg *Package, fd *ast.FuncDecl, fn *types.Func) *lockFacts {
+	f := &lockFacts{fn: fn, pkg: pkg, acquires: make(map[lockKey]bool)}
+	if strings.HasSuffix(fd.Name.Name, lockedSuffix) {
+		if recv := receiverNamed(fn); recv != nil {
+			f.entry = &lockKey{typ: recv.Obj(), field: "mu"}
+		}
+	}
+	deferred := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ds, ok := n.(*ast.DeferStmt); ok {
+			deferred[ds.Call] = true
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if key, acquire, ok := mutexOp(pkg, call); ok {
+			// A deferred unlock releases at function end — positionally,
+			// never — so it contributes no release event.
+			if !deferred[call] {
+				f.events = append(f.events, lockEvent{pos: call.Pos(), key: key, acquire: acquire})
+			}
+			if acquire {
+				f.acquires[key] = true
+			}
+			return true
+		}
+		if callee := Callee(pkg.Info, call); callee != nil {
+			f.calls = append(f.calls, lockCall{pos: call.Pos(), fn: callee})
+		}
+		return true
+	})
+	return f
+}
+
+// mutexOp matches x.f.Lock/RLock/Unlock/RUnlock where f is a sync.Mutex,
+// sync.RWMutex, or a source type wrapping one (it declares Lock and
+// Unlock), and returns the lock class (named type of x, field f).
+func mutexOp(pkg *Package, call *ast.CallExpr) (lockKey, bool, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, false, false
+	}
+	var acquire bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+	default:
+		return lockKey{}, false, false
+	}
+	muSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, false, false
+	}
+	muType, ok := pkg.Info.Types[muSel]
+	if !ok || !isLockable(muType.Type) {
+		return lockKey{}, false, false
+	}
+	ownerType, ok := pkg.Info.Types[muSel.X]
+	if !ok {
+		return lockKey{}, false, false
+	}
+	named, isNamed := namedType(ownerType.Type)
+	if !isNamed {
+		return lockKey{}, false, false
+	}
+	return lockKey{typ: named.Obj(), field: muSel.Sel.Name}, acquire, true
+}
+
+// isLockable reports whether t is sync.Mutex/RWMutex or a named source type
+// declaring both Lock and Unlock (the store's instrumented lockMeter).
+func isLockable(t types.Type) bool {
+	named, ok := namedType(t)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+		return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+	}
+	var hasLock, hasUnlock bool
+	for i := 0; i < named.NumMethods(); i++ {
+		switch named.Method(i).Name() {
+		case "Lock":
+			hasLock = true
+		case "Unlock":
+			hasUnlock = true
+		}
+	}
+	return hasLock && hasUnlock
+}

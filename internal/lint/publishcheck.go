@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// publishName is the event-stream emission convention: a method named
+// publishLocked fans an event out to the shard's subscribers and, per
+// docs/SCHEDULING.md, must only ever run under the mutating shard's write
+// lock — a reader holding RLock could otherwise race the sequence numbers,
+// and an unlocked caller could publish state that was never applied.
+const publishName = "publishLocked"
+
+// PublishCheck proves the stream contract with the CFG: a call into the
+// publish set (publishLocked itself, plus every *Locked method of the same
+// type that transitively reaches it — insertLocked, transitionLocked) from
+// a non-*Locked function must be dominated by receiver.mu.Lock() — the
+// write lock, on every path, with RLock explicitly insufficient. *Locked
+// methods of the publishing type are exempt inside their own bodies (the
+// caller holds the lock by contract), which is exactly what moves the
+// obligation to the call sites this analyzer checks.
+var PublishCheck = &Analyzer{
+	Name:  "publishcheck",
+	Doc:   "event-stream publishes must only be reachable with the mutating shard's write lock held",
+	Paths: []string{"internal/market"},
+	Run:   runPublishCheck,
+}
+
+func runPublishCheck(pass *Pass) {
+	publishers := publisherFuncs(pass)
+	if len(publishers) == 0 {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				if _, isPublisher := publishers[fn]; isPublisher {
+					continue // its own caller holds the lock by contract
+				}
+			}
+			checkPublishCalls(pass, fd, publishers)
+		}
+	}
+}
+
+// publisherFuncs computes the publish set: methods named publishLocked seed
+// it, and any *Locked method of the same receiver type that calls a member
+// joins it, to a fixpoint. The map carries each member's receiver type so
+// call sites can be matched to the right lock.
+func publisherFuncs(pass *Pass) map[*types.Func]*types.TypeName {
+	publishers := make(map[*types.Func]*types.TypeName)
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[fn] = fd
+			if fd.Name.Name == publishName {
+				if recv := receiverNamed(fn); recv != nil {
+					publishers[fn] = recv.Obj()
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range decls {
+			if _, ok := publishers[fn]; ok || !strings.HasSuffix(fd.Name.Name, lockedSuffix) {
+				continue
+			}
+			recv := receiverNamed(fn)
+			if recv == nil {
+				continue
+			}
+			reaches := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || reaches {
+					return !reaches
+				}
+				callee := Callee(pass.Pkg.Info, call)
+				if callee == nil {
+					return true
+				}
+				if typ, ok := publishers[callee]; ok && typ == recv.Obj() {
+					reaches = true
+				}
+				return true
+			})
+			if reaches {
+				publishers[fn] = recv.Obj()
+				changed = true
+			}
+		}
+	}
+	return publishers
+}
+
+// checkPublishCalls requires every call into the publish set from fd to be
+// dominated by a write Lock of the same receiver.
+func checkPublishCalls(pass *Pass, fd *ast.FuncDecl, publishers map[*types.Func]*types.TypeName) {
+	cfg := pass.Shared.CFGOf(fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := Callee(pass.Pkg.Info, call)
+		if callee == nil {
+			return true
+		}
+		typ, ok := publishers[callee]
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			pass.Reportf(sel.Sel.Pos(), "%s.%s publishes to the event stream but is called through a non-trivial receiver expression; hold a named receiver so the lock discipline is checkable", typ.Name(), callee.Name())
+			return true
+		}
+		obj := pass.Pkg.Info.Uses[base]
+		if obj == nil || cfg == nil {
+			return true
+		}
+		if lockDominates(pass, fd, cfg, call.Pos(), obj, "Lock") {
+			return true
+		}
+		if lockDominates(pass, fd, cfg, call.Pos(), obj, "RLock") {
+			pass.Reportf(sel.Sel.Pos(), "%s.%s publishes to the event stream under a read lock; publishing mutates the stream state, take %s.mu.Lock() (write) instead", typ.Name(), callee.Name(), base.Name)
+		} else {
+			pass.Reportf(sel.Sel.Pos(), "%s.%s publishes to the event stream but %s.mu.Lock() does not dominate this call; subscribers must only observe events produced under the shard's write lock", typ.Name(), callee.Name(), base.Name)
+		}
+		return true
+	})
+}
+
+// lockDominates reports whether a call obj.mu.<method>() dominates pos in
+// fd's body.
+func lockDominates(pass *Pass, fd *ast.FuncDecl, cfg *CFG, pos token.Pos, obj types.Object, method string) bool {
+	return gateDominates(pass, fd, cfg, pos, func(c *ast.CallExpr) bool {
+		sel, ok := c.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != method {
+			return false
+		}
+		muSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok || muSel.Sel.Name != "mu" {
+			return false
+		}
+		base, ok := ast.Unparen(muSel.X).(*ast.Ident)
+		return ok && pass.Pkg.Info.Uses[base] == obj
+	})
+}

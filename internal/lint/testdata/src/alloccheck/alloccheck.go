@@ -1,0 +1,85 @@
+// Package alloccheck is the alloccheck fixture: functions marked
+// //flexvet:hotpath (the marker sits in doc comments, like the ones below)
+// must not allocate per element.
+package alloccheck
+
+import "fmt"
+
+type item struct {
+	id string
+	kw float64
+}
+
+func sink(v any) {}
+
+// render is marked hot, so fmt string building is a finding.
+//
+//flexvet:hotpath
+func render(n int) string {
+	return fmt.Sprintf("%d", n) // want:alloccheck
+}
+
+// renderCold is unmarked: alloccheck must stay away.
+func renderCold(n int) string {
+	return fmt.Sprintf("%d", n)
+}
+
+//flexvet:hotpath
+func badAppend(xs []item) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x.id) // want:alloccheck
+	}
+	return out
+}
+
+//flexvet:hotpath
+func goodAppend(xs []item) []string {
+	out := make([]string, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x.id)
+	}
+	return out
+}
+
+//flexvet:hotpath
+func badClosure(xs []item) float64 {
+	var total float64
+	for i := range xs {
+		add := func() { total += xs[i].kw } // want:alloccheck
+		add()
+	}
+	return total
+}
+
+//flexvet:hotpath
+func hoistedClosure(xs []item) float64 {
+	var total float64
+	weigh := func(i item) float64 { return i.kw }
+	for _, x := range xs {
+		total += weigh(x)
+	}
+	return total
+}
+
+//flexvet:hotpath
+func badBoxing(xs []item) {
+	for _, x := range xs {
+		sink(x.kw) // want:alloccheck
+	}
+}
+
+//flexvet:hotpath
+func pointerNoBox(xs []*item) {
+	for _, x := range xs {
+		sink(x)
+	}
+}
+
+// typo's directive is mistyped: the framework reports it instead of
+// honouring it, so the Sprintf below stays unflagged (and unexempted).
+//
+//flexvet:hotpth want:flexvet
+func typo(n int) string {
+	return fmt.Sprintf("%d", n)
+}

@@ -1,0 +1,101 @@
+// Package market is the errflow fixture: errors from the tracked store
+// mutators and journal gates must be inspected on every path.
+package market
+
+// Store mimics the market store's mutator surface.
+type Store struct{}
+
+// Submit records an offer.
+func (s *Store) Submit(id string) error { return nil }
+
+// Accept transitions an offer.
+func (s *Store) Accept(id string) error { return nil }
+
+type shard struct {
+	journal func(kind string) error
+}
+
+// journalLocked is the write-ahead gate; errflow tracks it because the
+// insertLocked annotation names it.
+func (sh *shard) journalLocked(kind string) error {
+	if sh.journal == nil {
+		return nil
+	}
+	return sh.journal(kind)
+}
+
+// insertLocked applies a submit that journalLocked already recorded.
+//
+//flexvet:journaled journalLocked
+func (sh *shard) insertLocked(id string) {}
+
+func dropped(s *Store) {
+	s.Submit("a") // want:errflow
+}
+
+func blank(s *Store) {
+	_ = s.Submit("a") // want:errflow
+}
+
+func overwritten(s *Store) error {
+	err := s.Submit("a") // want:errflow
+	err = s.Accept("a")
+	return err
+}
+
+func shadowed(s *Store, strict bool) error {
+	err := s.Submit("a") // want:errflow
+	if strict {
+		if err := s.Accept("a"); err != nil {
+			return err
+		}
+		return nil
+	}
+	return err
+}
+
+func partiallyChecked(s *Store, strict bool) error {
+	err := s.Submit("a") // want:errflow
+	if strict {
+		return err
+	}
+	return nil
+}
+
+func gateDropped(sh *shard) {
+	sh.journalLocked("submit") // want:errflow
+}
+
+func gateChecked(sh *shard) error {
+	if err := sh.journalLocked("submit"); err != nil {
+		return err
+	}
+	sh.insertLocked("a")
+	return nil
+}
+
+func checked(s *Store) error {
+	if err := s.Submit("a"); err != nil {
+		return err
+	}
+	return nil
+}
+
+func checkedBothPaths(s *Store, strict bool) error {
+	err := s.Submit("a")
+	if strict {
+		return err
+	}
+	return wrap(err)
+}
+
+func wrap(err error) error { return err }
+
+func loopChecked(s *Store, ids []string) error {
+	for _, id := range ids {
+		if err := s.Submit(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+// Package wal is the errflow fixture for the write-ahead log's method set.
+package wal
+
+// Log mimics the WAL's durability-critical API.
+type Log struct{}
+
+// Append writes one record and returns its LSN.
+func (l *Log) Append(p []byte) (uint64, error) { return 0, nil }
+
+// Sync flushes buffered records to stable storage.
+func (l *Log) Sync() error { return nil }
+
+func appendDropped(l *Log, p []byte) {
+	l.Append(p) // want:errflow
+}
+
+func appendBlank(l *Log, p []byte) uint64 {
+	lsn, _ := l.Append(p) // want:errflow
+	return lsn
+}
+
+func syncDeferred(l *Log) {
+	defer l.Sync() // want:errflow
+}
+
+func syncGone(l *Log) {
+	go l.Sync() // want:errflow
+}
+
+func appendChecked(l *Log, p []byte) (uint64, error) {
+	lsn, err := l.Append(p)
+	if err != nil {
+		return 0, err
+	}
+	return lsn, nil
+}
+
+func syncChecked(l *Log) error {
+	return l.Sync()
+}

@@ -1,0 +1,126 @@
+// Package market is the journalcheck fixture: a miniature journaled shard
+// whose annotated mutators must be dominated by the write-ahead gate.
+package market
+
+import "sync"
+
+type record struct {
+	id    string
+	state int
+}
+
+type shard struct {
+	mu      sync.RWMutex
+	records map[string]*record
+	order   []string
+	journal func(kind string) error
+}
+
+// journalLocked appends the event to the write-ahead journal; it no-ops
+// without one so write-ahead order is unconditional at call sites.
+func (sh *shard) journalLocked(kind string) error {
+	if sh.journal == nil {
+		return nil
+	}
+	return sh.journal(kind)
+}
+
+// insertLocked applies a submit that journalLocked already recorded.
+//
+//flexvet:journaled journalLocked
+func (sh *shard) insertLocked(r *record) {
+	sh.records[r.id] = r
+	sh.order = append(sh.order, r.id)
+}
+
+// transitionLocked applies a decision that journalLocked already recorded.
+//
+//flexvet:journaled journalLocked
+func (sh *shard) transitionLocked(r *record, to int) {
+	r.state = to
+}
+
+func (sh *shard) goodSubmit(r *record) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.journalLocked("submit"); err != nil {
+		return err
+	}
+	sh.insertLocked(r)
+	return nil
+}
+
+func (sh *shard) goodBatch(rs []*record) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.journalLocked("batch"); err != nil {
+		return err
+	}
+	for _, r := range rs {
+		sh.insertLocked(r)
+	}
+	return nil
+}
+
+func (sh *shard) reordered(r *record) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.insertLocked(r) // want:journalcheck
+	if err := sh.journalLocked("submit"); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (sh *shard) oneArmOnly(r *record, fast bool) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if !fast {
+		if err := sh.journalLocked("submit"); err != nil {
+			return err
+		}
+	}
+	sh.insertLocked(r) // want:journalcheck
+	return nil
+}
+
+func (sh *shard) wrongReceiver(peer *shard, r *record) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	peer.mu.Lock()
+	defer peer.mu.Unlock()
+	if err := sh.journalLocked("submit"); err != nil {
+		return err
+	}
+	peer.insertLocked(r) // want:journalcheck
+	return nil
+}
+
+// applyReplay re-applies an event read back from the journal.
+//
+//flexvet:replay recovery applies events the journal already holds
+func (sh *shard) applyReplay(r *record) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.insertLocked(r)
+}
+
+// Store is the cross-package mutator the sched fixture drives.
+type Store struct {
+	sh shard
+}
+
+// Assign transitions a record; the scheduler must ledger the decision
+// before calling this.
+func (s *Store) Assign(id string) error {
+	sh := &s.sh
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.journalLocked("assign"); err != nil {
+		return err
+	}
+	if r, ok := sh.records[id]; ok {
+		sh.transitionLocked(r, 1)
+	}
+	return nil
+}

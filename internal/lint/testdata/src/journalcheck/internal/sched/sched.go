@@ -1,0 +1,53 @@
+// Package sched is the journalcheck fixture for the cross-package ledger
+// rule: market Store.Assign calls must be dominated by a ledger append.
+package sched
+
+import "repro/internal/lint/testdata/src/journalcheck/internal/market"
+
+type service struct {
+	store  *market.Store
+	ledger func(kind string) error
+}
+
+// journalDecision appends the decision record to the write-ahead ledger; it
+// no-ops without one so write-ahead order is unconditional at call sites.
+func (s *service) journalDecision(kind string) error {
+	if s.ledger == nil {
+		return nil
+	}
+	return s.ledger(kind)
+}
+
+func (s *service) goodRun(id string) error {
+	if err := s.journalDecision("assign"); err != nil {
+		return err
+	}
+	return s.store.Assign(id)
+}
+
+func (s *service) unjournaledRun(id string) error {
+	return s.store.Assign(id) // want:journalcheck
+}
+
+func (s *service) lateLedger(id string) error {
+	if err := s.store.Assign(id); err != nil { // want:journalcheck
+		return err
+	}
+	return s.journalDecision("assign")
+}
+
+func (s *service) oneArmLedger(id string, dry bool) error {
+	if !dry {
+		if err := s.journalDecision("assign"); err != nil {
+			return err
+		}
+	}
+	return s.store.Assign(id) // want:journalcheck
+}
+
+// replayRun re-applies decisions the ledger already holds.
+//
+//flexvet:replay recovery replays decisions from the ledger
+func (s *service) replayRun(id string) error {
+	return s.store.Assign(id)
+}

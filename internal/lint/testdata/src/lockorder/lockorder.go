@@ -1,0 +1,81 @@
+// Package lockorder is the lockorder fixture: an acquisition-order cycle
+// between two lock classes and same-class (cross-shard) double
+// acquisitions, direct and through a callee.
+package lockorder
+
+import "sync"
+
+type alpha struct {
+	mu   sync.Mutex
+	peer *beta
+}
+
+type beta struct {
+	mu   sync.Mutex
+	peer *alpha
+}
+
+func (a *alpha) poke() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+}
+
+func (b *beta) poke() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+}
+
+func (a *alpha) crossCall() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.peer.poke() // want:lockorder
+}
+
+func (b *beta) crossCall() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.peer.poke() // want:lockorder
+}
+
+type shard struct {
+	mu sync.Mutex
+	n  int
+}
+
+func moveBoth(from, to *shard) {
+	from.mu.Lock()
+	defer from.mu.Unlock()
+	to.mu.Lock() // want:lockorder
+	defer to.mu.Unlock()
+	from.n--
+	to.n++
+}
+
+func moveSequential(from, to *shard) {
+	from.mu.Lock()
+	from.n--
+	from.mu.Unlock()
+	to.mu.Lock()
+	to.n++
+	to.mu.Unlock()
+}
+
+func lockShard(s *shard) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+func transitive(a, b *shard) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	lockShard(b) // want:lockorder
+}
+
+func eachInTurn(all []*shard) {
+	for _, s := range all {
+		s.mu.Lock()
+		s.n++
+		s.mu.Unlock()
+	}
+}

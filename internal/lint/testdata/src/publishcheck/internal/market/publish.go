@@ -1,0 +1,51 @@
+// Package market is the publishcheck fixture: event-stream publishes must
+// only be reachable under the shard's write lock.
+package market
+
+import "sync"
+
+type shard struct {
+	mu   sync.RWMutex
+	seq  uint64
+	subs []chan uint64
+}
+
+func (sh *shard) publishLocked(v uint64) {
+	sh.seq = v
+	for _, c := range sh.subs {
+		select {
+		case c <- v:
+		default:
+		}
+	}
+}
+
+// insertLocked reaches the publish, so its call sites inherit the
+// write-lock obligation.
+func (sh *shard) insertLocked(v uint64) {
+	sh.publishLocked(v)
+}
+
+func (sh *shard) goodPublish(v uint64) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.insertLocked(v)
+}
+
+func (sh *shard) unlocked(v uint64) {
+	sh.insertLocked(v) // want:publishcheck
+}
+
+func (sh *shard) publishUnderRead(v uint64) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	sh.publishLocked(v) // want:publishcheck
+}
+
+func (sh *shard) oneArm(v uint64, cond bool) {
+	if cond {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+	}
+	sh.insertLocked(v) // want:publishcheck
+}

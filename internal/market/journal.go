@@ -58,6 +58,8 @@ type event struct {
 // acknowledged, so replay must reproduce it verbatim. Errors mean the
 // journal does not match the state it claims to extend — corruption, not
 // a lifecycle violation.
+//
+//flexvet:replay events read back from the journal were appended before they were applied
 func (s *Store) applyEvent(ev event) error {
 	switch ev.Kind {
 	case evSubmit:

@@ -176,6 +176,8 @@ func (sh *shard) journalLocked(ev event) error {
 }
 
 // insertLocked adds a freshly submitted record and maintains every index.
+//
+//flexvet:journaled journalLocked
 func (sh *shard) insertLocked(f *Record) {
 	id := f.Offer.ID
 	if f.offerRaw == nil {
@@ -196,6 +198,8 @@ func (sh *shard) insertLocked(f *Record) {
 
 // transitionLocked moves a record to state `to` at time `at` and
 // maintains the per-state indexes, counts and the energy sum.
+//
+//flexvet:journaled journalLocked
 func (sh *shard) transitionLocked(r *Record, to State, at time.Time) {
 	from := r.State
 	sh.counts[from]--

@@ -162,6 +162,8 @@ func (r Record) MarshalJSON() ([]byte, error) {
 
 // appendJSON appends the record's wire form to buf; Page.MarshalJSON
 // stitches whole pages into one buffer through it.
+//
+//flexvet:hotpath runs once per record on every listing page
 func (r Record) appendJSON(buf []byte) ([]byte, error) {
 	raw := r.offerRaw
 	if raw == nil {
@@ -448,15 +450,18 @@ func (s *Store) SubmitBatch(offers flexoffer.Set) BatchResult {
 			accepted = append(accepted, pending{p.i, clone})
 			batch = append(batch, clone)
 		}
-		if len(batch) > 0 {
-			if err := sh.journalLocked(event{Kind: evSubmit, At: now, Offers: batch}); err != nil {
-				// Nothing was applied to this shard; surface the journal
-				// failure per offer so retry paths resubmit the subset.
-				for _, p := range accepted {
-					fail(p.i, p.f.ID, err)
-				}
-				accepted = nil
+		if len(batch) == 0 {
+			sh.mu.Unlock()
+			continue
+		}
+		if err := sh.journalLocked(event{Kind: evSubmit, At: now, Offers: batch}); err != nil {
+			// Nothing was applied to this shard; surface the journal
+			// failure per offer so retry paths resubmit the subset.
+			for _, p := range accepted {
+				fail(p.i, p.f.ID, err)
 			}
+			sh.mu.Unlock()
+			continue
 		}
 		for _, p := range accepted {
 			sh.insertLocked(&Record{Offer: p.f, State: Offered, SubmittedAt: now})
@@ -558,8 +563,33 @@ func (s *Store) Get(id string) (Record, bool) {
 // (global submission order on a single-shard store), optionally filtered
 // to the given states. A single-state filter walks that state's index
 // list instead of the whole shard. For bounded reads at scale, use Page.
+//
+//flexvet:hotpath full-store listings copy every matching record
 func (s *Store) List(states ...State) []Record {
-	var out []Record
+	var want [numStates]bool
+	for _, st := range states {
+		if st >= 0 && int(st) < numStates {
+			want[st] = true
+		}
+	}
+	// Pre-size from the per-shard state counters (O(shards)) so the copy
+	// loop below never regrows the result. Records may transition between
+	// the two passes, so the sum is a hint, not a bound.
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		if len(states) == 0 {
+			n += len(sh.order)
+		} else {
+			for st := 0; st < numStates; st++ {
+				if want[st] {
+					n += sh.counts[st]
+				}
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	out := make([]Record, 0, n)
 	for _, sh := range s.shards {
 		sh.mu.RLock()
 		switch len(states) {
@@ -575,10 +605,6 @@ func (s *Store) List(states ...State) []Record {
 				}
 			}
 		default:
-			want := make(map[State]bool, len(states))
-			for _, st := range states {
-				want[st] = true
-			}
 			for _, id := range sh.order {
 				if r := sh.records[id]; want[r.State] {
 					out = append(out, *r)
@@ -586,9 +612,6 @@ func (s *Store) List(states ...State) []Record {
 			}
 		}
 		sh.mu.RUnlock()
-	}
-	if out == nil {
-		out = []Record{}
 	}
 	return out
 }
@@ -694,8 +717,9 @@ func (s *Store) Contention() []ShardContention {
 // AcceptedOffers returns the accepted offers as a Set (for the scheduler),
 // sorted by earliest start.
 func (s *Store) AcceptedOffers() flexoffer.Set {
-	var set flexoffer.Set
-	for _, r := range s.List(Accepted) {
+	accepted := s.List(Accepted)
+	set := make(flexoffer.Set, 0, len(accepted))
+	for _, r := range accepted {
 		set = append(set, r.Offer)
 	}
 	sort.SliceStable(set, func(i, j int) bool {

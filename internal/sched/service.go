@@ -230,6 +230,27 @@ func (s *Service) AggStats() agg.IncrementalStats {
 	return s.inc.Stats()
 }
 
+// journalDecision appends one decision record to the write-ahead ledger.
+// It no-ops when the service runs without durability, so the write-ahead
+// order is unconditional at the call site: a decision is either durable or
+// durability is off, never silently skipped — which is what lets the
+// journalcheck analyzer prove every store mutation sits behind it.
+func (s *Service) journalDecision(dec *Decision) error {
+	if s.ledger == nil {
+		return nil
+	}
+	return appendRecord(s.ledger, ledgerRecord{Kind: recordDecision, Decision: dec})
+}
+
+// journalRun appends the round-summary record to the write-ahead ledger,
+// no-oping without one (see journalDecision).
+func (s *Service) journalRun(run *RunSummary) error {
+	if s.ledger == nil {
+		return nil
+	}
+	return appendRecord(s.ledger, ledgerRecord{Kind: recordRun, Run: run})
+}
+
 // alignUp rounds t up to the next resolution-grid point (identity when t
 // is already on the grid).
 func alignUp(t time.Time, resolution time.Duration) time.Time {
@@ -318,13 +339,11 @@ func (s *Service) RunOnce() (RunSummary, error) {
 		for i, m := range members {
 			dec.Members[i] = MemberAssignment{ID: m.Offer.ID, Start: m.Start, Energies: m.Energies}
 		}
-		if s.ledger != nil {
-			if err := appendRecord(s.ledger, ledgerRecord{Kind: recordDecision, Decision: &dec}); err != nil {
-				s.mu.Lock()
-				s.ledgerErrs++
-				s.mu.Unlock()
-				return summary, fmt.Errorf("%w: %v", ErrLedger, err)
-			}
+		if err := s.journalDecision(&dec); err != nil {
+			s.mu.Lock()
+			s.ledgerErrs++
+			s.mu.Unlock()
+			return summary, fmt.Errorf("%w: %v", ErrLedger, err)
 		}
 		applied := 0
 		for _, m := range dec.Members {
@@ -341,13 +360,11 @@ func (s *Service) RunOnce() (RunSummary, error) {
 	}
 	summary.DurationSeconds = time.Since(began).Seconds()
 
-	if s.ledger != nil {
-		if err := appendRecord(s.ledger, ledgerRecord{Kind: recordRun, Run: &summary}); err != nil {
-			s.mu.Lock()
-			s.ledgerErrs++
-			s.mu.Unlock()
-			return summary, fmt.Errorf("%w: %v", ErrLedger, err)
-		}
+	if err := s.journalRun(&summary); err != nil {
+		s.mu.Lock()
+		s.ledgerErrs++
+		s.mu.Unlock()
+		return summary, fmt.Errorf("%w: %v", ErrLedger, err)
 	}
 
 	s.mu.Lock()

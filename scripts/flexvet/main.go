@@ -8,13 +8,15 @@
 //
 // Usage:
 //
-//	go run ./scripts/flexvet [-json] [-enable a,b] [-disable a,b] [packages...]
+//	go run ./scripts/flexvet [-format text|json|sarif] [-enable a,b] [-disable a,b] [packages...]
 //
 // Packages default to ./... (module-wide). Findings print as
-// file:line:col: [analyzer] message, or as a JSON array with -json. A
-// finding is suppressed by "//lint:ignore <analyzer> <reason>" on its line
-// or the line above. Exit status: 0 clean, 1 findings, 2 usage or load
-// error. docs/LINTING.md describes every analyzer.
+// file:line:col: [analyzer] message, as a JSON array with -format json
+// (-json is a shorthand), or as a SARIF 2.1.0 log with -format sarif for
+// code-scanning upload. A finding is suppressed by "//lint:ignore
+// <analyzer> <reason>" on its line or the line above. Exit status: 0
+// clean, 1 findings, 2 usage or load error. docs/LINTING.md describes
+// every analyzer.
 package main
 
 import (
@@ -38,15 +40,25 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("flexvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (same as -format json)")
+	format := fs.String("format", "text", "output format: text, json, or sarif")
 	enable := fs.String("enable", "", "comma-separated analyzers to run (default: all)")
 	disable := fs.String("disable", "", "comma-separated analyzers to skip")
 	list := fs.Bool("list", false, "list the available analyzers and exit")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: flexvet [-json] [-enable a,b] [-disable a,b] [packages...]")
+		fmt.Fprintln(stderr, "usage: flexvet [-json] [-format text|json|sarif] [-enable a,b] [-disable a,b] [packages...]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut {
+		*format = "json"
+	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(stderr, "flexvet: unknown format %q (text, json, sarif)\n", *format)
 		return 2
 	}
 	if *list {
@@ -77,7 +89,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	diags := lint.Run(pkgs, analyzers)
 
-	if *jsonOut {
+	switch *format {
+	case "json":
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
@@ -87,7 +100,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "flexvet: %v\n", err)
 			return 2
 		}
-	} else {
+	case "sarif":
+		if err := writeSARIF(stdout, analyzers, diags); err != nil {
+			fmt.Fprintf(stderr, "flexvet: %v\n", err)
+			return 2
+		}
+	default:
 		for _, d := range diags {
 			fmt.Fprintln(stdout, d)
 		}

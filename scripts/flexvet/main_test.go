@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"os"
 	"strings"
 	"testing"
 
@@ -24,6 +25,24 @@ var seeded = []struct {
 	{"testdata/src/internal/pipeline/clock.go", 11, "clockcheck"},
 	{"testdata/src/internal/pipeline/doc.go", 6, "doccheck"},
 	{"testdata/src/internal/pipeline/guard.go", 14, "mutexguard"},
+}
+
+// flowFixture seeds the five flow-aware analyzers plus the malformed-
+// directive pseudo-rule: exactly one violation per file, every other
+// function clean under the full suite.
+const flowFixture = "testdata/src/internal/market"
+
+var seededFlow = []struct {
+	file     string
+	line     int
+	analyzer string
+}{
+	{"testdata/src/internal/market/errflow.go", 7, "errflow"},
+	{"testdata/src/internal/market/flow.go", 47, "flexvet"},
+	{"testdata/src/internal/market/hotpath.go", 12, "alloccheck"},
+	{"testdata/src/internal/market/journal.go", 8, "journalcheck"},
+	{"testdata/src/internal/market/lockorder.go", 8, "lockorder"},
+	{"testdata/src/internal/market/publish.go", 6, "publishcheck"},
 }
 
 func runDriver(t *testing.T, args ...string) (int, string, string) {
@@ -95,6 +114,117 @@ func TestSeededViolationsText(t *testing.T) {
 	}
 }
 
+// TestSeededFlowViolations pins the flow-analyzer fixture to its exact
+// finding set: one violation per file, nothing else. A regression in the
+// CFG, the dominator computation or any analyzer's matching shows up here
+// as a changed set.
+func TestSeededFlowViolations(t *testing.T) {
+	code, out, errOut := runDriver(t, "-json", flowFixture)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, errOut)
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("output is not a JSON diagnostic array: %v\n%s", err, out)
+	}
+	if len(diags) != len(seededFlow) {
+		t.Fatalf("got %d diagnostics, want %d:\n%s", len(diags), len(seededFlow), out)
+	}
+	for i, want := range seededFlow {
+		d := diags[i]
+		if d.File != want.file || d.Line != want.line || d.Analyzer != want.analyzer {
+			t.Errorf("diag[%d] = %s:%d [%s], want %s:%d [%s]",
+				i, d.File, d.Line, d.Analyzer, want.file, want.line, want.analyzer)
+		}
+	}
+	if !strings.Contains(errOut, "6 finding(s)") {
+		t.Errorf("stderr summary missing finding count: %q", errOut)
+	}
+}
+
+// TestSARIFGolden pins the -format sarif rendering of the pipeline fixture
+// byte-for-byte. Regenerate with:
+//
+//	go run . -format sarif testdata/src/internal/pipeline > testdata/pipeline.sarif
+func TestSARIFGolden(t *testing.T) {
+	code, out, _ := runDriver(t, "-format", "sarif", fixture)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	golden, err := os.ReadFile("testdata/pipeline.sarif")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(golden) {
+		t.Errorf("SARIF output diverges from testdata/pipeline.sarif\n got:\n%s\nwant:\n%s", out, golden)
+	}
+
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID string `json:"ruleId"`
+				Level  string `json:"level"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "flexvet" {
+		t.Fatalf("SARIF envelope is malformed: version=%q runs=%d", log.Version, len(log.Runs))
+	}
+	rules := make(map[string]bool)
+	for _, r := range log.Runs[0].Tool.Driver.Rules {
+		rules[r.ID] = true
+	}
+	for _, a := range lint.All() {
+		if !rules[a.Name] {
+			t.Errorf("rule table is missing analyzer %s", a.Name)
+		}
+	}
+	if !rules["flexvet"] {
+		t.Error("rule table is missing the flexvet pseudo-rule")
+	}
+	for i, r := range log.Runs[0].Results {
+		if !rules[r.RuleID] {
+			t.Errorf("result[%d] ruleId %q does not resolve in the rule table", i, r.RuleID)
+		}
+		if r.Level != "error" {
+			t.Errorf("result[%d] level = %q, want error", i, r.Level)
+		}
+	}
+}
+
+// TestSARIFCleanRun checks the empty-tree shape: a run with a full rule
+// table and an empty (non-null) results array, exit 0.
+func TestSARIFCleanRun(t *testing.T) {
+	code, out, errOut := runDriver(t, "-format", "sarif", "testdata/src/clean")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr:\n%s", code, errOut)
+	}
+	var log struct {
+		Runs []struct {
+			Results []json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if len(log.Runs) != 1 || log.Runs[0].Results == nil || len(log.Runs[0].Results) != 0 {
+		t.Errorf("clean SARIF run must carry an empty results array, got:\n%s", out)
+	}
+}
+
 func TestCleanPackage(t *testing.T) {
 	code, out, errOut := runDriver(t, "testdata/src/clean")
 	if code != 0 || out != "" || errOut != "" {
@@ -141,6 +271,9 @@ func TestUsageErrors(t *testing.T) {
 	}
 	if code, _, _ := runDriver(t, "no/such/dir"); code != 2 {
 		t.Errorf("missing package dir must exit 2, got %d", code)
+	}
+	if code, _, errOut := runDriver(t, "-format", "yaml", fixture); code != 2 || !strings.Contains(errOut, "unknown format") {
+		t.Errorf("unknown format: exit=%d stderr=%q, want 2 with an explanation", code, errOut)
 	}
 }
 

@@ -1,0 +1,15 @@
+package market
+
+import "fmt"
+
+// renderPage formats the listing page rows — the seeded alloccheck
+// violation: a fmt.Sprintf allocation inside the loop of a hot path.
+//
+//flexvet:hotpath one row per record on every listing request
+func renderPage(ids []string) []string {
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, fmt.Sprintf("id=%s", id))
+	}
+	return out
+}

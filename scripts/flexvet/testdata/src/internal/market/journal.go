@@ -1,0 +1,10 @@
+package market
+
+// applyDirect mutates the journaled records under the write lock without
+// appending to the journal first — the seeded journalcheck violation. The
+// lock is held, so only the write-ahead contract is broken here.
+func (sh *flowShard) applyDirect(id string) {
+	sh.mu.Lock()
+	sh.insertLocked(id)
+	sh.mu.Unlock()
+}

@@ -1,0 +1,7 @@
+package market
+
+// notify republishes the current sequence to late subscribers without
+// taking the shard lock — the seeded publishcheck violation.
+func (sh *flowShard) notify() {
+	sh.publishLocked()
+}
