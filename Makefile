@@ -10,9 +10,10 @@ test:
 
 # Race-detect the packages with real concurrency: the batch-extraction
 # worker pool, the market store (event stream included), its write-ahead
-# journal and the scheduler service (plus the commands that drive them).
+# journal, the scheduler and KPI services (plus the commands that drive
+# them).
 race:
-	$(GO) test -race ./internal/pipeline ./internal/market ./internal/wal ./internal/sched ./cmd/flexextract ./cmd/mirabeld
+	$(GO) test -race ./internal/pipeline ./internal/market ./internal/wal ./internal/sched ./internal/kpi ./cmd/flexextract ./cmd/mirabeld
 
 race-all:
 	$(GO) test -race ./...
@@ -54,6 +55,7 @@ fuzz:
 	$(GO) test -run XXX -fuzz FuzzListQuery -fuzztime 30s ./internal/market
 	$(GO) test -run XXX -fuzz FuzzWALReplay -fuzztime 30s ./internal/wal
 	$(GO) test -run XXX -fuzz FuzzScheduleQuery -fuzztime 30s ./internal/sched
+	$(GO) test -run XXX -fuzz FuzzKPIQuery -fuzztime 30s ./internal/kpi
 	$(GO) test -run XXX -fuzz FuzzLintDirectives -fuzztime 30s ./internal/lint
 
 # Short fuzz pass for CI: 10 seconds per target, enough to catch a freshly
@@ -66,6 +68,7 @@ fuzz-smoke:
 	$(GO) test -run XXX -fuzz FuzzListQuery -fuzztime 10s ./internal/market
 	$(GO) test -run XXX -fuzz FuzzWALReplay -fuzztime 10s ./internal/wal
 	$(GO) test -run XXX -fuzz FuzzScheduleQuery -fuzztime 10s ./internal/sched
+	$(GO) test -run XXX -fuzz FuzzKPIQuery -fuzztime 10s ./internal/kpi
 	$(GO) test -run XXX -fuzz FuzzLintDirectives -fuzztime 10s ./internal/lint
 
 # Soak: the end-to-end extraction→market loop under fault injection and

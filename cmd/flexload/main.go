@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/flexoffer"
+	"repro/internal/kpi"
 	"repro/internal/market"
 	"repro/internal/obs"
 )
@@ -126,6 +127,29 @@ type Report struct {
 	// not expose the market_shard_* families (plain market.Server without
 	// a metrics endpoint, or a pre-sharding daemon).
 	Shards []ShardReport `json:"shards,omitempty"`
+	// KPI is the server's flexibility KPI report at the end of the run,
+	// scraped from GET /kpi, with the generator's own offer ledger
+	// reconciled against the server-side fold. Nil when the target has no
+	// /kpi route (bare market.Server fixtures, pre-KPI daemons).
+	KPI *KPIBlock `json:"kpi,omitempty"`
+}
+
+// KPIBlock embeds the target's KPI report plus the reconciliation of the
+// load generator's client-side counters against the server-side fold.
+// For the workers' own offers (owners load-<seed>-w<i>) submissions and
+// acceptances must agree exactly: the client only counts an op after a
+// 2xx answer, the daemon's fault injection rejects requests before they
+// reach the store, and no other actor performs those transitions — so
+// every client-confirmed submit/accept is exactly one folded store
+// event. Assignments are a lower bound: a concurrent scheduling round
+// (-schedule-every, or the daemon's own scheduler) may assign a worker's
+// accepted offer first, in which case the worker's own assign fails a
+// state check and is never client-counted. A non-empty
+// ReconciliationErrors therefore means the KPI fold lost or
+// double-counted an event.
+type KPIBlock struct {
+	Report               kpi.Report `json:"report"`
+	ReconciliationErrors []string   `json:"reconciliation_errors"`
 }
 
 // ShardReport is one shard's contention counters in the report.
@@ -255,6 +279,12 @@ func run(ctx context.Context, cfg config) (Report, error) {
 			P95Ms:  snap.Quantile(0.95) * 1000,
 			P99Ms:  snap.Quantile(0.99) * 1000,
 		}
+		// An op the run never performed (schedule without -schedule-every)
+		// has no distribution — its quantiles are NaN, which the JSON
+		// encoder refuses. Leave it out of the report instead.
+		if st.Count == 0 && st.Errors == 0 {
+			continue
+		}
 		rep.Ops[op] = st
 		rep.TotalOps += st.Count
 		rep.TotalErrors += st.Errors
@@ -268,7 +298,63 @@ func run(ctx context.Context, cfg config) (Report, error) {
 	if shards, err := fetchShardStats(httpClient, cfg.BaseURL); err == nil {
 		rep.Shards = shards
 	}
+	// Same best-effort contract for the KPI report: targets without a /kpi
+	// route simply produce a report without the block.
+	if kpiRep, err := fetchKPI(httpClient, cfg.BaseURL); err == nil {
+		rep.KPI = reconcileKPI(kpiRep, cfg, rep)
+	}
 	return rep, nil
+}
+
+// fetchKPI scrapes the target's KPI report.
+func fetchKPI(httpClient *http.Client, baseURL string) (kpi.Report, error) {
+	var rep kpi.Report
+	resp, err := httpClient.Get(baseURL + "/kpi")
+	if err != nil {
+		return rep, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return rep, fmt.Errorf("GET /kpi: %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// reconcileKPI sums the server-side KPI counts over this run's worker
+// owners and diffs them against the client-side ledger. The owner filter
+// makes the check robust to traffic the generator did not create (seeded
+// offers, other flexload runs against the same daemon).
+func reconcileKPI(kpiRep kpi.Report, cfg config, rep Report) *KPIBlock {
+	block := &KPIBlock{Report: kpiRep, ReconciliationErrors: []string{}}
+	var submitted, accepted, assigned uint64
+	for w := 0; w < cfg.Concurrency; w++ {
+		v, ok := kpiRep.Owners[fmt.Sprintf("load-%d-w%d", cfg.Seed, w)]
+		if !ok {
+			continue
+		}
+		submitted += v.Submitted
+		accepted += v.Accepted
+		assigned += v.Assigned
+	}
+	check := func(name string, server, client uint64) {
+		if server != client {
+			block.ReconciliationErrors = append(block.ReconciliationErrors,
+				fmt.Sprintf("%s: server KPI fold has %d, client confirmed %d", name, server, client))
+		}
+	}
+	check("submitted", submitted, rep.OffersSubmitted)
+	check("accepted", accepted, rep.OffersAccepted)
+	// Client-confirmed assignments are a floor, not an identity: a
+	// scheduling round may win the race for an accepted offer (see
+	// KPIBlock).
+	if assigned < rep.OffersAssigned {
+		block.ReconciliationErrors = append(block.ReconciliationErrors,
+			fmt.Sprintf("assigned: server KPI fold has %d, below the %d the clients confirmed", assigned, rep.OffersAssigned))
+	}
+	return block
 }
 
 // postScheduleRun triggers one scheduling round on the target daemon.

@@ -15,7 +15,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/flexoffer"
+	"repro/internal/kpi"
 	"repro/internal/market"
+	"repro/internal/num"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/sched"
@@ -87,19 +89,29 @@ type phaseResult struct {
 	retries    int
 	faultTotal uint64
 	faults     map[string]uint64
+	// deadByOwner attributes dead-lettered offers to their ConsumerID, the
+	// attribution the KPI fold expects via ObserveDeadLetters.
+	deadByOwner map[string]uint64
 }
 
 func runPipelinePhase(t *testing.T, jobs []pipeline.Job, workers int) phaseResult {
+	t.Helper()
+	// Logical clock before every extracted deadline, as a replay
+	// deployment would pin it.
+	clock := soakStart.Add(-48 * time.Hour)
+	return runPipelinePhaseOn(t, market.NewStore(func() time.Time { return clock }), jobs, workers)
+}
+
+// runPipelinePhaseOn is runPipelinePhase against a caller-owned store, so
+// a test can hang observers (the KPI event fold) off the store before the
+// faulty traffic starts.
+func runPipelinePhaseOn(t *testing.T, store *market.Store, jobs []pipeline.Job, workers int) phaseResult {
 	t.Helper()
 	prof, err := faultinject.ParseProfile(soakProfile)
 	if err != nil {
 		t.Fatal(err)
 	}
 	schedule := faultinject.NewSchedule(prof)
-	// Logical clock before every extracted deadline, as a replay
-	// deployment would pin it.
-	clock := soakStart.Add(-48 * time.Hour)
-	store := market.NewStore(func() time.Time { return clock })
 	storeSink := &pipeline.StoreSink{Store: store}
 	resilient := pipeline.NewResilientSink(faultinject.WrapSink(storeSink, schedule), soakPolicy(), nil)
 
@@ -110,14 +122,21 @@ func runPipelinePhase(t *testing.T, jobs []pipeline.Job, workers int) phaseResul
 	}
 	submitted, rejected := storeSink.Counts()
 	faults := schedule.Counts()
+	deadByOwner := make(map[string]uint64)
+	for _, dl := range resilient.DeadLetters() {
+		for _, fo := range dl.Offers {
+			deadByOwner[fo.ConsumerID]++
+		}
+	}
 	return phaseResult{
-		stats:      stats,
-		submitted:  submitted,
-		rejected:   rejected,
-		dead:       resilient.DeadLetteredOffers(),
-		retries:    resilient.Retries(),
-		faultTotal: faults["total"],
-		faults:     faults,
+		stats:       stats,
+		submitted:   submitted,
+		rejected:    rejected,
+		dead:        resilient.DeadLetteredOffers(),
+		retries:     resilient.Retries(),
+		faultTotal:  faults["total"],
+		faults:      faults,
+		deadByOwner: deadByOwner,
 	}
 }
 
@@ -266,12 +285,18 @@ func TestSoakScheduleRound(t *testing.T) {
 		t.Fatalf("sched.New: %v", err)
 	}
 	defer svc.Close()
+	kpiSvc, err := kpi.NewService(kpi.ServiceConfig{Store: store})
+	if err != nil {
+		t.Fatalf("kpi.NewService: %v", err)
+	}
+	defer kpiSvc.Close()
 
 	mux := http.NewServeMux()
 	mux.Handle("/", market.NewServer(store))
 	mux.Handle("/aggregates", svc.Handler())
 	mux.Handle("/schedule", svc.Handler())
 	mux.Handle("/schedule/", svc.Handler())
+	mux.Handle("/kpi", kpiSvc.Handler())
 	srv := httptest.NewServer(mux)
 	defer srv.Close()
 
@@ -346,6 +371,17 @@ func TestSoakScheduleRound(t *testing.T) {
 	if assigned == 0 {
 		t.Fatal("no seeded offer was assigned by a scheduling round")
 	}
+	// The report carries the server's KPI block, and the generator's own
+	// ledger reconciles against the server-side fold with zero errors.
+	if rep.KPI == nil {
+		t.Fatal("report has no KPI block despite a /kpi route")
+	}
+	if len(rep.KPI.ReconciliationErrors) != 0 {
+		t.Fatalf("KPI reconciliation failed: %v", rep.KPI.ReconciliationErrors)
+	}
+	if rep.KPI.Report.Global.Submitted == 0 {
+		t.Fatal("KPI block is empty despite live traffic")
+	}
 }
 
 // TestSoakJournaledStoreSurvivesRestart is the recovery-aware soak: the
@@ -409,5 +445,167 @@ func TestSoakJournaledStoreSurvivesRestart(t *testing.T) {
 	rec := journal2.Recovery()
 	if rec.Offers != int(rep.OffersSubmitted) {
 		t.Fatalf("recovery reports %d offers, want %d", rec.Offers, rep.OffersSubmitted)
+	}
+}
+
+// TestSoakKPIConsistency closes the books on the KPI fold: the live
+// tracker follows a store that is being written through the faulty retry
+// pipeline, and at the end (a) the KPI ledger must reconcile exactly with
+// the zero-lost-offers accounting (emitted == stored + rejected +
+// dead-lettered, with the KPI report holding the stored and dead counts),
+// and (b) GET /kpi must agree with a batch recompute over the paginated
+// /offers listing — counts bitwise, energy sums within float tolerance
+// (the two folds accumulate in different event orders).
+func TestSoakKPIConsistency(t *testing.T) {
+	clock := soakStart.Add(-48 * time.Hour)
+	store := market.NewStore(func() time.Time { return clock })
+	cfg := kpi.Config{Resolution: 15 * time.Minute}
+	svc, err := kpi.NewService(kpi.ServiceConfig{Store: store, Config: cfg})
+	if err != nil {
+		t.Fatalf("kpi.NewService: %v", err)
+	}
+	defer svc.Close()
+
+	nJobs := 16
+	if testing.Short() {
+		nJobs = 6
+	}
+	res := runPipelinePhaseOn(t, store, soakJobs(nJobs), 4)
+	if res.stats.OffersEmitted == 0 {
+		t.Fatal("extraction emitted no offers; the soak exercised nothing")
+	}
+
+	// Move a slice of the survivors through the rest of the lifecycle so
+	// the derived KPIs (shift factor, peak reduction, realisation) are
+	// non-trivial, not just the submission counters.
+	assigned := 0
+	for _, rec := range store.List(market.Offered) {
+		if assigned == 8 {
+			break
+		}
+		if err := store.Accept(rec.Offer.ID); err != nil {
+			t.Fatalf("accept %s: %v", rec.Offer.ID, err)
+		}
+		energies := make([]float64, len(rec.Offer.Profile))
+		for i, s := range rec.Offer.Profile {
+			energies[i] = s.AvgEnergy()
+		}
+		if _, err := store.Assign(rec.Offer.ID, rec.Offer.EarliestStart, energies); err != nil {
+			t.Fatalf("assign %s: %v", rec.Offer.ID, err)
+		}
+		assigned++
+	}
+	if assigned == 0 {
+		t.Fatal("no offered records survived the faulty phase")
+	}
+
+	// The dead-letter set arrives out of band, attributed per owner the
+	// way a daemon would feed it from the pipeline accounting.
+	for owner, n := range res.deadByOwner {
+		svc.ObserveDeadLetters(owner, n)
+	}
+
+	// (a) The KPI ledger reconciles with the zero-lost-offers contract.
+	if got := res.submitted + res.rejected + res.dead; got != res.stats.OffersEmitted {
+		t.Fatalf("lost offers: emitted %d, accounted %d", res.stats.OffersEmitted, got)
+	}
+	rep := svc.Report()
+	if rep.Global.Submitted != uint64(res.submitted) {
+		t.Fatalf("KPI submitted %d, store sink stored %d", rep.Global.Submitted, res.submitted)
+	}
+	if rep.Global.DeadLettered != uint64(res.dead) {
+		t.Fatalf("KPI dead-lettered %d, resilient sink recorded %d", rep.Global.DeadLettered, res.dead)
+	}
+	if rep.Global.Assigned != uint64(assigned) {
+		t.Fatalf("KPI assigned %d, test assigned %d", rep.Global.Assigned, assigned)
+	}
+	wantLoss := float64(res.dead) / float64(res.submitted+res.dead)
+	if !num.EqTol(rep.Global.DeadLetterLossRatio, wantLoss, 1e-9) {
+		t.Fatalf("dead-letter loss ratio %v, want %v", rep.Global.DeadLetterLossRatio, wantLoss)
+	}
+
+	// (b) GET /kpi against a daemon-shaped handler agrees with a batch
+	// recompute over the paginated /offers walk.
+	mux := http.NewServeMux()
+	mux.Handle("/", market.NewServer(store))
+	mux.Handle("/kpi", svc.Handler())
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var httpRep kpi.Report
+	resp, err := srv.Client().Get(srv.URL + "/kpi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /kpi = %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&httpRep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	client := &market.Client{BaseURL: srv.URL, HTTPClient: srv.Client()}
+	var records []market.Record
+	q := market.ListQuery{Limit: 5}
+	pages := 0
+	for {
+		page, err := client.ListPage(q)
+		if err != nil {
+			t.Fatalf("page %d: %v", pages, err)
+		}
+		records = append(records, page.Records...)
+		pages++
+		if page.NextCursor == "" {
+			break
+		}
+		q.Cursor = page.NextCursor
+	}
+	if pages < 2 {
+		t.Fatalf("pagination not exercised: %d records in %d page(s)", len(records), pages)
+	}
+	batchRep, err := kpi.FromRecords(cfg, records, res.deadByOwner)
+	if err != nil {
+		t.Fatalf("FromRecords: %v", err)
+	}
+
+	// Counts must match bitwise; energy folds accumulated in different
+	// orders (live event order vs pagination order) may differ in the
+	// last ulps.
+	g, b := httpRep.Global, batchRep.Global
+	if g.Submitted != b.Submitted || g.Accepted != b.Accepted || g.Rejected != b.Rejected ||
+		g.Assigned != b.Assigned || g.DeadLettered != b.DeadLettered {
+		t.Fatalf("count mismatch:\n  /kpi:  %+v\n  batch: %+v", g.Totals, b.Totals)
+	}
+	for _, c := range []struct {
+		name      string
+		live, rec float64
+	}{
+		{"offered_kwh", g.OfferedKWh, b.OfferedKWh},
+		{"assigned_kwh", g.AssignedKWh, b.AssignedKWh},
+		{"off_peak_assigned_kwh", g.OffPeakAssignedKWh, b.OffPeakAssignedKWh},
+		{"baseline_peak_kwh", g.BaselinePeakKWh, b.BaselinePeakKWh},
+		{"realised_peak_kwh", g.RealisedPeakKWh, b.RealisedPeakKWh},
+		{"shift_factor", g.ShiftFactor, b.ShiftFactor},
+		{"peak_reduction", g.PeakReduction, b.PeakReduction},
+		{"energy_realisation", g.EnergyRealisation, b.EnergyRealisation},
+		{"time_flex_use", g.TimeFlexUse, b.TimeFlexUse},
+		{"dead_letter_loss_ratio", g.DeadLetterLossRatio, b.DeadLetterLossRatio},
+	} {
+		if !num.EqTol(c.live, c.rec, 1e-6) {
+			t.Errorf("%s: /kpi %v vs batch recompute %v", c.name, c.live, c.rec)
+		}
+	}
+	if len(httpRep.Owners) != len(batchRep.Owners) {
+		t.Fatalf("owner sets differ: /kpi %d vs batch %d", len(httpRep.Owners), len(batchRep.Owners))
+	}
+	for owner, lv := range httpRep.Owners {
+		bv, ok := batchRep.Owners[owner]
+		if !ok {
+			t.Fatalf("owner %q missing from batch recompute", owner)
+		}
+		if lv.Submitted != bv.Submitted || lv.Assigned != bv.Assigned || lv.DeadLettered != bv.DeadLettered {
+			t.Errorf("owner %q counts: /kpi %+v vs batch %+v", owner, lv.Totals, bv.Totals)
+		}
 	}
 }

@@ -33,6 +33,7 @@ func TestAPIDocCoversAllRoutes(t *testing.T) {
 
 	registered := make(map[string]bool)
 	routes := append(market.Routes(), schedRoutes()...)
+	routes = append(routes, kpiRoutes()...)
 	for _, r := range append(routes, opsRoutes(true)...) {
 		registered[fmt.Sprintf("%s %s", r.Method, r.Pattern)] = true
 	}

@@ -54,6 +54,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/kpi"
 	"repro/internal/market"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
@@ -227,9 +228,25 @@ func run(cfg config, logger *obs.Logger) error {
 	sched.RegisterServiceMetrics(reg, schedSvc)
 	schedAPI := obs.Middleware(schedSvc.Handler(), httpMetrics, market.RouteLabel, logger)
 
+	// The KPI service rides the same event stream: it bootstraps from the
+	// recovered store via SubscribeReplay and folds every later lifecycle
+	// transition, so GET /kpi always reflects the store exactly. Its peak
+	// buckets share the scheduler's grid resolution.
+	kpiSvc, err := kpi.NewService(kpi.ServiceConfig{
+		Store:  store,
+		Config: kpi.Config{Resolution: cfg.scheduleResolution},
+		Logger: logger,
+	})
+	if err != nil {
+		return fmt.Errorf("kpi: %w", err)
+	}
+	defer kpiSvc.Close()
+	kpi.RegisterServiceMetrics(reg, kpiSvc)
+	kpiAPI := obs.Middleware(kpiSvc.Handler(), httpMetrics, market.RouteLabel, logger)
+
 	var ready atomic.Bool
 	api := market.NewServer(store, apiOpts...)
-	handler := newHandler(api, schedAPI, reg, &ready, cfg.pprof)
+	handler := newHandler(api, schedAPI, kpiAPI, reg, &ready, cfg.pprof)
 
 	srv := &http.Server{Addr: cfg.addr, Handler: handler}
 	errc := make(chan error, 1)

@@ -36,20 +36,33 @@ func schedRoutes() []market.Route {
 	}
 }
 
+// kpiRoutes is the inventory of the KPI API (internal/kpi), mounted by
+// newHandler and documented in docs/API.md alongside the market,
+// scheduling and ops routes.
+func kpiRoutes() []market.Route {
+	return []market.Route{
+		{Method: http.MethodGet, Pattern: "/kpi", Summary: "flexibility KPI report (?owner= selects one owner, ?owners=false drops the breakdown)"},
+	}
+}
+
 // newHandler assembles the daemon's full HTTP surface: the flex-offer API
 // at the root, the scheduling API (aggregates and scheduling rounds), the
-// metrics exposition, the health and readiness probes, and — only when
-// pprofOn — the net/http/pprof handlers. Keeping pprof behind a flag
-// means a production deployment exposes no profiling endpoints unless
-// explicitly asked to. schedAPI may be nil, which leaves the scheduling
-// routes unmounted (test fixtures that only exercise ops endpoints).
-func newHandler(api, schedAPI http.Handler, reg *obs.Registry, ready *atomic.Bool, pprofOn bool) http.Handler {
+// KPI report, the metrics exposition, the health and readiness probes,
+// and — only when pprofOn — the net/http/pprof handlers. Keeping pprof
+// behind a flag means a production deployment exposes no profiling
+// endpoints unless explicitly asked to. schedAPI and kpiAPI may be nil,
+// which leaves those routes unmounted (test fixtures that only exercise
+// ops endpoints).
+func newHandler(api, schedAPI, kpiAPI http.Handler, reg *obs.Registry, ready *atomic.Bool, pprofOn bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/", api)
 	if schedAPI != nil {
 		mux.Handle("/aggregates", schedAPI)
 		mux.Handle("/schedule", schedAPI)
 		mux.Handle("/schedule/", schedAPI)
+	}
+	if kpiAPI != nil {
+		mux.Handle("/kpi", kpiAPI)
 	}
 	mux.Handle("/metrics", reg.Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -11,6 +12,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/flexoffer"
+	"repro/internal/kpi"
 	"repro/internal/market"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
@@ -35,7 +38,14 @@ func newOpsHandler(t *testing.T, clock func() time.Time, pprofOn bool) (http.Han
 	t.Cleanup(func() { svc.Close() })
 	sched.RegisterServiceMetrics(reg, svc)
 	schedAPI := obs.Middleware(svc.Handler(), httpMetrics, market.RouteLabel, nil)
-	return newHandler(api, schedAPI, reg, ready, pprofOn), store, reg, telemetry, ready
+	kpiSvc, err := kpi.NewService(kpi.ServiceConfig{Store: store})
+	if err != nil {
+		t.Fatalf("kpi.NewService: %v", err)
+	}
+	t.Cleanup(kpiSvc.Close)
+	kpi.RegisterServiceMetrics(reg, kpiSvc)
+	kpiAPI := obs.Middleware(kpiSvc.Handler(), httpMetrics, market.RouteLabel, nil)
+	return newHandler(api, schedAPI, kpiAPI, reg, ready, pprofOn), store, reg, telemetry, ready
 }
 
 func get(t *testing.T, h http.Handler, path string) (int, string) {
@@ -142,5 +152,68 @@ func TestPprofGating(t *testing.T) {
 	on, _, _, _, _ := newOpsHandler(t, nil, true)
 	if code, body := get(t, on, "/debug/pprof/"); code != 200 || !strings.Contains(body, "profiles") {
 		t.Errorf("pprof on: /debug/pprof/ = %d", code)
+	}
+}
+
+// TestKPIEndpointEndToEnd drives one offer through its lifecycle against
+// the full daemon surface and checks GET /kpi reflects it — counts,
+// derived indicators and the kpi_* metric families on /metrics.
+func TestKPIEndpointEndToEnd(t *testing.T) {
+	now := time.Date(2012, 6, 4, 12, 0, 0, 0, time.UTC)
+	h, store, _, _, _ := newOpsHandler(t, func() time.Time { return now }, false)
+
+	earliest := now.Add(2 * time.Hour)
+	offer := &flexoffer.FlexOffer{
+		ID:            "kpi-1",
+		ConsumerID:    "house-kpi",
+		EarliestStart: earliest,
+		LatestStart:   earliest.Add(time.Hour),
+		Profile:       []flexoffer.Slice{{Duration: time.Hour, MinEnergy: 1, MaxEnergy: 3}},
+	}
+	if err := store.Submit(offer); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Accept("kpi-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Assign("kpi-1", earliest.Add(time.Hour), []float64{2}); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := get(t, h, "/kpi")
+	if code != 200 {
+		t.Fatalf("GET /kpi = %d: %s", code, body)
+	}
+	var rep kpi.Report
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("GET /kpi: invalid JSON: %v", err)
+	}
+	if rep.Global.Submitted != 1 || rep.Global.Assigned != 1 {
+		t.Fatalf("global counts off: %+v", rep.Global.Totals)
+	}
+	if v, ok := rep.Owners["house-kpi"]; !ok || v.AssignedKWh != 2 {
+		t.Fatalf("owner breakdown off: %+v", rep.Owners)
+	}
+	if rep.Global.TimeFlexUse != 1 {
+		t.Fatalf("TimeFlexUse = %v, want 1 (shifted to the window edge)", rep.Global.TimeFlexUse)
+	}
+
+	if code, body := get(t, h, "/kpi?owner=ghost"); code != 404 || !strings.Contains(body, "error") {
+		t.Fatalf("GET /kpi?owner=ghost = %d %s, want 404 envelope", code, body)
+	}
+
+	code, body = get(t, h, "/metrics")
+	if code != 200 {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	for _, want := range []string{
+		"kpi_offers_submitted_total 1",
+		"kpi_offers_assigned_total 1",
+		"kpi_assigned_kwh_total 2",
+		"kpi_acceptance_precision 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
 	}
 }

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/flexoffer"
 	"repro/internal/household"
+	"repro/internal/kpi"
 	"repro/internal/timeseries"
 )
 
@@ -178,14 +179,12 @@ func topQuartileShare(amount, reference [24]float64) float64 {
 }
 
 // MatchStats scores extracted offers against ground-truth flexible
-// activations.
+// activations. The embedded kpi.PRF carries the confusion tally and its
+// derived precision/recall/F1 — the same shared definitions the market's
+// acceptance KPI uses (internal/kpi is the single source of truth for
+// that arithmetic).
 type MatchStats struct {
-	TruePositives  int
-	FalsePositives int
-	FalseNegatives int
-	Precision      float64
-	Recall         float64
-	F1             float64
+	kpi.PRF
 	// MeanEnergyError is the mean relative energy error over matched
 	// pairs.
 	MeanEnergyError float64
@@ -203,7 +202,7 @@ func MatchOffers(offers flexoffer.Set, truth []household.Activation, tol time.Du
 		}
 	}
 	used := make([]bool, len(flexTruth))
-	var stats MatchStats
+	var tally kpi.Confusion
 	var energyErrSum float64
 
 	sorted := append(flexoffer.Set(nil), offers...)
@@ -227,25 +226,23 @@ func MatchOffers(offers flexoffer.Set, truth []household.Activation, tol time.Du
 			}
 		}
 		if bestIdx < 0 {
-			stats.FalsePositives++
+			tally.FalsePositives++
 			continue
 		}
 		used[bestIdx] = true
-		stats.TruePositives++
+		tally.TruePositives++
 		if e := flexTruth[bestIdx].Energy; e > 0 {
 			energyErrSum += math.Abs(f.TotalAvgEnergy()-e) / e
 		}
 	}
 	for _, u := range used {
 		if !u {
-			stats.FalseNegatives++
+			tally.FalseNegatives++
 		}
 	}
-	if stats.TruePositives > 0 {
-		stats.Precision = float64(stats.TruePositives) / float64(stats.TruePositives+stats.FalsePositives)
-		stats.Recall = float64(stats.TruePositives) / float64(stats.TruePositives+stats.FalseNegatives)
-		stats.F1 = 2 * stats.Precision * stats.Recall / (stats.Precision + stats.Recall)
-		stats.MeanEnergyError = energyErrSum / float64(stats.TruePositives)
+	stats := MatchStats{PRF: tally.PRF()}
+	if tally.TruePositives > 0 {
+		stats.MeanEnergyError = energyErrSum / float64(tally.TruePositives)
 	}
 	return stats
 }

@@ -1,0 +1,72 @@
+package kpi
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Handler serves the KPI API:
+//
+//	GET /kpi    full KPI report (?owner= selects one owner,
+//	            ?owners=false drops the per-owner breakdown)
+//
+// Mount it beside the market server; the daemon's observability
+// middleware wraps it like every other route.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/kpi", s.handleKPI)
+	return mux
+}
+
+func (s *Service) handleKPI(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		kpiError(w, http.StatusMethodNotAllowed, "method not allowed")
+		return
+	}
+	q := r.URL.Query()
+	owner, hasOwner := "", false
+	if raw := q.Get("owner"); raw != "" {
+		owner, hasOwner = raw, true
+	}
+	withOwners := true
+	if raw := q.Get("owners"); raw != "" {
+		b, err := strconv.ParseBool(raw)
+		if err != nil {
+			kpiError(w, http.StatusBadRequest, "owners must be a boolean")
+			return
+		}
+		withOwners = b
+	}
+	if hasOwner && !withOwners {
+		kpiError(w, http.StatusBadRequest, "owner and owners=false are mutually exclusive")
+		return
+	}
+
+	rep := s.Report()
+	if hasOwner {
+		vals, ok := rep.Owners[owner]
+		if !ok {
+			kpiError(w, http.StatusNotFound, "unknown owner "+strconv.Quote(owner))
+			return
+		}
+		rep.Owners = map[string]Values{owner: vals}
+	} else if !withOwners {
+		rep.Owners = nil
+	}
+	kpiJSON(w, http.StatusOK, rep)
+}
+
+// kpiJSON writes a JSON response.
+func kpiJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// kpiError writes the API's JSON error envelope.
+func kpiError(w http.ResponseWriter, status int, msg string) {
+	kpiJSON(w, status, struct {
+		Error string `json:"error"`
+	}{Error: msg})
+}

@@ -1,0 +1,216 @@
+package kpi
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/flexoffer"
+	"repro/internal/market"
+	"repro/internal/num"
+)
+
+// goldenDay anchors the hand-computed fixture.
+var goldenDay = time.Date(2012, 6, 4, 0, 0, 0, 0, time.UTC)
+
+// at is goldenDay plus h hours.
+func at(h float64) time.Time { return goldenDay.Add(time.Duration(h * float64(time.Hour))) }
+
+// goldenOffer builds a test offer with hourly slices of [min,max] kWh.
+func goldenOffer(id, owner string, earliest, latest time.Time, bounds ...[2]float64) *flexoffer.FlexOffer {
+	f := &flexoffer.FlexOffer{
+		ID:            id,
+		ConsumerID:    owner,
+		EarliestStart: earliest,
+		LatestStart:   latest,
+	}
+	for _, b := range bounds {
+		f.Profile = append(f.Profile, flexoffer.Slice{Duration: time.Hour, MinEnergy: b[0], MaxEnergy: b[1]})
+	}
+	return f
+}
+
+// eq asserts a float KPI against its hand-computed value.
+func eq(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if !num.Eq(got, want) {
+		t.Errorf("%s = %v, want %v", name, got, want)
+	}
+}
+
+// TestKPIGolden pins every KPI definition to a hand-computed three-offer
+// fixture so the definitions cannot silently drift: offer A shifts within
+// the peak window, offer B escapes it entirely, offer C expires unused,
+// and one dead letter is booked against A's owner.
+//
+// Hand computation (1 h buckets, peak window 18:00–22:00 UTC):
+//
+//	A (house-a): 2×1h slices [1,3] (avg 2 each), window 18:00→20:00,
+//	  assigned at 20:00 with [2,2]. Baseline buckets 18→2, 19→2 (all
+//	  peak); realised 20→2, 21→2 (all peak); shift 2 h of 2 h offered.
+//	B (house-b): 1×1h slice [2,4] (avg 3), window 19:00→23:00, assigned
+//	  at 23:00 with [3]. Baseline 19→3 (peak); realised 23→3 (off-peak);
+//	  shift 4 h of 4 h offered.
+//	C (house-a): 1×1h slice [1,1], window 20:00→20:00, expires offered.
+//
+//	Global: submitted 3, accepted 2, assigned 2, expired-offered 1;
+//	offered 8 kWh, assigned 7 kWh; off-peak assigned 3 kWh, off-peak
+//	baseline 0; baseline peak 5 kWh (bucket 19:00 = 2+3), realised peak
+//	3 kWh (bucket 23:00) → peak reduction 0.4; shift factor 3/7;
+//	acceptance TP=2 FP=0 FN=1 → precision 1, recall 2/3, F1 0.8;
+//	expiry loss 1/3; with 1 dead letter, dead-letter loss 1/4.
+func TestKPIGolden(t *testing.T) {
+	cfg := Config{Resolution: time.Hour, PeakStartHour: 18, PeakEndHour: 22}
+	a := goldenOffer("a", "house-a", at(18), at(20), [2]float64{1, 3}, [2]float64{1, 3})
+	b := goldenOffer("b", "house-b", at(19), at(23), [2]float64{2, 4})
+	c := goldenOffer("c", "house-a", at(20), at(20), [2]float64{1, 1})
+
+	events := []market.StoreEvent{
+		{Kind: market.EventSubmitted, Offer: a},
+		{Kind: market.EventSubmitted, Offer: b},
+		{Kind: market.EventSubmitted, Offer: c},
+		{Kind: market.EventAccepted, Offer: a},
+		{Kind: market.EventAccepted, Offer: b},
+		{Kind: market.EventAssigned, Offer: a, Start: at(20), Energies: []float64{2, 2}},
+		{Kind: market.EventAssigned, Offer: b, Start: at(23), Energies: []float64{3}},
+		{Kind: market.EventExpired, Offer: c},
+	}
+
+	tr, err := NewTracker(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		tr.Apply(ev)
+	}
+	tr.ObserveDeadLetters("house-a", 1)
+	rep := tr.Report()
+
+	if rep.Events != uint64(len(events)) {
+		t.Fatalf("Events = %d, want %d", rep.Events, len(events))
+	}
+	g := rep.Global
+	if g.Submitted != 3 || g.Accepted != 2 || g.Assigned != 2 ||
+		g.ExpiredOffered != 1 || g.ExpiredAccepted != 0 || g.Rejected != 0 || g.DeadLettered != 1 {
+		t.Fatalf("global counts off: %+v", g.Totals)
+	}
+	eq(t, "OfferedKWh", g.OfferedKWh, 8)
+	eq(t, "AssignedKWh", g.AssignedKWh, 7)
+	eq(t, "AssignedOfferedKWh", g.AssignedOfferedKWh, 7)
+	eq(t, "OffPeakAssignedKWh", g.OffPeakAssignedKWh, 3)
+	eq(t, "OffPeakBaselineKWh", g.OffPeakBaselineKWh, 0)
+	eq(t, "ShiftSeconds", g.ShiftSeconds, 6*3600)
+	eq(t, "TimeFlexSeconds", g.TimeFlexSeconds, 6*3600)
+	eq(t, "BaselinePeakKWh", g.BaselinePeakKWh, 5)
+	eq(t, "RealisedPeakKWh", g.RealisedPeakKWh, 3)
+	eq(t, "ShiftFactor", g.ShiftFactor, 3.0/7.0)
+	eq(t, "BaselineOffPeakShare", g.BaselineOffPeakShare, 0)
+	eq(t, "PeakReduction", g.PeakReduction, 0.4)
+	eq(t, "EnergyRealisation", g.EnergyRealisation, 1)
+	eq(t, "TimeFlexUse", g.TimeFlexUse, 1)
+	eq(t, "Acceptance.Precision", g.Acceptance.Precision, 1)
+	eq(t, "Acceptance.Recall", g.Acceptance.Recall, 2.0/3.0)
+	eq(t, "Acceptance.F1", g.Acceptance.F1, 0.8)
+	eq(t, "ExpiryLossRatio", g.ExpiryLossRatio, 1.0/3.0)
+	eq(t, "DeadLetterLossRatio", g.DeadLetterLossRatio, 0.25)
+
+	ha, ok := rep.Owners["house-a"]
+	if !ok {
+		t.Fatal("missing owner house-a")
+	}
+	if ha.Submitted != 2 || ha.Assigned != 1 || ha.ExpiredOffered != 1 || ha.DeadLettered != 1 {
+		t.Fatalf("house-a counts off: %+v", ha.Totals)
+	}
+	eq(t, "house-a ShiftFactor", ha.ShiftFactor, 0)
+	eq(t, "house-a PeakReduction", ha.PeakReduction, 0)
+	eq(t, "house-a Acceptance.Recall", ha.Acceptance.Recall, 0.5)
+	eq(t, "house-a ExpiryLossRatio", ha.ExpiryLossRatio, 0.5)
+	eq(t, "house-a DeadLetterLossRatio", ha.DeadLetterLossRatio, 1.0/3.0)
+
+	hb, ok := rep.Owners["house-b"]
+	if !ok {
+		t.Fatal("missing owner house-b")
+	}
+	eq(t, "house-b ShiftFactor", hb.ShiftFactor, 1)
+	eq(t, "house-b PeakReduction", hb.PeakReduction, 0)
+	eq(t, "house-b TimeFlexUse", hb.TimeFlexUse, 1)
+}
+
+// TestOffPeakKWh pins the peak-window overlap arithmetic, including a run
+// that straddles the window edge and one that crosses midnight.
+func TestOffPeakKWh(t *testing.T) {
+	cfg := Config{Resolution: time.Hour, PeakStartHour: 18, PeakEndHour: 22}.withDefaults()
+
+	// 21:30–22:30: half inside the window → half of 2 kWh is off-peak.
+	eq(t, "straddle", cfg.offPeakKWh(at(21.5), time.Hour, 2), 1)
+	// Fully inside.
+	eq(t, "inside", cfg.offPeakKWh(at(19), 2*time.Hour, 3), 0)
+	// Fully outside.
+	eq(t, "outside", cfg.offPeakKWh(at(8), time.Hour, 3), 3)
+	// 23:00–19:00 next day: 20 h spanning midnight, 1 h of day-two peak
+	// (18:00–19:00) inside → 19/20 of the energy is off-peak.
+	eq(t, "midnight", cfg.offPeakKWh(at(23), 20*time.Hour, 20), 19)
+	// Zero duration books by the start's hour of day.
+	eq(t, "instant peak", cfg.offPeakKWh(at(19), 0, 5), 0)
+	eq(t, "instant off-peak", cfg.offPeakKWh(at(23), 0, 5), 5)
+}
+
+// TestSpreadEnergy pins the pro-rata bucket split.
+func TestSpreadEnergy(t *testing.T) {
+	got := map[int64]float64{}
+	// 10:30–12:30 @ 4 kWh on a 1 h grid: ½ + 1 + ½ hours.
+	spreadEnergy(time.Hour, at(10.5), 2*time.Hour, 4, func(slot int64, kwh float64) { got[slot] += kwh })
+	want := map[int64]float64{
+		at(10).UnixNano(): 1,
+		at(11).UnixNano(): 2,
+		at(12).UnixNano(): 1,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("touched %d buckets, want %d (%v)", len(got), len(want), got)
+	}
+	for slot, kwh := range want {
+		if !num.Eq(got[slot], kwh) {
+			t.Errorf("bucket %s = %v, want %v", time.Unix(0, slot).UTC(), got[slot], kwh)
+		}
+	}
+}
+
+// TestConfusionRates pins the shared precision/recall/F1 arithmetic,
+// including the all-zero cases that must yield 0, never NaN.
+func TestConfusionRates(t *testing.T) {
+	c := Confusion{TruePositives: 3, FalsePositives: 1, FalseNegatives: 2}
+	eq(t, "precision", c.Precision(), 0.75)
+	eq(t, "recall", c.Recall(), 0.6)
+	eq(t, "f1", c.F1(), 2*0.75*0.6/(0.75+0.6))
+
+	var zero Confusion
+	prf := zero.PRF()
+	if prf.Precision != 0 || prf.Recall != 0 || prf.F1 != 0 {
+		t.Fatalf("zero tally must derive zero rates, got %+v", prf)
+	}
+	onlyFN := Confusion{FalseNegatives: 4}
+	if p, r, f1 := onlyFN.Precision(), onlyFN.Recall(), onlyFN.F1(); p != 0 || r != 0 || f1 != 0 {
+		t.Fatalf("FN-only tally: precision %v recall %v f1 %v, want zeros", p, r, f1)
+	}
+	if math.IsNaN(onlyFN.F1()) {
+		t.Fatal("F1 must never be NaN")
+	}
+}
+
+// TestConfigValidate covers the window invariants.
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config must validate (defaults apply): %v", err)
+	}
+	bad := []Config{
+		{PeakStartHour: 21, PeakEndHour: 17},
+		{PeakStartHour: -1, PeakEndHour: 5},
+		{PeakStartHour: 3, PeakEndHour: 25},
+		{PeakStartHour: 7, PeakEndHour: 7},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %+v must not validate", cfg)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package kpi
+
+import (
+	"repro/internal/obs"
+)
+
+// RegisterServiceMetrics registers the kpi_* metric families on reg,
+// sourced from the service's global scope. Unlike the scheduler's
+// families these callbacks do drain the event stream: the fold work is
+// exactly the work a /kpi request would do, each event folds once
+// (amortised O(1)), and an idle drain is a mutex round-trip — so scrapes
+// stay cheap while the exported values track the store instead of the
+// last explicit read. Per-owner values are deliberately not exported:
+// owners are an unbounded label set, which the registry's bounded-label
+// discipline forbids; the /kpi endpoint carries the breakdown instead.
+func RegisterServiceMetrics(reg *obs.Registry, s *Service) {
+	reg.NewCounterFunc("kpi_events_folded_total", "Store lifecycle events folded into the KPI tracker (replay and live).", func() uint64 {
+		s.drain()
+		return s.tracker.Events()
+	})
+	reg.NewCounterFunc("kpi_offers_submitted_total", "Offers submitted, as seen by the KPI fold.", func() uint64 {
+		return s.GlobalValues().Submitted
+	})
+	reg.NewCounterFunc("kpi_offers_assigned_total", "Offers assigned a concrete schedule.", func() uint64 {
+		return s.GlobalValues().Assigned
+	})
+	reg.NewCounterFunc("kpi_offers_expired_total", "Offers lost to lifecycle deadlines (offered and accepted expiries).", func() uint64 {
+		v := s.GlobalValues()
+		return v.ExpiredOffered + v.ExpiredAccepted
+	})
+	reg.NewCounterFunc("kpi_offers_dead_lettered_total", "Offers dead-lettered before reaching the store (fed out of band).", func() uint64 {
+		return s.GlobalValues().DeadLettered
+	})
+	reg.NewGaugeFunc("kpi_assigned_kwh_total", "Energy scheduled across all assignments, in kWh.", func() float64 {
+		return s.GlobalValues().AssignedKWh
+	})
+	reg.NewGaugeFunc("kpi_shift_factor", "Energy-shift flexibility factor: share of realised energy outside the daily peak window.", func() float64 {
+		return s.GlobalValues().ShiftFactor
+	})
+	reg.NewGaugeFunc("kpi_peak_reduction", "Relative peak-load drop of the realised schedule vs the unshifted baseline.", func() float64 {
+		return s.GlobalValues().PeakReduction
+	})
+	reg.NewGaugeFunc("kpi_energy_realisation", "Assigned energy over the offered average energy of assigned offers.", func() float64 {
+		return s.GlobalValues().EnergyRealisation
+	})
+	reg.NewGaugeFunc("kpi_time_flex_use", "Used start shift over the offered start-window width of assigned offers.", func() float64 {
+		return s.GlobalValues().TimeFlexUse
+	})
+	reg.NewGaugeFunc("kpi_acceptance_precision", "Acceptance precision: assigned / (assigned + expired-after-accept).", func() float64 {
+		return s.GlobalValues().Acceptance.Precision
+	})
+	reg.NewGaugeFunc("kpi_acceptance_recall", "Acceptance recall: assigned / (assigned + expired-undecided).", func() float64 {
+		return s.GlobalValues().Acceptance.Recall
+	})
+	reg.NewGaugeFunc("kpi_expiry_loss_ratio", "Expired offers over submissions.", func() float64 {
+		return s.GlobalValues().ExpiryLossRatio
+	})
+	reg.NewGaugeFunc("kpi_dead_letter_loss_ratio", "Dead-lettered offers over emissions (submissions + dead letters).", func() float64 {
+		return s.GlobalValues().DeadLetterLossRatio
+	})
+}

@@ -1,0 +1,92 @@
+package kpi
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/market"
+	"repro/internal/obs"
+)
+
+// ServiceConfig configures a KPI Service.
+type ServiceConfig struct {
+	// Store is the market store whose event stream the service folds.
+	// Required.
+	Store *market.Store
+	// Config fixes the KPI definitions' parameters; zero fields take the
+	// package defaults.
+	Config Config
+	// Logger receives service lifecycle logs; may be nil.
+	Logger *obs.Logger
+}
+
+// Service runs the incremental KPI engine against a live market store. It
+// attaches with SubscribeReplay, so the tracker bootstraps from the
+// store's current contents and then folds every later transition with no
+// gap or duplicate in between. Like the scheduler service it owns no
+// background goroutine: pending events are drained synchronously at the
+// start of every read (Report, GlobalValues, metric scrapes, HTTP
+// requests), which keeps the fold work proportional to the traffic that
+// happened — an idle drain is a single mutex round-trip. All methods are
+// safe for concurrent use.
+type Service struct {
+	tracker *Tracker
+	sub     *market.Subscription
+
+	// drainMu serialises drains so concurrently popped events cannot fold
+	// out of per-shard order.
+	drainMu sync.Mutex
+}
+
+// NewService subscribes to the store and returns a running service.
+func NewService(cfg ServiceConfig) (*Service, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("kpi: nil store")
+	}
+	tracker, err := NewTracker(cfg.Config)
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{tracker: tracker}
+	s.sub = cfg.Store.SubscribeReplay()
+	cfg.Logger.Info("kpi service attached",
+		"resolution", tracker.Resolution(), "bootstrap_events", s.sub.Pending())
+	return s, nil
+}
+
+// Close detaches the service from the store's event stream.
+func (s *Service) Close() { s.sub.Close() }
+
+// drain folds every pending store event into the tracker, serialised so
+// two concurrent readers cannot interleave the per-shard event order.
+func (s *Service) drain() {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	for {
+		ev, ok := s.sub.TryNext()
+		if !ok {
+			return
+		}
+		s.tracker.Apply(ev)
+	}
+}
+
+// Report drains pending events and snapshots the full KPI report.
+func (s *Service) Report() Report {
+	s.drain()
+	return s.tracker.Report()
+}
+
+// GlobalValues drains pending events and snapshots the global scope only
+// — the cheap read behind metric callbacks.
+func (s *Service) GlobalValues() Values {
+	s.drain()
+	return s.tracker.GlobalValues()
+}
+
+// ObserveDeadLetters books n dead-lettered offers against owner. Dead
+// letters never reach the store, so the pipeline-side accounting feeds
+// them here out of band.
+func (s *Service) ObserveDeadLetters(owner string, n uint64) {
+	s.tracker.ObserveDeadLetters(owner, n)
+}

@@ -9,10 +9,11 @@ import (
 // observability surface (internal/obs), the market store and HTTP API
 // (internal/market), the batch pipeline (internal/pipeline), the
 // write-ahead log behind the durable store (internal/wal), the
-// aggregation and scheduling services the daemon mounts (internal/agg,
-// internal/sched) and the flex-offer model itself (internal/flexoffer).
-// An undocumented exported name there is an undocumented promise. It
-// subsumes the former standalone scripts/docscheck command.
+// aggregation, scheduling and KPI services the daemon mounts
+// (internal/agg, internal/sched, internal/kpi) and the flex-offer model
+// itself (internal/flexoffer). An undocumented exported name there is an
+// undocumented promise. It subsumes the former standalone
+// scripts/docscheck command.
 var DocCheck = &Analyzer{
 	Name: "doccheck",
 	Doc:  "exported identifiers in the contract packages must have doc comments",
@@ -25,6 +26,7 @@ var DocCheck = &Analyzer{
 		"internal/wal",
 		"internal/agg",
 		"internal/sched",
+		"internal/kpi",
 	},
 	Run: runDocCheck,
 }

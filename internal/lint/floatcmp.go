@@ -19,6 +19,7 @@ var FloatCmp = &Analyzer{
 		"internal/flexoffer",
 		"internal/agg",
 		"internal/eval",
+		"internal/kpi",
 		"internal/timeseries",
 		"internal/num",
 	},

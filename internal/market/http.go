@@ -117,7 +117,7 @@ func RouteLabel(r *http.Request) string {
 	p := r.URL.Path
 	switch p {
 	case "/offers", "/stats", "/expire", "/metrics", "/healthz", "/readyz",
-		"/aggregates", "/schedule", "/schedule/run":
+		"/aggregates", "/schedule", "/schedule/run", "/kpi":
 		return p
 	}
 	switch {
