@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check docs-check lint bench benchdiff fuzz fuzz-smoke soak crash sched-crash verify
+.PHONY: build test race vet fmt-check docs-check lint bench benchdiff fuzz fuzz-smoke soak soak-overload crash sched-crash verify
 
 build:
 	$(GO) build ./...
@@ -10,10 +10,10 @@ test:
 
 # Race-detect the packages with real concurrency: the batch-extraction
 # worker pool, the market store (event stream included), its write-ahead
-# journal, the scheduler and KPI services (plus the commands that drive
-# them).
+# journal, the scheduler and KPI services, the admission gate (plus the
+# commands that drive them).
 race:
-	$(GO) test -race ./internal/pipeline ./internal/market ./internal/wal ./internal/sched ./internal/kpi ./cmd/flexextract ./cmd/mirabeld
+	$(GO) test -race ./internal/pipeline ./internal/market ./internal/wal ./internal/sched ./internal/kpi ./internal/admission ./cmd/flexextract ./cmd/mirabeld
 
 race-all:
 	$(GO) test -race ./...
@@ -75,6 +75,14 @@ fuzz-smoke:
 # the race detector (see docs/TESTING.md).
 soak:
 	$(GO) test -race -timeout 5m -run TestSoak ./cmd/flexload
+
+# Overload soak only: flexload -overload at several times the admission
+# capacity (shed accounting, Retry-After compliance, bounded-subscription
+# resync) plus the mid-soak drain with zero acked-offer loss
+# (see docs/TESTING.md). A subset of `make soak` for fast iteration on
+# the overload path.
+soak-overload:
+	$(GO) test -race -timeout 5m -run 'TestSoakOverload|TestSoakDrainShutdown' ./cmd/flexload
 
 # Crash: the kill-and-recover suite under the race detector — seeded disk
 # faults tear the journal mid-append and recovery must rebuild exactly

@@ -18,11 +18,19 @@
 // additionally fires POST /schedule/run at a fixed period, so a load
 // run can measure scheduling rounds interleaved with the lifecycle
 // traffic (the "schedule" op in the report).
+//
+// Against a daemon running admission control, -overload marks the run
+// as an intentional overload probe: shed responses (429/503) move out
+// of the error counters into a dedicated report block that records the
+// shed volume per status and operation and whether every shed carried
+// the Retry-After hint; workers honour the hint before offering more
+// load, modelling a well-behaved client under pushback.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -32,6 +40,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/flexoffer"
@@ -47,6 +56,7 @@ func main() {
 	flag.DurationVar(&cfg.Duration, "duration", 10*time.Second, "how long to drive load")
 	flag.Int64Var(&cfg.Seed, "seed", 1, "offer-stream seed (worker w uses seed+w)")
 	flag.DurationVar(&cfg.ScheduleEvery, "schedule-every", 0, "POST /schedule/run this often during the run (0 = never)")
+	flag.BoolVar(&cfg.Overload, "overload", false, "overload mode: record 429/503 shed responses and Retry-After compliance in a distinct report block instead of counting them as errors")
 	report := flag.String("report", "-", `report output path ("-" = stdout)`)
 	flag.Parse()
 
@@ -94,9 +104,84 @@ type config struct {
 	// operation of the mixed workload. Zero disables it (targets without
 	// the scheduling API, and the committed benchmark baseline).
 	ScheduleEvery time.Duration
+	// Overload marks a run that intentionally drives the target past its
+	// admission capacity: shed responses (429/503) are expected behaviour
+	// there, so they are recorded in the report's Overload block — shed
+	// counts per status, per op, and Retry-After compliance — instead of
+	// inflating the error counters.
+	Overload bool
 	// HTTPClient overrides the transport (tests inject the httptest
 	// server's client); nil means a 10s-timeout default client.
 	HTTPClient *http.Client
+}
+
+// OverloadReport is the -overload mode report block: how much of the
+// offered load the server shed, split by status, and whether every shed
+// response carried the Retry-After hint clients pace themselves by.
+type OverloadReport struct {
+	// Shed429 counts queue-overflow sheds (the client outran its share).
+	Shed429 uint64 `json:"shed_429"`
+	// Shed503 counts wait-timeout, drain and request-timeout sheds (the
+	// server was the bottleneck or going away).
+	Shed503 uint64 `json:"shed_503"`
+	// ShedWithRetryAfter counts shed responses carrying a parseable
+	// Retry-After header.
+	ShedWithRetryAfter uint64 `json:"shed_with_retry_after"`
+	// RetryAfterCompliant is true when every shed response carried the
+	// hint — the contract docs/API.md promises.
+	RetryAfterCompliant bool `json:"retry_after_compliant"`
+	// MaxRetryAfterSeconds is the largest hint observed.
+	MaxRetryAfterSeconds float64 `json:"max_retry_after_seconds"`
+	// ShedByOp splits the sheds by operation.
+	ShedByOp map[string]uint64 `json:"shed_by_op"`
+}
+
+// shedTracker accumulates shed observations across workers.
+type shedTracker struct {
+	shed429   atomic.Uint64
+	shed503   atomic.Uint64
+	withHint  atomic.Uint64
+	maxHintNs atomic.Int64
+	byOp      *obs.CounterVec
+}
+
+// observe records one shed response.
+func (s *shedTracker) observe(op string, shed *market.ShedError) {
+	switch shed.StatusCode {
+	case http.StatusTooManyRequests:
+		s.shed429.Add(1)
+	default:
+		s.shed503.Add(1)
+	}
+	if shed.RetryAfter > 0 {
+		s.withHint.Add(1)
+		for {
+			cur := s.maxHintNs.Load()
+			if int64(shed.RetryAfter) <= cur || s.maxHintNs.CompareAndSwap(cur, int64(shed.RetryAfter)) {
+				break
+			}
+		}
+	}
+	s.byOp.With(opLabel(op)).Inc()
+}
+
+// report renders the tracker as the report block.
+func (s *shedTracker) report() *OverloadReport {
+	rep := &OverloadReport{
+		Shed429:              s.shed429.Load(),
+		Shed503:              s.shed503.Load(),
+		ShedWithRetryAfter:   s.withHint.Load(),
+		MaxRetryAfterSeconds: time.Duration(s.maxHintNs.Load()).Seconds(),
+		ShedByOp:             make(map[string]uint64),
+	}
+	total := rep.Shed429 + rep.Shed503
+	rep.RetryAfterCompliant = total > 0 && rep.ShedWithRetryAfter == total
+	for _, op := range opNames {
+		if n := s.byOp.With(opLabel(op)).Value(); n > 0 {
+			rep.ShedByOp[op] = n
+		}
+	}
+	return rep
 }
 
 // OpStats summarises one operation's latency distribution in the report.
@@ -127,6 +212,8 @@ type Report struct {
 	// not expose the market_shard_* families (plain market.Server without
 	// a metrics endpoint, or a pre-sharding daemon).
 	Shards []ShardReport `json:"shards,omitempty"`
+	// Overload is the shed accounting of an -overload run; nil otherwise.
+	Overload *OverloadReport `json:"overload,omitempty"`
 	// KPI is the server's flexibility KPI report at the end of the run,
 	// scraped from GET /kpi, with the generator's own offer ledger
 	// reconciled against the server-side fold. Nil when the target has no
@@ -214,6 +301,10 @@ func run(ctx context.Context, cfg config) (Report, error) {
 	latency := reg.NewHistogramVec("flexload_op_seconds", "per-operation latency", nil, "op")
 	errs := reg.NewCounterVec("flexload_op_errors_total", "per-operation errors", "op")
 	var submitted, accepted, assigned obs.Counter
+	var shed *shedTracker
+	if cfg.Overload {
+		shed = &shedTracker{byOp: reg.NewCounterVec("flexload_op_shed_total", "per-operation shed responses", "op")}
+	}
 
 	ctx, cancel := context.WithTimeout(ctx, cfg.Duration)
 	defer cancel()
@@ -233,6 +324,7 @@ func run(ctx context.Context, cfg config) (Report, error) {
 				submitted: &submitted,
 				accepted:  &accepted,
 				assigned:  &assigned,
+				shed:      shed,
 			}.loop(ctx)
 		}(w)
 	}
@@ -269,6 +361,9 @@ func run(ctx context.Context, cfg config) (Report, error) {
 		OffersSubmitted: submitted.Value(),
 		OffersAccepted:  accepted.Value(),
 		OffersAssigned:  assigned.Value(),
+	}
+	if shed != nil {
+		rep.Overload = shed.report()
 	}
 	for _, op := range opNames {
 		snap := latency.With(opLabel(op)).Snapshot()
@@ -442,6 +537,9 @@ type worker struct {
 	submitted *obs.Counter
 	accepted  *obs.Counter
 	assigned  *obs.Counter
+	// shed, when non-nil (-overload), absorbs 429/503 responses into the
+	// overload accounting instead of the error counters.
+	shed *shedTracker
 }
 
 func (w worker) loop(ctx context.Context) {
@@ -484,13 +582,29 @@ func (w worker) loop(ctx context.Context) {
 
 // timed runs op, records its latency and outcome, and reports success.
 // Calls that fail because the run's deadline expired mid-flight are not
-// counted as errors — they are the shutdown, not the server.
+// counted as errors — they are the shutdown, not the server. In
+// overload mode a shed response (429/503) is expected behaviour: it
+// lands in the shed tracker, and the worker honours the server's
+// Retry-After hint before offering more load.
 func (w worker) timed(ctx context.Context, op string, fn func() error) bool {
 	t0 := time.Now()
 	err := fn()
 	w.latency.With(opLabel(op)).Observe(time.Since(t0).Seconds())
 	if err != nil {
 		if ctx.Err() != nil {
+			return false
+		}
+		var shedErr *market.ShedError
+		if w.shed != nil && errors.As(err, &shedErr) {
+			w.shed.observe(op, shedErr)
+			if shedErr.RetryAfter > 0 {
+				timer := time.NewTimer(shedErr.RetryAfter)
+				select {
+				case <-timer.C:
+				case <-ctx.Done():
+				}
+				timer.Stop()
+			}
 			return false
 		}
 		w.errs.With(opLabel(op)).Inc()

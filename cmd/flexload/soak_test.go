@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/flexoffer"
@@ -608,4 +609,224 @@ func TestSoakKPIConsistency(t *testing.T) {
 			t.Errorf("owner %q counts: /kpi %+v vs batch %+v", owner, lv.Totals, bv.Totals)
 		}
 	}
+}
+
+// overloadHandler assembles a daemon-shaped surface with tight
+// admission limits — write capacity far below the offered concurrency —
+// the way run() wires mirabeld, returning the controller and registry
+// for assertions. Every non-ops request carries a 2ms service cost: the
+// in-memory store answers in microseconds, far faster than a store
+// doing real work, and without the cost requests never overlap inside
+// the limiter and nothing sheds.
+func overloadHandler(store *market.Store, kpiSvc *kpi.Service) (http.Handler, *admission.Controller, *obs.Registry) {
+	reg := obs.NewRegistry()
+	obs.RegisterRuntimeMetrics(reg)
+	mux := http.NewServeMux()
+	mux.Handle("/", market.NewServer(store))
+	if kpiSvc != nil {
+		mux.Handle("/kpi", kpiSvc.Handler())
+	}
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(2 * time.Millisecond)
+		mux.ServeHTTP(w, r)
+	})
+	ctrl := admission.NewController(admission.Config{
+		Reads:  admission.Limits{MaxConcurrent: 2, MaxQueue: 2, MaxWait: 5 * time.Millisecond, RetryAfter: time.Second},
+		Writes: admission.Limits{MaxConcurrent: 2, MaxQueue: 2, MaxWait: 5 * time.Millisecond, RetryAfter: time.Second},
+	})
+	admission.RegisterMetrics(reg, ctrl)
+	h := admission.WithTimeout(ctrl.Middleware(slow), 5*time.Second,
+		func(r *http.Request) bool { return ctrl.ClassOf(r) == admission.ClassOps })
+	return h, ctrl, reg
+}
+
+// TestSoakOverload drives flexload -overload at many times the admission
+// capacity and checks the full overload contract: the server sheds with
+// 429/503 and every shed carries Retry-After; no acked offer is lost
+// (the store holds exactly the client-confirmed submissions); the
+// bounded KPI subscription stays under its high-water mark and resyncs
+// via replay to a report that matches the store; and the admission_*
+// metric families account the sheds.
+func TestSoakOverload(t *testing.T) {
+	store := market.NewStore(nil)
+	const highWater = 64
+	kpiSvc, err := kpi.NewService(kpi.ServiceConfig{Store: store, EventHighWater: highWater})
+	if err != nil {
+		t.Fatalf("kpi.NewService: %v", err)
+	}
+	defer kpiSvc.Close()
+
+	h, ctrl, reg := overloadHandler(store, kpiSvc)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	duration := 3 * time.Second
+	if testing.Short() {
+		duration = 1500 * time.Millisecond
+	}
+	rep, err := run(context.Background(), config{
+		BaseURL:     srv.URL,
+		Concurrency: 8, // 4x the write capacity of 2
+		Duration:    duration,
+		Seed:        10,
+		Overload:    true,
+		HTTPClient:  srv.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Overload == nil {
+		t.Fatal("overload run produced no Overload block")
+	}
+	ov := rep.Overload
+	if ov.Shed429+ov.Shed503 == 0 {
+		t.Fatalf("8 workers against capacity 1 produced zero sheds: %+v", ov)
+	}
+	if !ov.RetryAfterCompliant {
+		t.Fatalf("shed responses missing Retry-After: %+v", ov)
+	}
+	if ov.MaxRetryAfterSeconds <= 0 {
+		t.Fatalf("no Retry-After hint recorded: %+v", ov)
+	}
+	if rep.OffersSubmitted == 0 {
+		t.Fatal("overload shed everything; no admitted traffic to verify")
+	}
+	// Sheds are not errors in -overload mode; transport-level errors
+	// should be absent against a healthy local server.
+	if rep.TotalErrors > 0 {
+		t.Errorf("overload run counted %d errors; sheds must land in the overload block", rep.TotalErrors)
+	}
+
+	// Zero acked-offer loss: the store holds exactly the submissions the
+	// clients saw acknowledged with 2xx.
+	if got := len(store.List()); got != int(rep.OffersSubmitted) {
+		t.Fatalf("store holds %d offers, clients saw %d acked submissions", got, rep.OffersSubmitted)
+	}
+
+	// The bounded KPI subscription was never drained mid-run, so the
+	// write volume must have overflowed its high-water mark; the first
+	// read resyncs via replay and must agree exactly with the store.
+	kpiRep := kpiSvc.Report()
+	if kpiSvc.Resyncs() == 0 {
+		t.Fatalf("KPI subscription never lagged despite %d writes against high-water %d",
+			rep.OffersSubmitted, highWater)
+	}
+	if kpiRep.Global.Submitted != rep.OffersSubmitted {
+		t.Fatalf("resynced KPI fold has %d submissions, store acked %d",
+			kpiRep.Global.Submitted, rep.OffersSubmitted)
+	}
+	if kpiRep.Global.Assigned != rep.OffersAssigned {
+		t.Fatalf("resynced KPI fold has %d assignments, clients confirmed %d",
+			kpiRep.Global.Assigned, rep.OffersAssigned)
+	}
+
+	// Server-side accounting agrees: admission_* families saw the sheds,
+	// and the write class is back to zero in-flight after the run.
+	writeStats := ctrl.Stats(admission.ClassWrite)
+	readStats := ctrl.Stats(admission.ClassRead)
+	if writeStats.ShedTotal()+readStats.ShedTotal() == 0 {
+		t.Fatal("admission controller recorded no sheds")
+	}
+	if writeStats.InFlight != 0 || writeStats.Queued != 0 {
+		t.Fatalf("write class not drained after run: %+v", writeStats)
+	}
+	var sb bytes.Buffer
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{"admission_shed_total", "admission_wait_seconds", "runtime_goroutines", "runtime_heap_alloc_bytes"} {
+		if !bytes.Contains([]byte(text), []byte(want)) {
+			t.Errorf("/metrics missing %s under overload", want)
+		}
+	}
+}
+
+// TestSoakDrainShutdown is the seeded kill-under-load soak: flexload
+// -overload hammers a journaled daemon-shaped server, a drain begins
+// mid-run (the SIGTERM path: stop admitting, finish in-flight work,
+// close the journal with its final snapshot), and the recovered store
+// must hold exactly the offers the clients saw acknowledged — zero
+// acked-offer loss across the drain.
+func TestSoakDrainShutdown(t *testing.T) {
+	dir := t.TempDir()
+	store, journal, err := market.OpenJournaled(market.JournalOptions{Dir: dir, SnapshotEvery: 64})
+	if err != nil {
+		t.Fatalf("OpenJournaled: %v", err)
+	}
+
+	h, ctrl, _ := overloadHandler(store, nil)
+	srv := httptest.NewServer(h)
+
+	duration := 3 * time.Second
+	if testing.Short() {
+		duration = 1500 * time.Millisecond
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	type result struct {
+		rep Report
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		rep, err := run(ctx, config{
+			BaseURL:     srv.URL,
+			Concurrency: 8,
+			Duration:    duration,
+			Seed:        13,
+			Overload:    true,
+			HTTPClient:  srv.Client(),
+		})
+		done <- result{rep, err}
+	}()
+
+	// Mid-soak SIGTERM: stop admitting new non-ops work, then drain the
+	// in-flight requests bounded by the drain budget.
+	time.Sleep(duration / 3)
+	ctrl.BeginDrain()
+	drainCtx, drainCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer drainCancel()
+	if err := srv.Config.Shutdown(drainCtx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	cancel() // the server is gone; stop the generator
+	res := <-done
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	rep := res.rep
+	if rep.OffersSubmitted == 0 {
+		t.Fatal("nothing admitted before the drain; the soak exercised nothing")
+	}
+	if rep.Overload == nil || rep.Overload.Shed429+rep.Overload.Shed503 == 0 {
+		t.Fatal("overload+drain produced no sheds")
+	}
+
+	// The drain ran the final snapshot path: close the journal (as the
+	// daemon's deferred close does) and recover into a fresh store.
+	if err := journal.Close(); err != nil {
+		t.Fatalf("journal close: %v", err)
+	}
+	store2, journal2, err := market.OpenJournaled(market.JournalOptions{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer journal2.Close()
+
+	// Zero acked-offer loss across the drain: every submission a client
+	// saw acknowledged is in the recovered store, with its lifecycle
+	// state intact.
+	if got := len(store2.List()); got != int(rep.OffersSubmitted) {
+		t.Fatalf("recovered %d offers, clients saw %d acked submissions", got, rep.OffersSubmitted)
+	}
+	if counts := store2.Stats(); counts.Assigned != int(rep.OffersAssigned) {
+		t.Fatalf("recovered %d assignments, clients confirmed %d", counts.Assigned, rep.OffersAssigned)
+	}
+	srv.Close()
 }

@@ -11,6 +11,19 @@
 // seeding has finished, and -pprof mounts net/http/pprof under
 // /debug/pprof/. The full HTTP contract is documented in docs/API.md.
 //
+// The daemon protects itself under overload: admission control bounds
+// per-class concurrency (reads vs writes) with a short bounded wait
+// queue and sheds the excess with 429/503 plus a Retry-After hint
+// (-admit-reads, -admit-writes, -admit-queue, -admit-wait);
+// -request-timeout bounds every non-ops request end to end; and the
+// in-process event-stream consumers (scheduler, KPI) run on bounded
+// subscriptions (-event-high-water) that recover from overflow by
+// replay resync instead of growing memory without limit. On SIGTERM the
+// daemon drains: /readyz flips to 503, new non-ops work is refused,
+// in-flight requests finish within -drain-timeout, and the final
+// journal snapshot is taken before exit. docs/ARCHITECTURE.md details
+// the design; docs/API.md documents the overload response contract.
+//
 // A directory of household CSVs can be bulk-extracted straight into the
 // store at startup through the concurrent pipeline (internal/pipeline), so
 // a whole portfolio's offers are collected before the daemon reports
@@ -48,10 +61,10 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
-	"sync/atomic"
 	"syscall"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/kpi"
@@ -83,6 +96,14 @@ type config struct {
 	scheduleHorizon    time.Duration
 	scheduleResolution time.Duration
 	resSeed            int64
+
+	requestTimeout time.Duration
+	drainTimeout   time.Duration
+	admitWrites    int
+	admitReads     int
+	admitQueue     int
+	admitWait      time.Duration
+	eventHighWater int
 }
 
 func main() {
@@ -104,6 +125,13 @@ func main() {
 	flag.DurationVar(&cfg.scheduleHorizon, "schedule-horizon", 24*time.Hour, "scheduling horizon length")
 	flag.DurationVar(&cfg.scheduleResolution, "schedule-resolution", 15*time.Minute, "scheduling grid resolution (must divide the horizon)")
 	flag.Int64Var(&cfg.resSeed, "res-seed", 1, "seed for the wind-farm supply simulation behind the scheduler's forecast")
+	flag.DurationVar(&cfg.requestTimeout, "request-timeout", 30*time.Second, "server-wide request deadline; expired requests answer 503 with Retry-After (0 disables)")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 10*time.Second, "graceful-shutdown drain budget for in-flight requests")
+	flag.IntVar(&cfg.admitWrites, "admit-writes", 256, "max concurrent write requests (POST/PUT/DELETE); 0 disables write admission control")
+	flag.IntVar(&cfg.admitReads, "admit-reads", 512, "max concurrent read requests (GET/HEAD); 0 disables read admission control")
+	flag.IntVar(&cfg.admitQueue, "admit-queue", 512, "per-class wait-queue depth beyond the concurrency limit; arrivals past it answer 429")
+	flag.DurationVar(&cfg.admitWait, "admit-wait", time.Second, "max time a queued request waits for an admission slot before answering 503")
+	flag.IntVar(&cfg.eventHighWater, "event-high-water", 65536, "bound on each event-stream subscription queue; overflowing consumers resync via replay (0 = unbounded)")
 	logLevel := flag.String("log-level", "info", "minimum log level (debug | info | warn | error)")
 	flag.Parse()
 
@@ -205,12 +233,13 @@ func run(cfg config, logger *obs.Logger) error {
 	// its decision ledger next to the offer journal so both recover from
 	// the same directory.
 	schedCfg := sched.Config{
-		Store:      store,
-		Horizon:    cfg.scheduleHorizon,
-		Resolution: cfg.scheduleResolution,
-		SupplySeed: cfg.resSeed,
-		Clock:      clock,
-		Logger:     logger,
+		Store:          store,
+		Horizon:        cfg.scheduleHorizon,
+		Resolution:     cfg.scheduleResolution,
+		SupplySeed:     cfg.resSeed,
+		Clock:          clock,
+		Logger:         logger,
+		EventHighWater: cfg.eventHighWater,
 	}
 	if cfg.dataDir != "" {
 		schedCfg.LedgerDir = filepath.Join(cfg.dataDir, "sched")
@@ -233,9 +262,10 @@ func run(cfg config, logger *obs.Logger) error {
 	// transition, so GET /kpi always reflects the store exactly. Its peak
 	// buckets share the scheduler's grid resolution.
 	kpiSvc, err := kpi.NewService(kpi.ServiceConfig{
-		Store:  store,
-		Config: kpi.Config{Resolution: cfg.scheduleResolution},
-		Logger: logger,
+		Store:          store,
+		Config:         kpi.Config{Resolution: cfg.scheduleResolution},
+		EventHighWater: cfg.eventHighWater,
+		Logger:         logger,
 	})
 	if err != nil {
 		return fmt.Errorf("kpi: %w", err)
@@ -244,9 +274,27 @@ func run(cfg config, logger *obs.Logger) error {
 	kpi.RegisterServiceMetrics(reg, kpiSvc)
 	kpiAPI := obs.Middleware(kpiSvc.Handler(), httpMetrics, market.RouteLabel, logger)
 
-	var ready atomic.Bool
+	var hlt health
 	api := market.NewServer(store, apiOpts...)
-	handler := newHandler(api, schedAPI, kpiAPI, reg, &ready, cfg.pprof)
+
+	// The overload stack wraps the whole surface: admission control
+	// classifies each request (ops / read / write), bounds per-class
+	// concurrency plus a short wait queue, and sheds the excess with
+	// 429/503 + Retry-After; the timeout layer above it bounds every
+	// non-ops request — queue wait included — by -request-timeout. The
+	// operational probes bypass both, so /healthz, /readyz and /metrics
+	// answer even when the daemon is saturated.
+	ctrl := admission.NewController(admission.Config{
+		Reads:  admission.Limits{MaxConcurrent: cfg.admitReads, MaxQueue: cfg.admitQueue, MaxWait: cfg.admitWait},
+		Writes: admission.Limits{MaxConcurrent: cfg.admitWrites, MaxQueue: cfg.admitQueue, MaxWait: cfg.admitWait},
+	})
+	admission.RegisterMetrics(reg, ctrl)
+	obs.RegisterRuntimeMetrics(reg)
+	handler := admission.WithTimeout(
+		ctrl.Middleware(newHandler(api, schedAPI, kpiAPI, reg, &hlt, cfg.pprof)),
+		cfg.requestTimeout,
+		func(r *http.Request) bool { return ctrl.ClassOf(r) == admission.ClassOps },
+	)
 
 	srv := &http.Server{Addr: cfg.addr, Handler: handler}
 	errc := make(chan error, 1)
@@ -272,7 +320,7 @@ func run(cfg config, logger *obs.Logger) error {
 				return
 			}
 		}
-		ready.Store(true)
+		hlt.ready.Store(true)
 		logger.Info("ready", "seeded", cfg.seedDir != "")
 		seedc <- nil
 	}()
@@ -286,7 +334,7 @@ func run(cfg config, logger *obs.Logger) error {
 			return fmt.Errorf("serve: %w", err)
 		case err := <-seedc:
 			if err != nil {
-				shutdownErr := shutdown(srv, logger)
+				shutdownErr := shutdown(srv, logger, cfg.drainTimeout)
 				if shutdownErr != nil {
 					logger.Warn("shutdown after failed seed", "err", shutdownErr)
 				}
@@ -294,8 +342,16 @@ func run(cfg config, logger *obs.Logger) error {
 			}
 			seedc = nil // seeded; a nil channel never fires again
 		case <-ctx.Done():
-			logger.Info("shutting down")
-			return shutdown(srv, logger)
+			// Drain-safe shutdown: flip /readyz to 503 and refuse new
+			// non-ops work first, then let in-flight requests finish
+			// within the drain budget. The deferred journal close takes
+			// the final snapshot after the listener stops, so every
+			// acknowledged offer is on disk before exit.
+			hlt.draining.Store(true)
+			ctrl.BeginDrain()
+			logger.Info("shutting down; draining",
+				"in_flight", ctrl.InFlight(), "drain_timeout", cfg.drainTimeout)
+			return shutdown(srv, logger, cfg.drainTimeout)
 		}
 	}
 }
@@ -315,9 +371,12 @@ func faultSchedule(profile string, reg *obs.Registry) (*faultinject.Schedule, er
 	return schedule, nil
 }
 
-// shutdown drains the server gracefully, bounded by a five-second timeout.
-func shutdown(srv *http.Server, logger *obs.Logger) error {
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+// shutdown drains the server gracefully, bounded by the drain budget.
+func shutdown(srv *http.Server, logger *obs.Logger, drain time.Duration) error {
+	if drain <= 0 {
+		drain = 5 * time.Second
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)

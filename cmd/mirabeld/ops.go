@@ -10,6 +10,15 @@ import (
 	"repro/internal/obs"
 )
 
+// health tracks the daemon's readiness lifecycle for /readyz: ready
+// flips true once startup seeding finishes, draining flips true when
+// shutdown begins. A draining daemon answers 503 so load balancers
+// steer new traffic away while in-flight requests finish.
+type health struct {
+	ready    atomic.Bool
+	draining atomic.Bool
+}
+
 // opsRoutes is the inventory of mirabeld's operational endpoints, mounted
 // next to the market API by newHandler. Together with market.Routes it is
 // the route list docs/API.md must cover (TestAPIDocCoversAllRoutes).
@@ -17,7 +26,7 @@ func opsRoutes(pprofOn bool) []market.Route {
 	routes := []market.Route{
 		{Method: http.MethodGet, Pattern: "/metrics", Summary: "Prometheus text exposition (?format=json for JSON)"},
 		{Method: http.MethodGet, Pattern: "/healthz", Summary: "liveness probe"},
-		{Method: http.MethodGet, Pattern: "/readyz", Summary: "readiness probe (503 until seeding finishes)"},
+		{Method: http.MethodGet, Pattern: "/readyz", Summary: "readiness probe (503 until seeding finishes and again once draining)"},
 	}
 	if pprofOn {
 		routes = append(routes, market.Route{Method: http.MethodGet, Pattern: "/debug/pprof/", Summary: "net/http/pprof profiles (behind -pprof)"})
@@ -53,7 +62,7 @@ func kpiRoutes() []market.Route {
 // endpoints unless explicitly asked to. schedAPI and kpiAPI may be nil,
 // which leaves those routes unmounted (test fixtures that only exercise
 // ops endpoints).
-func newHandler(api, schedAPI, kpiAPI http.Handler, reg *obs.Registry, ready *atomic.Bool, pprofOn bool) http.Handler {
+func newHandler(api, schedAPI, kpiAPI http.Handler, reg *obs.Registry, h *health, pprofOn bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/", api)
 	if schedAPI != nil {
@@ -69,10 +78,13 @@ func newHandler(api, schedAPI, kpiAPI http.Handler, reg *obs.Registry, ready *at
 		probe(w, r, http.StatusOK, "ok")
 	})
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
-		if ready.Load() {
-			probe(w, r, http.StatusOK, "ready")
-		} else {
+		switch {
+		case h.draining.Load():
+			probe(w, r, http.StatusServiceUnavailable, "draining")
+		case !h.ready.Load():
 			probe(w, r, http.StatusServiceUnavailable, "seeding")
+		default:
+			probe(w, r, http.StatusOK, "ready")
 		}
 	})
 	if pprofOn {

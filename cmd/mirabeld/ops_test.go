@@ -8,10 +8,10 @@ import (
 	"net/http/httptest"
 	"path/filepath"
 	"strings"
-	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/flexoffer"
 	"repro/internal/kpi"
 	"repro/internal/market"
@@ -22,14 +22,14 @@ import (
 
 // newOpsHandler builds the daemon's full HTTP surface the way run does,
 // returning the pieces tests poke at.
-func newOpsHandler(t *testing.T, clock func() time.Time, pprofOn bool) (http.Handler, *market.Store, *obs.Registry, *pipeline.Telemetry, *atomic.Bool) {
+func newOpsHandler(t *testing.T, clock func() time.Time, pprofOn bool) (http.Handler, *market.Store, *obs.Registry, *pipeline.Telemetry, *health) {
 	t.Helper()
 	store := market.NewStore(clock)
 	reg := obs.NewRegistry()
 	httpMetrics := obs.NewHTTPMetrics(reg, "mirabeld")
 	market.RegisterStoreMetrics(reg, store)
 	telemetry := pipeline.NewTelemetry(reg)
-	ready := new(atomic.Bool)
+	hlt := new(health)
 	api := market.NewServer(store, market.WithObservability(httpMetrics, nil))
 	svc, err := sched.New(sched.Config{Store: store, Supply: sched.FlatSupply(5), Clock: clock})
 	if err != nil {
@@ -45,7 +45,7 @@ func newOpsHandler(t *testing.T, clock func() time.Time, pprofOn bool) (http.Han
 	t.Cleanup(kpiSvc.Close)
 	kpi.RegisterServiceMetrics(reg, kpiSvc)
 	kpiAPI := obs.Middleware(kpiSvc.Handler(), httpMetrics, market.RouteLabel, nil)
-	return newHandler(api, schedAPI, kpiAPI, reg, ready, pprofOn), store, reg, telemetry, ready
+	return newHandler(api, schedAPI, kpiAPI, reg, hlt, pprofOn), store, reg, telemetry, hlt
 }
 
 func get(t *testing.T, h http.Handler, path string) (int, string) {
@@ -60,7 +60,7 @@ func get(t *testing.T, h http.Handler, path string) (int, string) {
 // alive (healthz 200) from the first request, but not ready (readyz 503)
 // until seeding flips the flag.
 func TestHealthzVersusReadyz(t *testing.T) {
-	h, _, _, _, ready := newOpsHandler(t, nil, false)
+	h, _, _, _, hlt := newOpsHandler(t, nil, false)
 
 	if code, body := get(t, h, "/healthz"); code != 200 || !strings.Contains(body, "ok") {
 		t.Errorf("/healthz before seed = %d %q, want 200 ok", code, body)
@@ -69,10 +69,21 @@ func TestHealthzVersusReadyz(t *testing.T) {
 		t.Errorf("/readyz before seed = %d %q, want 503 seeding", code, body)
 	}
 
-	ready.Store(true)
+	hlt.ready.Store(true)
 	if code, body := get(t, h, "/readyz"); code != 200 || !strings.Contains(body, "ready") {
 		t.Errorf("/readyz after seed = %d %q, want 200 ready", code, body)
 	}
+
+	// Draining flips readiness back to 503 so load balancers stop
+	// routing here, while liveness stays 200 for the whole drain.
+	hlt.draining.Store(true)
+	if code, body := get(t, h, "/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Errorf("/readyz draining = %d %q, want 503 draining", code, body)
+	}
+	if code, _ := get(t, h, "/healthz"); code != 200 {
+		t.Errorf("/healthz draining = %d, want 200", code)
+	}
+	hlt.draining.Store(false)
 
 	// Probes are GET-only.
 	for _, path := range []string{"/healthz", "/readyz"} {
@@ -94,12 +105,12 @@ func TestMetricsEndToEnd(t *testing.T) {
 		writeHouseCSV(t, filepath.Join(dir, name+".csv"), 3)
 	}
 	clockAt := seedStart.Add(-48 * time.Hour)
-	h, store, _, telemetry, ready := newOpsHandler(t, func() time.Time { return clockAt }, false)
+	h, store, _, telemetry, hlt := newOpsHandler(t, func() time.Time { return clockAt }, false)
 
 	if err := seedStore(context.Background(), store, telemetry, nil, nil, nil, dir, "peak", 0.05, 2); err != nil {
 		t.Fatal(err)
 	}
-	ready.Store(true)
+	hlt.ready.Store(true)
 
 	// A few API requests so the middleware has something to report.
 	if code, _ := get(t, h, "/offers"); code != 200 {
@@ -215,5 +226,50 @@ func TestKPIEndpointEndToEnd(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q", want)
 		}
+	}
+}
+
+// TestOverloadStackWiring assembles the handler exactly as run does —
+// admission middleware plus the request-timeout layer — and checks the
+// daemon-level contract: draining sheds non-ops traffic with 503 and a
+// Retry-After hint while the operational probes keep answering.
+func TestOverloadStackWiring(t *testing.T) {
+	inner, _, reg, _, hlt := newOpsHandler(t, nil, false)
+	ctrl := admission.NewController(admission.Config{
+		Reads:  admission.Limits{MaxConcurrent: 4, MaxQueue: 4, MaxWait: 50 * time.Millisecond},
+		Writes: admission.Limits{MaxConcurrent: 2, MaxQueue: 2, MaxWait: 50 * time.Millisecond},
+	})
+	admission.RegisterMetrics(reg, ctrl)
+	h := admission.WithTimeout(ctrl.Middleware(inner), time.Second,
+		func(r *http.Request) bool { return ctrl.ClassOf(r) == admission.ClassOps })
+	hlt.ready.Store(true)
+
+	// Normal operation: reads pass through the stack.
+	if code, _ := get(t, h, "/stats"); code != 200 {
+		t.Fatalf("GET /stats through the stack = %d", code)
+	}
+
+	// Drain: non-ops requests shed, probes and metrics stay reachable.
+	hlt.draining.Store(true)
+	ctrl.BeginDrain()
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("POST", "/offers", strings.NewReader("{}")))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("POST /offers while draining = %d, want 503", rr.Code)
+	}
+	if rr.Header().Get("Retry-After") == "" {
+		t.Error("drain shed lost its Retry-After header")
+	}
+	if body := rr.Body.String(); !strings.Contains(body, "draining") {
+		t.Errorf("drain shed body %q does not name the reason", body)
+	}
+	if code, _ := get(t, h, "/healthz"); code != 200 {
+		t.Errorf("/healthz while draining = %d, want 200", code)
+	}
+	if code, body := get(t, h, "/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Errorf("/readyz while draining = %d %q, want 503 draining", code, body)
+	}
+	if code, text := get(t, h, "/metrics"); code != 200 || !strings.Contains(text, "admission_draining 1") {
+		t.Errorf("/metrics while draining = %d, want 200 with admission_draining 1", code)
 	}
 }

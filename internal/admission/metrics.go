@@ -1,0 +1,76 @@
+package admission
+
+import (
+	"repro/internal/obs"
+)
+
+// classes lists the limited-or-observable classes the metric collectors
+// iterate, keeping label values in lockstep with Class.String.
+var classes = [...]Class{ClassOps, ClassRead, ClassWrite}
+
+// reasons lists every shed reason for the per-reason counter samples.
+var reasons = [...]ShedReason{ShedQueueFull, ShedWaitTimeout, ShedDraining, ShedCancelled}
+
+// RegisterMetrics registers the admission_* metric families on reg,
+// sourced from the controller's counters:
+//
+//	admission_admitted_total{class}      requests that got a slot (ops bypasses count too)
+//	admission_shed_total{class,reason}   refused requests by cause
+//	admission_in_flight{class}           currently admitted requests
+//	admission_queue_depth{class}         requests waiting for a slot
+//	admission_wait_seconds{class}        queue wait of admitted-after-waiting requests
+//	admission_draining                   1 once BeginDrain was called
+//
+// Scrapes read atomics only, so /metrics stays cheap under overload — the
+// exact regime these families exist to explain.
+func RegisterMetrics(reg *obs.Registry, c *Controller) {
+	reg.NewSampledGauge("admission_admitted_total", "Requests admitted past the admission gate, by class (lifetime).", func() []obs.Sample {
+		samples := make([]obs.Sample, 0, len(classes))
+		for _, class := range classes {
+			samples = append(samples, obs.Sample{
+				Labels: []obs.Label{{Name: "class", Value: class.String()}},
+				Value:  float64(c.Stats(class).Admitted),
+			})
+		}
+		return samples
+	})
+	reg.NewSampledGauge("admission_shed_total", "Requests refused by the admission gate, by class and reason (lifetime).", func() []obs.Sample {
+		samples := make([]obs.Sample, 0, 2*len(reasons))
+		for _, class := range []Class{ClassRead, ClassWrite} {
+			st := c.Stats(class)
+			for _, reason := range reasons {
+				samples = append(samples, obs.Sample{
+					Labels: []obs.Label{{Name: "class", Value: class.String()}, {Name: "reason", Value: reason.String()}},
+					Value:  float64(st.Shed[reason]),
+				})
+			}
+		}
+		return samples
+	})
+	reg.NewSampledGauge("admission_in_flight", "Currently admitted in-flight requests, by class.", func() []obs.Sample {
+		return occupancy(c, func(s ClassStats) int64 { return s.InFlight })
+	})
+	reg.NewSampledGauge("admission_queue_depth", "Requests waiting in the bounded admission queue, by class.", func() []obs.Sample {
+		return occupancy(c, func(s ClassStats) int64 { return s.Queued })
+	})
+	reg.NewGaugeFunc("admission_draining", "1 once the controller began draining for shutdown, else 0.", func() float64 {
+		if c.Draining() {
+			return 1
+		}
+		return 0
+	})
+	c.waitSeconds.Store(reg.NewHistogramVec("admission_wait_seconds", "Queue wait of requests admitted after waiting for a slot.", obs.DefBuckets, "class"))
+}
+
+// occupancy renders one point-in-time counter for the limited classes.
+func occupancy(c *Controller, pick func(ClassStats) int64) []obs.Sample {
+	limited := []Class{ClassRead, ClassWrite}
+	samples := make([]obs.Sample, 0, len(limited))
+	for _, class := range limited {
+		samples = append(samples, obs.Sample{
+			Labels: []obs.Label{{Name: "class", Value: class.String()}},
+			Value:  float64(pick(c.Stats(class))),
+		})
+	}
+	return samples
+}

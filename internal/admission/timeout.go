@@ -1,0 +1,124 @@
+package admission
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// WithTimeout wraps next so every non-exempt request runs under a
+// deadline: the request context expires after d (store operations and
+// downstream handlers observe the cancellation), and if the handler has
+// not produced a response by then the client gets 503 with the market
+// API's JSON error envelope and a Retry-After hint — instead of holding a
+// connection open behind a stuck shard forever.
+//
+// It differs from http.TimeoutHandler in exactly the ways the overload
+// contract needs: the timeout response carries Retry-After and the JSON
+// envelope, and exempt (e.g. pprof, which streams for longer than any
+// request budget) bypasses the deadline entirely. Like TimeoutHandler it
+// buffers nothing: the handler writes straight through until the deadline
+// fires, after which its writes are discarded — so the guarantee is
+// "headers not yet sent become a 503", not response atomicity.
+//
+// Mounted outside the admission gate, so time spent waiting in the
+// admission queue counts against the same budget.
+func WithTimeout(next http.Handler, d time.Duration, exempt func(*http.Request) bool) http.Handler {
+	if d <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if exempt != nil && exempt(r) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		tw := &timeoutWriter{w: w}
+		done := make(chan struct{})
+		panicked := make(chan any, 1)
+		go func() {
+			defer func() {
+				if p := recover(); p != nil {
+					panicked <- p
+				}
+				close(done)
+			}()
+			next.ServeHTTP(tw, r.WithContext(ctx))
+		}()
+		select {
+		case <-done:
+			select {
+			case p := <-panicked:
+				// Re-panic on the serving goroutine so the server's
+				// (or the obs middleware's) recovery semantics apply
+				// unchanged.
+				panic(p)
+			default:
+			}
+		case <-ctx.Done():
+			tw.timeout(d)
+			// The handler goroutine keeps running against the cancelled
+			// context; its late writes are discarded by tw.
+		}
+	})
+}
+
+// timeoutWriter guards the underlying ResponseWriter: once the deadline
+// fired, the handler's late writes are discarded instead of corrupting
+// the 503 the client already received.
+type timeoutWriter struct {
+	mu          sync.Mutex
+	w           http.ResponseWriter
+	wroteHeader bool // guarded by mu
+	timedOut    bool // guarded by mu
+}
+
+// Header implements http.ResponseWriter.
+func (tw *timeoutWriter) Header() http.Header {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	if tw.timedOut {
+		// Detached copy: late mutations must not touch the real response.
+		return make(http.Header)
+	}
+	return tw.w.Header()
+}
+
+// WriteHeader implements http.ResponseWriter.
+func (tw *timeoutWriter) WriteHeader(status int) {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	if tw.timedOut || tw.wroteHeader {
+		return
+	}
+	tw.wroteHeader = true
+	tw.w.WriteHeader(status)
+}
+
+// Write implements http.ResponseWriter.
+func (tw *timeoutWriter) Write(b []byte) (int, error) {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	if tw.timedOut {
+		return 0, http.ErrHandlerTimeout
+	}
+	tw.wroteHeader = true
+	return tw.w.Write(b)
+}
+
+// timeout answers 503 if the handler had not started a response, and in
+// any case detaches the handler from the connection.
+func (tw *timeoutWriter) timeout(budget time.Duration) {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	if !tw.wroteHeader {
+		tw.w.Header().Set("Content-Type", "application/json")
+		tw.w.Header().Set("Retry-After", retryAfterSeconds(budget))
+		tw.w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(tw.w, "{\"error\":%q}\n", "admission: request timeout exceeded")
+	}
+	tw.timedOut = true
+}

@@ -1,0 +1,138 @@
+package admission
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWithTimeoutAnswers503: a handler that outlives the budget gets cut
+// off with 503 + Retry-After + JSON envelope, and its late write is
+// discarded rather than corrupting the response.
+func TestWithTimeoutAnswers503(t *testing.T) {
+	release := make(chan struct{})
+	wrote := make(chan error, 1)
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		_, err := w.Write([]byte("late body"))
+		wrote <- err
+	})
+	h := WithTimeout(slow, 20*time.Millisecond, nil)
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/offers", nil))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("timed-out request = %d, want 503", rr.Code)
+	}
+	if rr.Header().Get("Retry-After") == "" {
+		t.Fatal("timeout response missing Retry-After")
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+	if !strings.Contains(rr.Body.String(), "timeout") {
+		t.Fatalf("body %q, want timeout envelope", rr.Body.String())
+	}
+
+	close(release)
+	if err := <-wrote; err != http.ErrHandlerTimeout {
+		t.Fatalf("late write error = %v, want ErrHandlerTimeout", err)
+	}
+	if strings.Contains(rr.Body.String(), "late body") {
+		t.Fatal("late handler write leaked into the response")
+	}
+}
+
+// TestWithTimeoutPropagatesDeadline: the wrapped handler's request context
+// carries a deadline, so store operations can observe cancellation.
+func TestWithTimeoutPropagatesDeadline(t *testing.T) {
+	sawDeadline := make(chan bool, 1)
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, ok := r.Context().Deadline()
+		sawDeadline <- ok
+		w.WriteHeader(http.StatusOK)
+	})
+	h := WithTimeout(inner, time.Second, nil)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/offers", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("fast request = %d, want 200", rr.Code)
+	}
+	if !<-sawDeadline {
+		t.Fatal("handler context carried no deadline")
+	}
+}
+
+// TestWithTimeoutExempt: exempt requests bypass the deadline entirely.
+func TestWithTimeoutExempt(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, ok := r.Context().Deadline(); ok {
+			t.Error("exempt request got a deadline")
+		}
+		time.Sleep(30 * time.Millisecond)
+		w.WriteHeader(http.StatusOK)
+	})
+	h := WithTimeout(inner, 10*time.Millisecond, func(r *http.Request) bool {
+		return strings.HasPrefix(r.URL.Path, "/debug/pprof")
+	})
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/pprof/profile", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("exempt slow request = %d, want 200", rr.Code)
+	}
+}
+
+// TestWithTimeoutFastPathUntouched: a handler that finishes in time
+// writes its own response through unchanged.
+func TestWithTimeoutFastPathUntouched(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Custom", "yes")
+		w.WriteHeader(http.StatusCreated)
+		w.Write([]byte("body"))
+	})
+	h := WithTimeout(inner, time.Second, nil)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("POST", "/offers", nil))
+	if rr.Code != http.StatusCreated || rr.Body.String() != "body" || rr.Header().Get("X-Custom") != "yes" {
+		t.Fatalf("fast path altered: %d %q", rr.Code, rr.Body.String())
+	}
+}
+
+// TestWithTimeoutRepanics: a panicking handler re-panics on the serving
+// goroutine, preserving the server's recovery semantics.
+func TestWithTimeoutRepanics(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { panic("boom") })
+	h := WithTimeout(inner, time.Second, nil)
+	defer func() {
+		if p := recover(); p == nil {
+			t.Fatal("panic did not propagate to the serving goroutine")
+		}
+	}()
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/offers", nil))
+}
+
+// TestWithTimeoutZeroDisables: a non-positive budget returns next
+// unchanged.
+func TestWithTimeoutZeroDisables(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusOK) })
+	if got := WithTimeout(inner, 0, nil); !isSameHandler(got, inner) {
+		t.Fatal("zero budget should return next unchanged")
+	}
+}
+
+// isSameHandler reports whether two handlers are the identical function
+// value (good enough for the pass-through check).
+func isSameHandler(a, b http.Handler) bool {
+	af, aok := a.(http.HandlerFunc)
+	bf, bok := b.(http.HandlerFunc)
+	if !aok || !bok {
+		return false
+	}
+	// Compare by behaviour: both must write 200 to a fresh recorder.
+	ra, rb := httptest.NewRecorder(), httptest.NewRecorder()
+	af.ServeHTTP(ra, httptest.NewRequest("GET", "/", nil))
+	bf.ServeHTTP(rb, httptest.NewRequest("GET", "/", nil))
+	return ra.Code == rb.Code
+}

@@ -14,9 +14,11 @@ import (
 // owners are an unbounded label set, which the registry's bounded-label
 // discipline forbids; the /kpi endpoint carries the breakdown instead.
 func RegisterServiceMetrics(reg *obs.Registry, s *Service) {
-	reg.NewCounterFunc("kpi_events_folded_total", "Store lifecycle events folded into the KPI tracker (replay and live).", func() uint64 {
-		s.drain()
-		return s.tracker.Events()
+	reg.NewCounterFunc("kpi_events_folded_total", "Store lifecycle events folded into the KPI tracker (replay and live; restarts after a lag resync).", func() uint64 {
+		return s.EventsFolded()
+	})
+	reg.NewCounterFunc("kpi_resyncs_total", "Lagged-subscription replay resyncs: bounded event-queue overflows recovered by rebuilding the tracker.", func() uint64 {
+		return s.Resyncs()
 	})
 	reg.NewCounterFunc("kpi_offers_submitted_total", "Offers submitted, as seen by the KPI fold.", func() uint64 {
 		return s.GlobalValues().Submitted

@@ -16,6 +16,11 @@ type ServiceConfig struct {
 	// Config fixes the KPI definitions' parameters; zero fields take the
 	// package defaults.
 	Config Config
+	// EventHighWater bounds the event-stream subscription queue; on
+	// overflow the service discards its tracker and resyncs from a fresh
+	// replay instead of growing memory without limit. 0 leaves the queue
+	// unbounded.
+	EventHighWater int
 	// Logger receives service lifecycle logs; may be nil.
 	Logger *obs.Logger
 }
@@ -27,15 +32,22 @@ type ServiceConfig struct {
 // background goroutine: pending events are drained synchronously at the
 // start of every read (Report, GlobalValues, metric scrapes, HTTP
 // requests), which keeps the fold work proportional to the traffic that
-// happened — an idle drain is a single mutex round-trip. All methods are
-// safe for concurrent use.
+// happened — an idle drain is a single mutex round-trip. With a bounded
+// subscription (EventHighWater), a drain that finds the queue lagged
+// rebuilds the tracker from a fresh replay and re-books the retained
+// dead-letter counts, converging on exactly the state a never-lagged fold
+// would hold. All methods are safe for concurrent use.
 type Service struct {
-	tracker *Tracker
-	sub     *market.Subscription
+	cfg ServiceConfig
 
 	// drainMu serialises drains so concurrently popped events cannot fold
-	// out of per-shard order.
-	drainMu sync.Mutex
+	// out of per-shard order, and guards the tracker/subscription swap a
+	// lag resync performs.
+	drainMu     sync.Mutex
+	tracker     *Tracker             // guarded by drainMu (swapped on resync)
+	sub         *market.Subscription // guarded by drainMu (swapped on resync)
+	deadByOwner map[string]uint64    // guarded by drainMu: out-of-band dead letters, replayed on resync
+	resyncs     uint64               // guarded by drainMu: lagged-subscription replay resyncs
 }
 
 // NewService subscribes to the store and returns a running service.
@@ -47,46 +59,101 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Service{tracker: tracker}
-	s.sub = cfg.Store.SubscribeReplay()
+	s := &Service{cfg: cfg, tracker: tracker, deadByOwner: make(map[string]uint64)}
+	s.sub = cfg.Store.SubscribeReplay(market.WithHighWater(cfg.EventHighWater))
 	cfg.Logger.Info("kpi service attached",
-		"resolution", tracker.Resolution(), "bootstrap_events", s.sub.Pending())
+		"resolution", tracker.Resolution(), "bootstrap_events", s.sub.Pending(),
+		"event_high_water", cfg.EventHighWater)
 	return s, nil
 }
 
 // Close detaches the service from the store's event stream.
-func (s *Service) Close() { s.sub.Close() }
+func (s *Service) Close() {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	s.sub.Close()
+}
 
 // drain folds every pending store event into the tracker, serialised so
-// two concurrent readers cannot interleave the per-shard event order.
-func (s *Service) drain() {
+// two concurrent readers cannot interleave the per-shard event order, and
+// returns the tracker the caller should read — which is a fresh one when
+// a lagged subscription forced a resync mid-drain.
+func (s *Service) drain() *Tracker {
 	s.drainMu.Lock()
 	defer s.drainMu.Unlock()
 	for {
-		ev, ok := s.sub.TryNext()
-		if !ok {
-			return
+		for {
+			ev, ok := s.sub.TryNext()
+			if !ok {
+				break
+			}
+			s.tracker.Apply(ev)
 		}
-		s.tracker.Apply(ev)
+		if !s.sub.Lagged() || s.sub.Closed() {
+			return s.tracker
+		}
+		s.resyncLocked()
 	}
+}
+
+// resyncLocked rebuilds the tracker from a fresh replay bootstrap after
+// the event subscription lagged, re-booking the retained out-of-band
+// dead-letter counts (integer adds, so re-feeding order is immaterial).
+// Caller holds drainMu; the enclosing drain loop folds the new bootstrap.
+func (s *Service) resyncLocked() {
+	dropped := s.sub.Dropped()
+	s.sub.Close()
+	tracker, err := NewTracker(s.cfg.Config)
+	if err != nil {
+		// Unreachable: NewService validated the same config. Keep the
+		// stale tracker rather than crash a running daemon.
+		s.cfg.Logger.Error("kpi resync tracker rebuild failed", "err", err)
+		return
+	}
+	s.tracker = tracker
+	for owner, n := range s.deadByOwner {
+		s.tracker.ObserveDeadLetters(owner, n)
+	}
+	s.sub = s.cfg.Store.SubscribeReplay(market.WithHighWater(s.cfg.EventHighWater))
+	s.resyncs++
+	s.cfg.Logger.Warn("kpi event stream lagged; resynced via replay",
+		"resyncs", s.resyncs, "dropped_deliveries", dropped,
+		"bootstrap_events", s.sub.Pending(), "high_water", s.cfg.EventHighWater)
+}
+
+// Resyncs reports how often a lagged subscription forced a replay resync.
+func (s *Service) Resyncs() uint64 {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	return s.resyncs
 }
 
 // Report drains pending events and snapshots the full KPI report.
 func (s *Service) Report() Report {
-	s.drain()
-	return s.tracker.Report()
+	return s.drain().Report()
 }
 
 // GlobalValues drains pending events and snapshots the global scope only
 // — the cheap read behind metric callbacks.
 func (s *Service) GlobalValues() Values {
-	s.drain()
-	return s.tracker.GlobalValues()
+	return s.drain().GlobalValues()
+}
+
+// EventsFolded drains pending events and reports how many lifecycle
+// events the current tracker has folded (replay and live). A resync
+// restarts the count from the fresh bootstrap, exactly as a newly
+// attached service would.
+func (s *Service) EventsFolded() uint64 {
+	return s.drain().Events()
 }
 
 // ObserveDeadLetters books n dead-lettered offers against owner. Dead
 // letters never reach the store, so the pipeline-side accounting feeds
-// them here out of band.
+// them here out of band; the counts are retained so a lag resync can
+// re-book them into the rebuilt tracker.
 func (s *Service) ObserveDeadLetters(owner string, n uint64) {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	s.deadByOwner[owner] += n
 	s.tracker.ObserveDeadLetters(owner, n)
 }

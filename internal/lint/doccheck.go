@@ -6,7 +6,8 @@ import (
 
 // DocCheck fails on exported identifiers without doc comments in the
 // packages that define this repository's public contracts: the
-// observability surface (internal/obs), the market store and HTTP API
+// observability surface (internal/obs), the admission gate
+// (internal/admission), the market store and HTTP API
 // (internal/market), the batch pipeline (internal/pipeline), the
 // write-ahead log behind the durable store (internal/wal), the
 // aggregation, scheduling and KPI services the daemon mounts
@@ -19,6 +20,7 @@ var DocCheck = &Analyzer{
 	Doc:  "exported identifiers in the contract packages must have doc comments",
 	Paths: []string{
 		"internal/obs",
+		"internal/admission",
 		"internal/market",
 		"internal/pipeline",
 		"internal/flexoffer",

@@ -13,6 +13,58 @@ import (
 	"repro/internal/flexoffer"
 )
 
+// ShedError reports a request refused by the server's overload
+// protection: an admission-control shed (429 when the wait queue is
+// full, 503 when draining or the wait deadline passed) or a request
+// timeout. It carries the server's Retry-After hint so retrying callers
+// can pace themselves to the server's recovery window instead of their
+// own backoff guess.
+type ShedError struct {
+	// StatusCode is the HTTP status the server answered with
+	// (429 or 503).
+	StatusCode int
+	// RetryAfter is the server's Retry-After hint; zero when the header
+	// was absent or unparseable.
+	RetryAfter time.Duration
+	// Message is the server's error envelope text, when present.
+	Message string
+}
+
+// Error implements error.
+func (e *ShedError) Error() string {
+	msg := e.Message
+	if msg == "" {
+		msg = http.StatusText(e.StatusCode)
+	}
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("market client: server shed request (%d): %s (retry after %s)", e.StatusCode, msg, e.RetryAfter)
+	}
+	return fmt.Sprintf("market client: server shed request (%d): %s", e.StatusCode, msg)
+}
+
+// RetryAfterHint reports the server's suggested wait before retrying;
+// zero means the server gave none. Retry loops discover the hint
+// through this method (via errors.As on any interface carrying it)
+// without importing this package.
+func (e *ShedError) RetryAfterHint() time.Duration { return e.RetryAfter }
+
+// shedStatus reports whether code is one of the overload-shedding
+// statuses admission control answers with.
+func shedStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// parseRetryAfter decodes a Retry-After header value in delta-seconds
+// form. The HTTP-date form is not produced by this server and decodes
+// to zero (no hint).
+func parseRetryAfter(v string) time.Duration {
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
 // Client talks to a market Server over HTTP.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:7654".
@@ -54,7 +106,15 @@ func (c *Client) do(method, path string, body, out any) error {
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
 		var eb errorBody
-		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
+		_ = json.NewDecoder(resp.Body).Decode(&eb)
+		if shedStatus(resp.StatusCode) {
+			return &ShedError{
+				StatusCode: resp.StatusCode,
+				RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+				Message:    eb.Error,
+			}
+		}
+		if eb.Error != "" {
 			return fmt.Errorf("market client: %s: %s", resp.Status, eb.Error)
 		}
 		return fmt.Errorf("market client: %s", resp.Status)

@@ -75,29 +75,52 @@ type StoreEvent struct {
 }
 
 // Subscription is one consumer's ordered view of the store's event stream.
-// The queue is unbounded and enqueueing never blocks, so a slow consumer
-// delays only itself — never a store mutation, which publishes while
-// holding a shard's write lock.
+// Enqueueing never blocks, so a slow consumer delays only itself — never a
+// store mutation, which publishes while holding a shard's write lock. By
+// default the queue is unbounded; WithHighWater bounds it, and on overflow
+// the subscription latches a lagged state (see Lagged) instead of growing
+// forever: publishers detach it, already-queued events stay readable, and
+// the consumer is expected to resync with a fresh SubscribeReplay.
 type Subscription struct {
-	mu     sync.Mutex
-	cond   *sync.Cond   // signalled on enqueue and Close
-	queue  []StoreEvent // guarded by mu
-	closed bool         // guarded by mu
+	mu        sync.Mutex
+	cond      *sync.Cond   // signalled on enqueue, lag latch and Close
+	queue     []StoreEvent // guarded by mu
+	closed    bool         // guarded by mu
+	lagged    bool         // guarded by mu: latched when the high-water mark overflowed
+	dropped   uint64       // guarded by mu: live events refused since the latch
+	highWater int          // immutable after subscribe; 0 = unbounded
+}
+
+// SubOption configures a subscription at attach time.
+type SubOption func(*Subscription)
+
+// WithHighWater bounds the subscription's pending queue to n events. A
+// live event that would grow the queue past n is not delivered: the
+// subscription latches lagged instead, publishers drop it, and the
+// consumer must resync (typically via a fresh SubscribeReplay). n <= 0
+// leaves the queue unbounded. The SubscribeReplay bootstrap is exempt —
+// it is inherently O(resident records) and useless when truncated.
+func WithHighWater(n int) SubOption {
+	return func(sub *Subscription) { sub.highWater = n }
 }
 
 // newSubscription builds an empty open subscription.
-func newSubscription() *Subscription {
+func newSubscription(opts ...SubOption) *Subscription {
 	sub := &Subscription{}
 	sub.cond = sync.NewCond(&sub.mu)
+	for _, opt := range opts {
+		opt(sub)
+	}
 	return sub
 }
 
 // Next blocks until an event is available and returns it. ok is false once
-// the subscription has been closed and every queued event was consumed.
+// the subscription has been closed — or has latched lagged — and every
+// queued event was consumed.
 func (sub *Subscription) Next() (ev StoreEvent, ok bool) {
 	sub.mu.Lock()
 	defer sub.mu.Unlock()
-	for len(sub.queue) == 0 && !sub.closed {
+	for len(sub.queue) == 0 && !sub.closed && !sub.lagged {
 		sub.cond.Wait()
 	}
 	if len(sub.queue) == 0 {
@@ -135,6 +158,30 @@ func (sub *Subscription) Closed() bool {
 	return sub.closed
 }
 
+// Lagged reports whether the subscription overflowed its high-water mark
+// and was detached from the live stream. A lagged subscription's queue
+// holds the events accepted before the latch — a contiguous but truncated
+// prefix — so a consumer that needs the full state must discard its fold
+// and resync with a fresh SubscribeReplay.
+func (sub *Subscription) Lagged() bool {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	return sub.lagged
+}
+
+// Dropped reports how many live deliveries were refused since the lag
+// latch. It undercounts the events the consumer missed — each shard stops
+// attempting delivery after its first refusal — so treat any non-zero
+// value as "resync required", not as a gap size.
+func (sub *Subscription) Dropped() uint64 {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	return sub.dropped
+}
+
+// HighWater reports the configured queue bound (0 = unbounded).
+func (sub *Subscription) HighWater() int { return sub.highWater }
+
 // Close detaches the subscription: publishers drop it on their next
 // delivery attempt, a blocked Next wakes up, and already-queued events
 // remain readable until drained.
@@ -146,11 +193,23 @@ func (sub *Subscription) Close() {
 }
 
 // enqueue appends ev and reports whether the subscription is still live;
-// publishers discard the subscription on false.
+// publishers discard the subscription on false. A live event that would
+// grow a bounded queue past its high-water mark is refused: the
+// subscription latches lagged (waking any blocked Next so the consumer
+// notices promptly) and every publisher drops it on their next attempt.
 func (sub *Subscription) enqueue(ev StoreEvent) bool {
 	sub.mu.Lock()
 	defer sub.mu.Unlock()
-	if sub.closed {
+	if sub.closed || sub.lagged {
+		if sub.lagged && !sub.closed {
+			sub.dropped++
+		}
+		return false
+	}
+	if sub.highWater > 0 && len(sub.queue) >= sub.highWater {
+		sub.lagged = true
+		sub.dropped++
+		sub.cond.Broadcast()
 		return false
 	}
 	sub.queue = append(sub.queue, ev)
@@ -158,11 +217,25 @@ func (sub *Subscription) enqueue(ev StoreEvent) bool {
 	return true
 }
 
+// enqueueBootstrap appends a SubscribeReplay bootstrap event, exempt from
+// the high-water mark: the bootstrap is the resync mechanism itself, so
+// truncating it would make recovery from lag impossible.
+func (sub *Subscription) enqueueBootstrap(ev StoreEvent) {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	if sub.closed {
+		return
+	}
+	sub.queue = append(sub.queue, ev)
+	sub.cond.Signal()
+}
+
 // Subscribe attaches a live event-stream consumer: every lifecycle
 // transition applied after Subscribe returns is delivered, in per-shard
 // mutation order (see StoreEvent). The consumer must eventually call
-// Close, or the queue grows without bound.
-func (s *Store) Subscribe() *Subscription { return s.subscribe(false) }
+// Close — or bound the queue with WithHighWater — or it grows without
+// bound.
+func (s *Store) Subscribe(opts ...SubOption) *Subscription { return s.subscribe(false, opts...) }
 
 // SubscribeReplay attaches a consumer bootstrapped with the store's
 // current contents: for every resident record, one synthetic event
@@ -170,13 +243,15 @@ func (s *Store) Subscribe() *Subscription { return s.subscribe(false) }
 // any live event of that record's shard, with no transition lost or
 // duplicated in between — the registration and the per-shard snapshot
 // happen under the same shard lock. A consumer that folds replay events
-// like live ones therefore converges on the store's exact state.
-func (s *Store) SubscribeReplay() *Subscription { return s.subscribe(true) }
+// like live ones therefore converges on the store's exact state. The
+// bootstrap itself is exempt from any WithHighWater bound (it is the
+// resync mechanism); only live events past it count against the mark.
+func (s *Store) SubscribeReplay(opts ...SubOption) *Subscription { return s.subscribe(true, opts...) }
 
 // subscribe registers a new subscription on every shard, optionally
 // synthesizing the bootstrap replay under each shard's lock.
-func (s *Store) subscribe(replay bool) *Subscription {
-	sub := newSubscription()
+func (s *Store) subscribe(replay bool, opts ...SubOption) *Subscription {
+	sub := newSubscription(opts...)
 	for k, sh := range s.shards {
 		sh.mu.Lock()
 		if replay {
@@ -189,7 +264,7 @@ func (s *Store) subscribe(replay bool) *Subscription {
 				if r.Assignment != nil {
 					ev.Start, ev.Energies = r.Assignment.Start, r.Assignment.Energies
 				}
-				sub.enqueue(ev)
+				sub.enqueueBootstrap(ev)
 			}
 		}
 		sh.subs = append(sh.subs, sub)

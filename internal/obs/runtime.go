@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memSampleInterval bounds how often a metrics scrape re-reads the Go
+// runtime's memory statistics: runtime.ReadMemStats briefly
+// stops the world, so scrapes arriving faster than this share one
+// snapshot instead of each paying that cost.
+const memSampleInterval = 250 * time.Millisecond
+
+// runtimeSampler caches one MemStats snapshot across the registered
+// callbacks, refreshing it at most once per memSampleInterval.
+type runtimeSampler struct {
+	mu   sync.Mutex
+	at   time.Time        // guarded by mu: when mem was last read
+	mem  runtime.MemStats // guarded by mu
+	read func() time.Time // test seam; time.Now in production
+}
+
+// snapshot returns a copy of the cached MemStats, refreshing it when
+// the cache has gone stale.
+func (s *runtimeSampler) snapshot() runtime.MemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now := s.read(); s.at.IsZero() || now.Sub(s.at) >= memSampleInterval {
+		runtime.ReadMemStats(&s.mem)
+		s.at = now
+	}
+	return s.mem
+}
+
+// RegisterRuntimeMetrics registers the daemon's runtime_* self-metrics:
+// goroutine count, heap occupancy and garbage-collection totals. These
+// are the signals an operator watches during overload — a goroutine
+// leak under queued load, heap growth from unbounded buffering, GC
+// pressure from churn — exported from the same registry as the
+// admission and store families so one scrape correlates them all.
+func RegisterRuntimeMetrics(reg *Registry) {
+	s := &runtimeSampler{read: time.Now}
+	reg.NewGaugeFunc("runtime_goroutines", "Live goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	reg.NewGaugeFunc("runtime_heap_alloc_bytes", "Bytes of allocated heap objects.", func() float64 {
+		return float64(s.snapshot().HeapAlloc)
+	})
+	reg.NewGaugeFunc("runtime_heap_inuse_bytes", "Bytes in in-use heap spans.", func() float64 {
+		return float64(s.snapshot().HeapInuse)
+	})
+	reg.NewGaugeFunc("runtime_heap_sys_bytes", "Bytes of heap memory obtained from the OS.", func() float64 {
+		return float64(s.snapshot().HeapSys)
+	})
+	reg.NewGaugeFunc("runtime_heap_objects", "Live heap objects.", func() float64 {
+		return float64(s.snapshot().HeapObjects)
+	})
+	reg.NewCounterFunc("runtime_gc_cycles_total", "Completed garbage-collection cycles.", func() uint64 {
+		return uint64(s.snapshot().NumGC)
+	})
+	reg.NewCounterFunc("runtime_gc_pause_ns_total", "Cumulative nanoseconds spent in stop-the-world garbage-collection pauses.", func() uint64 {
+		return s.snapshot().PauseTotalNs
+	})
+}

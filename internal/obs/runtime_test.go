@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRegisterRuntimeMetrics: every runtime_* family renders with a
+// plausible live value.
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, family := range []string{
+		"runtime_goroutines",
+		"runtime_heap_alloc_bytes",
+		"runtime_heap_inuse_bytes",
+		"runtime_heap_sys_bytes",
+		"runtime_heap_objects",
+		"runtime_gc_cycles_total",
+		"runtime_gc_pause_ns_total",
+	} {
+		if !strings.Contains(text, "\n"+family+" ") {
+			t.Errorf("exposition missing %s sample:\n%s", family, text)
+		}
+	}
+	if strings.Contains(text, "runtime_goroutines 0\n") {
+		t.Error("runtime_goroutines reports 0; a running test has goroutines")
+	}
+	if strings.Contains(text, "runtime_heap_alloc_bytes 0\n") {
+		t.Error("runtime_heap_alloc_bytes reports 0")
+	}
+}
+
+// TestRuntimeSamplerCaches: scrapes inside the sample interval share
+// one MemStats read; a scrape past it refreshes.
+func TestRuntimeSamplerCaches(t *testing.T) {
+	now := time.Unix(0, 0)
+	s := &runtimeSampler{read: func() time.Time { return now }}
+
+	first := s.snapshot()
+	// Allocate enough that a fresh read would differ, then force GC
+	// bookkeeping so Mallocs moves.
+	sink := make([][]byte, 64)
+	for i := range sink {
+		sink[i] = make([]byte, 64<<10)
+	}
+	runtime.GC()
+	_ = sink
+
+	now = now.Add(memSampleInterval / 2)
+	if again := s.snapshot(); again.Mallocs != first.Mallocs {
+		t.Error("snapshot refreshed inside the sample interval")
+	}
+	now = now.Add(memSampleInterval)
+	if again := s.snapshot(); again.Mallocs == first.Mallocs {
+		t.Error("snapshot not refreshed after the sample interval elapsed")
+	}
+}

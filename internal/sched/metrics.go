@@ -49,6 +49,9 @@ func RegisterServiceMetrics(reg *obs.Registry, s *Service) *ServiceMetrics {
 		_, _, _, _, dropped, _ := s.counters()
 		return dropped
 	})
+	reg.NewCounterFunc("sched_resyncs_total", "Lagged-subscription replay resyncs: bounded event-queue overflows recovered by rebuilding the aggregator.", func() uint64 {
+		return s.resyncCount()
+	})
 	reg.NewGaugeFunc("sched_assigned_kwh_total", "Total energy scheduled across all rounds, in kWh.", func() float64 {
 		_, _, _, _, _, kwh := s.counters()
 		return kwh

@@ -55,6 +55,11 @@ type Config struct {
 	FS wal.FS
 	// HistoryLimit bounds the retained recent-run window (default 64).
 	HistoryLimit int
+	// EventHighWater bounds the event-stream subscription queue; on
+	// overflow the service discards its aggregator and resyncs from a
+	// fresh replay instead of growing memory without limit. 0 leaves the
+	// queue unbounded.
+	EventHighWater int
 	// Logger receives service lifecycle logs; may be nil.
 	Logger *obs.Logger
 }
@@ -87,6 +92,7 @@ type Service struct {
 	applyErrs   uint64         // guarded by mu: member assignments the store rejected
 	ledgerErrs  uint64         // guarded by mu: ledger append failures
 	dropped     uint64         // guarded by mu: events that failed to fold into the aggregator
+	resyncs     uint64         // guarded by mu: lagged-subscription replay resyncs
 	lastRun     *RunSummary    // guarded by mu
 	history     []RunSummary   // guarded by mu: recent runs, newest last
 	recovered   RecoveryInfo   // guarded by mu: what ledger replay restored
@@ -177,7 +183,7 @@ func New(cfg Config) (*Service, error) {
 		cfg.Logger.Info("scheduler ledger recovered",
 			"records", info.Records, "runs", st.runs, "decisions", st.decisions, "torn_tail", info.TornTail)
 	}
-	s.sub = cfg.Store.SubscribeReplay()
+	s.sub = cfg.Store.SubscribeReplay(market.WithHighWater(cfg.EventHighWater))
 	return s, nil
 }
 
@@ -193,25 +199,61 @@ func (s *Service) Close() error {
 // drain folds every pending store event into the aggregator: accepted
 // offers join, offers leaving the accepted state (rejected, expired,
 // assigned) leave. Submitted events are ignored — only accepted offers
-// are scheduled — and replay events fold exactly like live ones.
+// are scheduled — and replay events fold exactly like live ones. When the
+// bounded subscription lagged (EventHighWater overflow), the partial fold
+// is discarded and rebuilt from a fresh replay: the replay bootstrap
+// bypasses the bound, so after folding it the aggregator again equals the
+// never-lagged fold of the store. Callers hold runMu, which serialises
+// drains with the subscription swap.
 func (s *Service) drain() {
 	for {
-		ev, ok := s.sub.TryNext()
-		if !ok {
+		for {
+			ev, ok := s.sub.TryNext()
+			if !ok {
+				break
+			}
+			switch ev.Kind {
+			case market.EventAccepted:
+				if err := s.inc.Add(ev.Offer); err != nil {
+					s.mu.Lock()
+					s.dropped++
+					s.mu.Unlock()
+					s.cfg.Logger.Warn("aggregator rejected offer", "id", ev.Offer.ID, "err", err)
+				}
+			case market.EventRejected, market.EventExpired, market.EventAssigned:
+				s.inc.Remove(ev.Offer.ID)
+			}
+		}
+		if !s.sub.Lagged() || s.sub.Closed() {
 			return
 		}
-		switch ev.Kind {
-		case market.EventAccepted:
-			if err := s.inc.Add(ev.Offer); err != nil {
-				s.mu.Lock()
-				s.dropped++
-				s.mu.Unlock()
-				s.cfg.Logger.Warn("aggregator rejected offer", "id", ev.Offer.ID, "err", err)
-			}
-		case market.EventRejected, market.EventExpired, market.EventAssigned:
-			s.inc.Remove(ev.Offer.ID)
-		}
+		s.resync()
 	}
+}
+
+// resync discards the aggregator state and reattaches with a fresh replay
+// bootstrap after the event subscription lagged. The caller (drain) holds
+// runMu and loops again afterwards, folding the bootstrap — and any live
+// events behind it — before returning.
+func (s *Service) resync() {
+	dropped := s.sub.Dropped()
+	s.sub.Close()
+	inc, err := agg.NewIncremental(s.cfg.Agg, s.cfg.Resolution)
+	if err != nil {
+		// Unreachable: New validated the same parameters. Keep the stale
+		// aggregator rather than crash a running daemon.
+		s.cfg.Logger.Error("resync aggregator rebuild failed", "err", err)
+		return
+	}
+	s.inc = inc
+	s.sub = s.cfg.Store.SubscribeReplay(market.WithHighWater(s.cfg.EventHighWater))
+	s.mu.Lock()
+	s.resyncs++
+	n := s.resyncs
+	s.mu.Unlock()
+	s.cfg.Logger.Warn("event stream lagged; resynced via replay",
+		"resyncs", n, "dropped_deliveries", dropped, "bootstrap_events", s.sub.Pending(),
+		"high_water", s.cfg.EventHighWater)
 }
 
 // Aggregates drains pending events and returns the current aggregation.
@@ -420,6 +462,9 @@ type Status struct {
 	// ApplyErrors and LedgerErrors are lifetime failure counters.
 	ApplyErrors  uint64 `json:"apply_errors"`
 	LedgerErrors uint64 `json:"ledger_errors"`
+	// Resyncs counts lagged-subscription replay resyncs: how often the
+	// bounded event queue overflowed and the aggregator was rebuilt.
+	Resyncs uint64 `json:"resyncs"`
 	// Aggregator snapshots the incremental aggregator.
 	Aggregator agg.IncrementalStats `json:"aggregator"`
 	// LastRun is the most recent round, nil before the first.
@@ -445,6 +490,7 @@ func (s *Service) Status() Status {
 		AssignedKWh:  s.assignedKWh,
 		ApplyErrors:  s.applyErrs,
 		LedgerErrors: s.ledgerErrs,
+		Resyncs:      s.resyncs,
 		Aggregator:   aggStats,
 		Recovered:    s.recovered,
 	}
@@ -462,4 +508,12 @@ func (s *Service) counters() (runs, decisions, applyErrs, ledgerErrs, dropped ui
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.runs, s.decisions, s.applyErrs, s.ledgerErrs, s.dropped, s.assignedKWh
+}
+
+// resyncCount returns the lifetime lagged-resync counter for the metric
+// callback.
+func (s *Service) resyncCount() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.resyncs
 }

@@ -32,6 +32,6 @@ echo "==> go test ./..."
 go test ./...
 
 echo "==> go test -race (concurrent packages)"
-go test -race ./internal/pipeline ./internal/market ./internal/wal ./internal/sched ./internal/kpi ./cmd/flexextract ./cmd/mirabeld
+go test -race ./internal/pipeline ./internal/market ./internal/wal ./internal/sched ./internal/kpi ./internal/admission ./cmd/flexextract ./cmd/mirabeld
 
 echo "verify: OK"
